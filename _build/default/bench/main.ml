@@ -1,0 +1,151 @@
+(* Benchmark harness.
+
+   With no arguments: regenerate every figure of the paper's evaluation
+   (§6) and then run the Bechamel micro-benchmarks. With arguments: run the
+   named subset, e.g.
+
+     dune exec bench/main.exe -- fig4a fig6
+     dune exec bench/main.exe -- micro
+
+   Figure ids: fig4a fig4b fig5a fig5b fig6 fig7 fig8 text-cp. *)
+
+module Figures = Mdds_harness.Figures
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks for the hot paths.                         *)
+
+open Bechamel
+open Toolkit
+
+let entry_of_size n =
+  List.init n (fun i ->
+      Mdds_types.Txn.make_record
+        ~txn_id:(Printf.sprintf "bench/%d" i)
+        ~origin:(i mod 3) ~read_position:41
+        ~reads:[ "a001"; "a002"; "a003"; "a004"; "a005" ]
+        ~writes:
+          (List.init 5 (fun j ->
+               { Mdds_types.Txn.key = Printf.sprintf "a%03d" ((7 * j) + i);
+                 value = "some-benchmark-value" })))
+
+let bench_codec =
+  let entry = entry_of_size 3 in
+  let codec = Mdds_types.Txn.entry_codec in
+  Test.make ~name:"codec/entry-roundtrip"
+    (Staged.stage (fun () ->
+         let s = Mdds_codec.Codec.encode codec entry in
+         ignore (Mdds_codec.Codec.decode_exn codec s)))
+
+let bench_store_read =
+  let store = Mdds_kvstore.Store.create () in
+  for ts = 1 to 100 do
+    ignore (Mdds_kvstore.Store.write store ~key:"row" ~timestamp:ts [ ("v", string_of_int ts) ])
+  done;
+  Test.make ~name:"kvstore/versioned-read"
+    (Staged.stage (fun () -> ignore (Mdds_kvstore.Store.read store ~key:"row" ~timestamp:50 ())))
+
+let bench_tally =
+  let entry = entry_of_size 1 in
+  let votes =
+    List.init 5 (fun from ->
+        {
+          Mdds_paxos.Tally.from;
+          vote =
+            (if from < 2 then
+               Some (Mdds_paxos.Ballot.make ~round:1 ~proposer:from, entry)
+             else None);
+        })
+  in
+  Test.make ~name:"paxos/tally-decide"
+    (Staged.stage (fun () ->
+         ignore
+           (Mdds_paxos.Tally.decide ~total:5 ~equal:Mdds_types.Txn.equal_entry votes)))
+
+let bench_combine =
+  let records = entry_of_size 5 in
+  let own = List.hd records and candidates = List.tl records in
+  Test.make ~name:"paxos-cp/combination-search"
+    (Staged.stage (fun () ->
+         ignore (Mdds_core.Combine.best ~own ~candidates ~exhaustive_limit:4)))
+
+let bench_commit name spec_topo config =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let topo = Mdds_net.Topology.ec2 spec_topo in
+         let cluster = Mdds_core.Cluster.create ~seed:7 ~config topo in
+         let client = Mdds_core.Cluster.client cluster ~dc:0 in
+         Mdds_core.Cluster.spawn cluster (fun () ->
+             let txn = Mdds_core.Client.begin_ client ~group:"bench" in
+             Mdds_core.Client.write txn "k" "v";
+             ignore (Mdds_core.Client.commit txn));
+         Mdds_core.Cluster.run cluster))
+
+let bench_engine =
+  Test.make ~name:"sim/spawn-sleep-1000"
+    (Staged.stage (fun () ->
+         let engine = Mdds_sim.Engine.create ~seed:1 () in
+         for i = 1 to 1000 do
+           Mdds_sim.Engine.spawn engine (fun () ->
+               Mdds_sim.Engine.sleep (float_of_int i *. 0.001))
+         done;
+         Mdds_sim.Engine.run engine))
+
+let micro_tests =
+  Test.make_grouped ~name:"micro"
+    [
+      bench_codec;
+      bench_store_read;
+      bench_tally;
+      bench_combine;
+      bench_engine;
+      bench_commit "e2e/one-commit-VVV" "VVV" Mdds_core.Config.default;
+      bench_commit "e2e/one-commit-VVV-basic" "VVV" Mdds_core.Config.basic;
+      bench_commit "e2e/one-commit-VVVOC" "VVVOC" Mdds_core.Config.default;
+    ]
+
+let run_micro () =
+  print_endline "\n== Micro-benchmarks (Bechamel) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ ns ] -> Printf.printf "  %-32s %12.1f ns/run\n" name ns
+          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
+    merged
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let known_figures = List.map (fun (id, _, _) -> id) Figures.all in
+  match args with
+  | [] ->
+      print_endline "Reproducing every figure of the evaluation (three seeds each).";
+      Figures.run_ids [];
+      run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | ids ->
+      let bad = List.filter (fun id -> not (List.mem id known_figures)) ids in
+      if bad <> [] && bad <> [ "micro" ] then begin
+        Printf.eprintf "unknown benchmark ids: %s\nknown: %s micro\n"
+          (String.concat ", " bad)
+          (String.concat " " known_figures);
+        exit 2
+      end;
+      Figures.run_ids (List.filter (fun id -> id <> "micro") ids);
+      if List.mem "micro" ids then run_micro ()

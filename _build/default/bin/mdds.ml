@@ -1,0 +1,165 @@
+(* Command-line interface to the simulated multi-datacenter datastore.
+
+   mdds run      — run one experiment with explicit parameters
+   mdds figures  — reproduce figures from the paper's evaluation
+   mdds list     — list available figure reproductions *)
+
+module Config = Mdds_core.Config
+module Experiment = Mdds_harness.Experiment
+module Figures = Mdds_harness.Figures
+module Stats = Mdds_harness.Stats
+module Table = Mdds_harness.Table
+module Ycsb = Mdds_workload.Ycsb
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* mdds run                                                            *)
+
+let topology_arg =
+  let doc =
+    "Datacenter spec: one character per datacenter, V = Virginia AZ, O = \
+     Oregon, C = N. California (e.g. VVV, COV, VVVOC)."
+  in
+  Arg.(value & opt string "VVV" & info [ "t"; "topology" ] ~docv:"SPEC" ~doc)
+
+let protocol_arg =
+  let doc = "Commit protocol: 'paxos' (basic), 'cp' (Paxos-CP) or 'leader'." in
+  let proto =
+    Arg.enum
+      [
+        ("paxos", Config.Basic);
+        ("basic", Config.Basic);
+        ("cp", Config.Cp);
+        ("leader", Config.Leader);
+      ]
+  in
+  Arg.(value & opt proto Config.Cp & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+
+let txns_arg =
+  Arg.(value & opt int 500 & info [ "n"; "txns" ] ~docv:"N" ~doc:"Total transactions.")
+
+let threads_arg =
+  Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Concurrent worker threads.")
+
+let rate_arg =
+  Arg.(value & opt float 1.0 & info [ "rate" ] ~docv:"TPS" ~doc:"Target txns/s per thread.")
+
+let attributes_arg =
+  Arg.(value & opt int 100 & info [ "attributes" ] ~docv:"N" ~doc:"Entity-group attributes.")
+
+let ops_arg =
+  Arg.(value & opt int 10 & info [ "ops" ] ~docv:"N" ~doc:"Operations per transaction.")
+
+let loss_arg =
+  Arg.(value & opt float 0.002 & info [ "loss" ] ~docv:"P" ~doc:"Message loss probability.")
+
+let no_fast_arg =
+  Arg.(value & flag & info [ "no-fast-path" ] ~doc:"Disable the leader fast path.")
+
+let no_combination_arg =
+  Arg.(value & flag & info [ "no-combination" ] ~doc:"Disable Paxos-CP combination.")
+
+let max_promotions_arg =
+  let doc = "Cap promotions (default: unlimited)." in
+  Arg.(value & opt (some int) None & info [ "max-promotions" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  Arg.(value & opt (some int) None
+       & info [ "trace" ] ~docv:"N"
+           ~doc:"Print the last N protocol trace events after the run.")
+
+let run_cmd =
+  let run topology protocol seed txns threads rate attributes ops loss no_fast
+      no_combination max_promotions trace =
+    let config =
+      {
+        Config.default with
+        protocol;
+        enable_fast_path = not no_fast;
+        enable_combination = not no_combination;
+        max_promotions;
+      }
+    in
+    let workload =
+      { Ycsb.default with total_txns = txns; threads; rate; attributes; ops_per_txn = ops }
+    in
+    let spec = Experiment.spec ~seed ~config ~workload ~loss topology in
+    (match trace with
+    | None -> ()
+    | Some n ->
+        (* Re-run the workload on a dedicated traced cluster first: the
+           Experiment runner owns its own cluster. *)
+        let cluster =
+          Mdds_core.Cluster.create ~seed ~config (Mdds_net.Topology.ec2 ~loss topology)
+        in
+        Mdds_sim.Trace.enable (Mdds_core.Cluster.trace cluster);
+        ignore (Ycsb.run cluster workload);
+        Mdds_core.Cluster.run cluster;
+        List.iter
+          (fun e -> Format.printf "%a@." Mdds_sim.Trace.pp_event e)
+          (Mdds_sim.Trace.tail (Mdds_core.Cluster.trace cluster) n));
+    let result = Experiment.run spec in
+    Format.printf "%a@." Experiment.pp_brief result;
+    let rows =
+      Array.to_list result.commits_by_round
+      |> List.mapi (fun round commits ->
+             [
+               string_of_int round;
+               string_of_int commits;
+               (if round < Array.length result.latency_by_round then
+                  Table.fmt_ms result.latency_by_round.(round).Stats.mean
+                else "-");
+             ])
+      |> List.filter (fun row -> row <> [])
+    in
+    Table.print ~header:[ "promotions"; "commits"; "mean latency (ms)" ] rows;
+    match result.verified with
+    | Ok () -> ()
+    | Error _ -> exit 1
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ protocol_arg $ seed_arg $ txns_arg $ threads_arg
+      $ rate_arg $ attributes_arg $ ops_arg $ loss_arg $ no_fast_arg
+      $ no_combination_arg $ max_promotions_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload experiment and print its outcome profile.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* mdds figures                                                        *)
+
+let figures_cmd =
+  let ids_arg =
+    let doc = "Figure ids (default: all). See 'mdds list'." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run ids =
+    try Figures.run_ids ids
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce figures from the paper's evaluation (§6).")
+    Term.(const run $ ids_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (id, description, _) -> Printf.printf "%-8s %s\n" id description)
+      Figures.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available figure reproductions.") Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Multi-datacenter transactional datastore simulator (Paxos vs Paxos-CP; \
+     Patterson et al., VLDB 2012)."
+  in
+  let info = Cmd.info "mdds" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; figures_cmd; list_cmd ]))

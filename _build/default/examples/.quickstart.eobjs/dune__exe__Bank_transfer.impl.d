@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Mdds_core Mdds_net Mdds_sim Option Printf

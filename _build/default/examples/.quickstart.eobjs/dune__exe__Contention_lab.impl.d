@@ -1,0 +1,1 @@
+examples/contention_lab.ml: List Mdds_core Mdds_harness Mdds_workload Printf

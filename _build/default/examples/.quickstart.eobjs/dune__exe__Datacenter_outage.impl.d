@@ -1,0 +1,1 @@
+examples/datacenter_outage.ml: List Mdds_core Mdds_net Mdds_sim Mdds_wal Option Printf

@@ -1,0 +1,1 @@
+examples/leader_failover.ml: Format List Mdds_core Mdds_net Mdds_sim Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mdds_core Mdds_net Option Printf

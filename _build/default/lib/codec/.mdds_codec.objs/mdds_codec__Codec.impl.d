@@ -1,0 +1,1 @@
+lib/codec/codec.ml: Array Buffer Bytes Char Int64 Lazy List Printf String Sys

@@ -1,0 +1,282 @@
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* A decoder reads from [buf] starting at [!pos] and advances [pos]. *)
+type reader = { buf : string; mutable pos : int }
+
+type 'a t = {
+  write : Buffer.t -> 'a -> unit;
+  read : reader -> 'a;
+}
+
+let encode c v =
+  let b = Buffer.create 64 in
+  c.write b v;
+  Buffer.contents b
+
+let decode_exn c s =
+  let r = { buf = s; pos = 0 } in
+  let v = c.read r in
+  if r.pos <> String.length s then
+    fail "trailing garbage: consumed %d of %d bytes" r.pos (String.length s);
+  v
+
+let decode c s =
+  match decode_exn c s with
+  | v -> Ok v
+  | exception Decode_error m -> Error m
+
+let need r n =
+  if r.pos + n > String.length r.buf then
+    fail "truncated input: need %d bytes at offset %d of %d" n r.pos
+      (String.length r.buf)
+
+let read_byte r =
+  need r 1;
+  let c = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let unit = { write = (fun _ () -> ()); read = (fun _ -> ()) }
+
+let bool =
+  {
+    write = (fun b v -> Buffer.add_char b (if v then '\001' else '\000'));
+    read =
+      (fun r ->
+        match read_byte r with
+        | 0 -> false
+        | 1 -> true
+        | n -> fail "invalid bool byte %d" n);
+  }
+
+(* Zig-zag maps signed ints onto unsigned so small magnitudes stay short. *)
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag n = (n lsr 1) lxor (- (n land 1))
+
+let write_varint b n =
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > Sys.int_size then fail "varint too long"
+    else
+      let byte = read_byte r in
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let int =
+  {
+    write = (fun b n -> write_varint b (zigzag n));
+    read = (fun r -> unzigzag (read_varint r));
+  }
+
+(* Length prefixes must be non-negative: a malformed varint can overflow
+   into a negative OCaml int, which would crash List.init/Array.init. *)
+let read_length r =
+  let n = read_varint r in
+  if n < 0 then fail "negative length %d" n;
+  n
+
+let int64 =
+  {
+    write =
+      (fun b n ->
+        for i = 0 to 7 do
+          Buffer.add_char b
+            (Char.chr (Int64.to_int (Int64.shift_right_logical n (i * 8)) land 0xff))
+        done);
+    read =
+      (fun r ->
+        need r 8;
+        let v = ref 0L in
+        for i = 7 downto 0 do
+          v :=
+            Int64.logor (Int64.shift_left !v 8)
+              (Int64.of_int (Char.code r.buf.[r.pos + i]))
+        done;
+        r.pos <- r.pos + 8;
+        !v);
+  }
+
+let float =
+  {
+    write = (fun b f -> int64.write b (Int64.bits_of_float f));
+    read = (fun r -> Int64.float_of_bits (int64.read r));
+  }
+
+let string =
+  {
+    write =
+      (fun b s ->
+        write_varint b (String.length s);
+        Buffer.add_string b s);
+    read =
+      (fun r ->
+        let n = read_length r in
+        need r n;
+        let s = String.sub r.buf r.pos n in
+        r.pos <- r.pos + n;
+        s);
+  }
+
+let bytes =
+  {
+    write = (fun b s -> string.write b (Bytes.unsafe_to_string s));
+    read = (fun r -> Bytes.of_string (string.read r));
+  }
+
+let pair ca cb =
+  {
+    write =
+      (fun b (x, y) ->
+        ca.write b x;
+        cb.write b y);
+    read =
+      (fun r ->
+        let x = ca.read r in
+        let y = cb.read r in
+        (x, y));
+  }
+
+let triple ca cb cc =
+  {
+    write =
+      (fun b (x, y, z) ->
+        ca.write b x;
+        cb.write b y;
+        cc.write b z);
+    read =
+      (fun r ->
+        let x = ca.read r in
+        let y = cb.read r in
+        let z = cc.read r in
+        (x, y, z));
+  }
+
+let quad ca cb cc cd =
+  {
+    write =
+      (fun b (x, y, z, w) ->
+        ca.write b x;
+        cb.write b y;
+        cc.write b z;
+        cd.write b w);
+    read =
+      (fun r ->
+        let x = ca.read r in
+        let y = cb.read r in
+        let z = cc.read r in
+        let w = cd.read r in
+        (x, y, z, w));
+  }
+
+let list c =
+  {
+    write =
+      (fun b l ->
+        write_varint b (List.length l);
+        List.iter (c.write b) l);
+    read =
+      (fun r ->
+        let n = read_length r in
+        List.init n (fun _ -> c.read r));
+  }
+
+let array c =
+  {
+    write =
+      (fun b a ->
+        write_varint b (Array.length a);
+        Array.iter (c.write b) a);
+    read =
+      (fun r ->
+        let n = read_length r in
+        Array.init n (fun _ -> c.read r));
+  }
+
+let option c =
+  {
+    write =
+      (fun b v ->
+        match v with
+        | None -> Buffer.add_char b '\000'
+        | Some x ->
+            Buffer.add_char b '\001';
+            c.write b x);
+    read =
+      (fun r ->
+        match read_byte r with
+        | 0 -> None
+        | 1 -> Some (c.read r)
+        | n -> fail "invalid option tag %d" n);
+  }
+
+let result cok cerr =
+  {
+    write =
+      (fun b v ->
+        match v with
+        | Ok x ->
+            Buffer.add_char b '\000';
+            cok.write b x
+        | Error e ->
+            Buffer.add_char b '\001';
+            cerr.write b e);
+    read =
+      (fun r ->
+        match read_byte r with
+        | 0 -> Ok (cok.read r)
+        | 1 -> Error (cerr.read r)
+        | n -> fail "invalid result tag %d" n);
+  }
+
+let map of_a to_a c =
+  {
+    write = (fun b v -> c.write b (to_a v));
+    read = (fun r -> of_a (c.read r));
+  }
+
+let tagged cases ~tag_of =
+  let tags = List.map fst cases in
+  let rec dup = function
+    | [] -> false
+    | t :: rest -> List.mem t rest || dup rest
+  in
+  if dup tags then invalid_arg "Codec.tagged: duplicate tags";
+  {
+    write =
+      (fun b v ->
+        let tag = tag_of v in
+        match List.assoc_opt tag cases with
+        | None -> invalid_arg (Printf.sprintf "Codec.tagged: unknown tag %d" tag)
+        | Some c ->
+            write_varint b tag;
+            c.write b v);
+    read =
+      (fun r ->
+        let tag = read_varint r in
+        if tag < 0 then fail "negative case tag %d" tag;
+        match List.assoc_opt tag cases with
+        | None -> fail "unknown case tag %d" tag
+        | Some c -> c.read r);
+  }
+
+let fix f =
+  let rec c =
+    {
+      write = (fun b v -> (Lazy.force self).write b v);
+      read = (fun r -> (Lazy.force self).read r);
+    }
+  and self = lazy (f c) in
+  c

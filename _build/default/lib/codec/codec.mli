@@ -1,0 +1,65 @@
+(** Binary serialization combinators.
+
+    The transaction tier stores everything it persists — Paxos acceptor
+    state, write-ahead-log entries, transaction records — as byte strings
+    inside the key-value store, exactly as a system built on HBase or
+    BigTable would. This module provides the small combinator language used
+    to build those encodings.
+
+    Encodings are length-prefixed and self-delimiting, so codecs compose:
+    [pair], [list], [option] and friends can be nested arbitrarily. Decoding
+    is strict: trailing garbage, truncated input or invalid tags raise
+    {!Decode_error} (wrapped into [Error] by {!decode}). *)
+
+type 'a t
+(** A codec for values of type ['a]. *)
+
+exception Decode_error of string
+(** Raised internally on malformed input; {!decode} catches it. *)
+
+(** {1 Running codecs} *)
+
+val encode : 'a t -> 'a -> string
+(** [encode c v] serializes [v] to a byte string. *)
+
+val decode : 'a t -> string -> ('a, string) result
+(** [decode c s] deserializes [s], requiring that all input is consumed. *)
+
+val decode_exn : 'a t -> string -> 'a
+(** Like {!decode} but raises {!Decode_error} on failure. *)
+
+(** {1 Primitive codecs} *)
+
+val unit : unit t
+val bool : bool t
+val int : int t
+(** Varint (LEB128 zig-zag) encoding of OCaml native ints. *)
+
+val int64 : int64 t
+val float : float t
+val string : string t
+val bytes : bytes t
+
+(** {1 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val quad : 'a t -> 'b t -> 'c t -> 'd t -> ('a * 'b * 'c * 'd) t
+val list : 'a t -> 'a list t
+val array : 'a t -> 'a array t
+val option : 'a t -> 'a option t
+
+val result : 'a t -> 'b t -> ('a, 'b) result t
+
+val map : ('a -> 'b) -> ('b -> 'a) -> 'a t -> 'b t
+(** [map of_a to_a c] transports a codec along an isomorphism:
+    [of_a] is used after decoding, [to_a] before encoding. *)
+
+val tagged : (int * 'a t) list -> tag_of:('a -> int) -> 'a t
+(** [tagged cases ~tag_of] encodes a sum type: [tag_of v] selects the case
+    tag written before the payload; decoding dispatches on the tag. The
+    codec associated with a tag must accept every value mapped to that tag.
+    Raises [Invalid_argument] on duplicate tags. *)
+
+val fix : ('a t -> 'a t) -> 'a t
+(** Fixpoint for recursive types. *)

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Format List Mdds_types

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Format Mdds_types

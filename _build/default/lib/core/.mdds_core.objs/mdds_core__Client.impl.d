@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Audit Combine Config Format List Mdds_net Mdds_paxos Mdds_sim Mdds_types Messages Option Printf Proposer

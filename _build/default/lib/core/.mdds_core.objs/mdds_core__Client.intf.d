@@ -1,0 +1,1 @@
+lib/core/client.mli: Audit Config Mdds_net Mdds_sim Mdds_types Messages

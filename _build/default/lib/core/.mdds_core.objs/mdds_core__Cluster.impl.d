@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Audit Client Config Fun Hashtbl Int List Mdds_net Mdds_sim Mdds_types Mdds_wal Messages Printf Service

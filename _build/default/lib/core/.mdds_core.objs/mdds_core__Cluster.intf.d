@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Audit Client Config Mdds_net Mdds_sim Mdds_types Messages Service

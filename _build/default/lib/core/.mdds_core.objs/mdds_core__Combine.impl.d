@@ -1,0 +1,1 @@
+lib/core/combine.ml: Hashtbl List Mdds_types

@@ -1,0 +1,1 @@
+lib/core/messages.ml: Format List Mdds_paxos Mdds_types Printf

@@ -1,0 +1,1 @@
+lib/core/messages.mli: Format Mdds_paxos Mdds_types

@@ -1,0 +1,1 @@
+lib/core/proposer.mli: Config Mdds_net Mdds_paxos Mdds_sim Mdds_types Messages

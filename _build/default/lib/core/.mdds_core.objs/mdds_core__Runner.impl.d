@@ -1,0 +1,1 @@
+lib/core/runner.ml: Audit Client

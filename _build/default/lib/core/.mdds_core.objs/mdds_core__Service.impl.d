@@ -1,0 +1,1 @@
+lib/core/service.ml: Config Hashtbl List Mdds_codec Mdds_kvstore Mdds_net Mdds_paxos Mdds_sim Mdds_types Mdds_wal Messages Printf Proposer String

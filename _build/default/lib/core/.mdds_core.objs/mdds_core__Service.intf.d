@@ -1,0 +1,1 @@
+lib/core/service.mli: Config Mdds_kvstore Mdds_net Mdds_paxos Mdds_sim Mdds_types Mdds_wal Messages

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Audit Cluster Format Hashtbl List Mdds_serial Result String

@@ -1,0 +1,126 @@
+module Txn = Mdds_types.Txn
+
+type abort_reason = Conflict | Lost_position | Promotion_limit | Unavailable
+
+type outcome =
+  | Committed of { position : int; promotions : int; combined : bool }
+  | Aborted of { reason : abort_reason; promotions : int }
+  | Read_only_committed
+  | Unknown
+
+type protocol_stats = {
+  prepare_rounds : int;
+  accept_rounds : int;
+  fast_path : bool;
+  instances : int;
+}
+
+let no_stats = { prepare_rounds = 0; accept_rounds = 0; fast_path = false; instances = 0 }
+
+type event = {
+  group : string;
+  record : Txn.record;
+  observed : (Txn.key * string option) list;
+  outcome : outcome;
+  began_at : float;
+  committed_at : float;
+  commit_started_at : float;
+  client_dc : int;
+  stats : protocol_stats;
+}
+
+type t = { mutable events : event list; mutable count : int }
+
+let create () = { events = []; count = 0 }
+
+let record t e =
+  t.events <- e :: t.events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.events
+
+let total t = t.count
+
+let fold f init t = List.fold_left f init t.events
+
+let commits t =
+  fold
+    (fun n e ->
+      match e.outcome with
+      | Committed _ | Read_only_committed -> n + 1
+      | Aborted _ | Unknown -> n)
+    0 t
+
+let unknowns t =
+  fold (fun n e -> match e.outcome with Unknown -> n + 1 | _ -> n) 0 t
+
+let aborts t =
+  fold (fun n e -> match e.outcome with Aborted _ -> n + 1 | _ -> n) 0 t
+
+let commits_with_promotions t n =
+  fold
+    (fun acc e ->
+      match e.outcome with
+      | Committed { promotions; _ } when promotions = n -> acc + 1
+      | _ -> acc)
+    0 t
+
+let max_promotions_seen t =
+  fold
+    (fun acc e ->
+      match e.outcome with
+      | Committed { promotions; _ } | Aborted { promotions; _ } ->
+          max acc promotions
+      | Read_only_committed | Unknown -> acc)
+    0 t
+
+let abort_count t reason =
+  fold
+    (fun acc e ->
+      match e.outcome with
+      | Aborted { reason = r; _ } when r = reason -> acc + 1
+      | _ -> acc)
+    0 t
+
+let commit_latencies t ~promotions =
+  fold
+    (fun acc e ->
+      match e.outcome with
+      | Committed { promotions = p; _ }
+        when promotions = None || promotions = Some p ->
+          (e.committed_at -. e.commit_started_at) :: acc
+      | _ -> acc)
+    [] t
+
+let txn_latencies t = fold (fun acc e -> (e.committed_at -. e.began_at) :: acc) [] t
+
+let pp_reason ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Conflict -> "conflict"
+    | Lost_position -> "lost-position"
+    | Promotion_limit -> "promotion-limit"
+    | Unavailable -> "unavailable")
+
+let mean_rounds t =
+  let total, n =
+    fold
+      (fun (total, n) e ->
+        match e.outcome with
+        | Committed _ ->
+            (total + e.stats.prepare_rounds + e.stats.accept_rounds, n + 1)
+        | _ -> (total, n))
+      (0, 0) t
+  in
+  if n = 0 then 0.0 else float_of_int total /. float_of_int n
+
+let fast_path_rate t =
+  let fast, n =
+    fold
+      (fun (fast, n) e ->
+        match e.outcome with
+        | Committed _ -> ((if e.stats.fast_path then fast + 1 else fast), n + 1)
+        | _ -> (fast, n))
+      (0, 0) t
+  in
+  if n = 0 then 0.0 else float_of_int fast /. float_of_int n

@@ -1,0 +1,316 @@
+module Txn = Mdds_types.Txn
+module Tally = Mdds_paxos.Tally
+module Rpc = Mdds_net.Rpc
+module Engine = Mdds_sim.Engine
+module Rng = Mdds_sim.Rng
+
+exception Unavailable of string
+
+type t = {
+  env : Proposer.env;
+  audit : Audit.t;
+  id : string;
+  mutable txn_counter : int;
+}
+
+type txn = {
+  client : t;
+  group : string;
+  txn_id : string;
+  began_at : float;
+  read_position : int;
+  leader : int option;
+  mutable reads : (Txn.key * string option) list;  (* newest first *)
+  mutable writes : (Txn.key * string) list;  (* newest first, latest wins *)
+  mutable finished : bool;
+}
+
+let create ~rpc ~config ~dc ~dcs ~audit ~id ~trace =
+  let rng = Rng.split (Engine.rng (Rpc.engine rpc)) in
+  { env = { Proposer.rpc; config; dc; dcs; rng; trace }; audit; id; txn_counter = 0 }
+
+let dc t = t.env.Proposer.dc
+
+let now t = Engine.now (Rpc.engine t.env.Proposer.rpc)
+
+(* Datacenters to try for a service request: local first (the paper's
+   co-location optimization), then the others in random order. *)
+let service_order t =
+  let others =
+    Array.of_list (List.filter (fun d -> d <> t.env.Proposer.dc) t.env.Proposer.dcs)
+  in
+  Rng.shuffle t.env.Proposer.rng others;
+  t.env.Proposer.dc :: Array.to_list others
+
+(* Issue a request with datacenter fallback (§2.2: "If a Transaction
+   Client cannot access the Transaction Service within its own datacenter,
+   it can access the Transaction Service in another datacenter"). *)
+let request_with_fallback t req ~describe =
+  let config = t.env.Proposer.config in
+  let rec go attempts = function
+    | [] -> raise (Unavailable describe)
+    | _ when attempts <= 0 -> raise (Unavailable describe)
+    | dst :: rest -> (
+        match
+          Rpc.call t.env.Proposer.rpc ~src:t.env.Proposer.dc ~dst
+            ~timeout:config.rpc_timeout req
+        with
+        | Some (Messages.Failed _) | None -> go (attempts - 1) rest
+        | Some resp -> resp)
+  in
+  go config.read_attempts (service_order t)
+
+let begin_ t ~group =
+  t.txn_counter <- t.txn_counter + 1;
+  let txn_id = Printf.sprintf "%s/%d" t.id t.txn_counter in
+  match request_with_fallback t (Messages.Get_read_position { group }) ~describe:"begin" with
+  | Messages.Read_position { position; leader } ->
+      {
+        client = t;
+        group;
+        txn_id;
+        began_at = now t;
+        read_position = position;
+        leader;
+        reads = [];
+        writes = [];
+        finished = false;
+      }
+  | _ -> raise (Unavailable "begin: unexpected response")
+
+let txn_id txn = txn.txn_id
+let read_position txn = txn.read_position
+
+let read txn key =
+  match List.assoc_opt key txn.writes with
+  | Some v -> Some v (* property (A1): read your own writes *)
+  | None -> (
+      match List.assoc_opt key txn.reads with
+      | Some v -> v (* repeated reads at one position are stable (A2) *)
+      | None -> (
+          let t = txn.client in
+          match
+            request_with_fallback t
+              (Messages.Read { group = txn.group; key; position = txn.read_position })
+              ~describe:("read " ^ key)
+          with
+          | Messages.Value { value } ->
+              txn.reads <- (key, value) :: txn.reads;
+              value
+          | _ -> raise (Unavailable "read: unexpected response")))
+
+let write txn key value =
+  txn.writes <- (key, value) :: List.remove_assoc key txn.writes
+
+(* ------------------------------------------------------------------ *)
+(* Commit protocols.                                                   *)
+
+let try_claim t txn ~pos =
+  let config = t.env.Proposer.config in
+  if not config.enable_fast_path then None
+  else
+    match txn.leader with
+    | None -> None
+    | Some leader -> (
+        match
+          Rpc.call t.env.Proposer.rpc ~src:t.env.Proposer.dc ~dst:leader
+            ~timeout:config.rpc_timeout
+            (Messages.Claim_leadership
+               { group = txn.group; pos; claimant = txn.txn_id })
+        with
+        | Some (Messages.Claim_reply { first = true }) -> Some ()
+        | _ -> None)
+
+(* Fold one instance's proposer statistics into the transaction total. *)
+let add_stats (acc : Audit.protocol_stats) (s : Proposer.stats) =
+  {
+    Audit.prepare_rounds = acc.Audit.prepare_rounds + s.Proposer.prepare_rounds;
+    accept_rounds = acc.Audit.accept_rounds + s.Proposer.accept_rounds;
+    fast_path = acc.Audit.fast_path || s.Proposer.fast_path_used;
+    instances = acc.Audit.instances + 1;
+  }
+
+(* A commit attempt is "exposed" once an accept message carrying the
+   client's own transaction has been sent for a still-undecided position:
+   even if the client then gives up, some other proposer may find that
+   vote and drive it to a decision (the paper: a client that fails in the
+   middle of the commit protocol "may be committed or aborted"). A give-up
+   after exposure is therefore reported as {!Audit.Unknown}, never as a
+   false abort. Exposure at a position later decided for someone else is
+   dead: the exposed votes sit at lower ballots than the chosen value's,
+   so those aborts remain truthful. *)
+let commit_basic t txn (record : Txn.record) =
+  let own = [ record ] in
+  let pos = txn.read_position + 1 in
+  let fast = match try_claim t txn ~pos with Some () -> Some own | None -> None in
+  let exposed = ref (fast <> None) in
+  let choose votes =
+    let entry = Tally.find_winning votes ~own in
+    if Txn.mem_entry ~txn_id:record.txn_id entry then exposed := true;
+    Proposer.Propose entry
+  in
+  let result, stats = Proposer.run t.env ~group:txn.group ~pos ?fast ~choose () in
+  let stats = add_stats Audit.no_stats stats in
+  match result with
+  | Proposer.Decided entry ->
+      if Txn.mem_entry ~txn_id:record.txn_id entry then
+        ( Audit.Committed
+            { position = pos; promotions = 0; combined = List.length entry > 1 },
+          stats )
+      else (Audit.Aborted { reason = Audit.Lost_position; promotions = 0 }, stats)
+  | Proposer.Observed _ ->
+      (* The basic chooser never stops early. *)
+      assert false
+  | Proposer.Unavailable ->
+      if !exposed then (Audit.Unknown, stats)
+      else (Audit.Aborted { reason = Audit.Unavailable; promotions = 0 }, stats)
+
+let commit_cp t txn (record : Txn.record) =
+  let config = t.env.Proposer.config in
+  let own = [ record ] in
+  let total = List.length t.env.Proposer.dcs in
+  (* Exposure of our value at the current (undecided) instance — see the
+     comment on {!commit_basic}. Reset per instance: exposure at a decided
+     position is dead. *)
+  let exposed = ref false in
+  let choose votes =
+    match Tally.decide ~total ~equal:Txn.equal_entry votes with
+    | Tally.Free ->
+        let entry =
+          if config.enable_combination then
+            let voted = List.filter_map (fun (r : _ Tally.response) ->
+                Option.map snd r.vote) votes
+            in
+            Combine.best ~own:record
+              ~candidates:(Combine.candidates_of_votes ~own:record voted)
+              ~exhaustive_limit:config.exhaustive_combination_limit
+          else own
+        in
+        exposed := true;
+        Proposer.Propose entry
+    | Tally.Chosen entry ->
+        if Txn.mem_entry ~txn_id:record.txn_id entry then Proposer.Propose entry
+        else Proposer.Stop entry
+    | Tally.Constrained entry ->
+        if Txn.mem_entry ~txn_id:record.txn_id entry then exposed := true;
+        Proposer.Propose entry
+  in
+  let rec go pos promotions acc =
+    let fast =
+      if promotions = 0 then
+        match try_claim t txn ~pos with Some () -> Some own | None -> None
+      else None
+    in
+    exposed := fast <> None;
+    let result, istats = Proposer.run t.env ~group:txn.group ~pos ?fast ~choose () in
+    let acc = add_stats acc istats in
+    match result with
+    | Proposer.Decided entry when Txn.mem_entry ~txn_id:record.txn_id entry ->
+        ( Audit.Committed
+            { position = pos; promotions; combined = List.length entry > 1 },
+          acc )
+    | Proposer.Decided entry | Proposer.Observed entry ->
+        (* Lost this position; promotion admission test (§5): abort if we
+           read anything the winners wrote. *)
+        if Txn.conflicts_with_any record entry then
+          (Audit.Aborted { reason = Audit.Conflict; promotions }, acc)
+        else (
+          match config.max_promotions with
+          | Some cap when promotions >= cap ->
+              (Audit.Aborted { reason = Audit.Promotion_limit; promotions }, acc)
+          | _ -> go (pos + 1) (promotions + 1) acc)
+    | Proposer.Unavailable ->
+        if !exposed then (Audit.Unknown, acc)
+        else (Audit.Aborted { reason = Audit.Unavailable; promotions }, acc)
+  in
+  go (txn.read_position + 1) 0 Audit.no_stats
+
+(* Long-term-leader protocol: probe a manager for liveness, then hand it
+   the whole transaction. A submission that times out after being sent is
+   in doubt — it may still commit at the manager — so the client reports
+   [Unknown] rather than guessing (the probe keeps this rare: an
+   unreachable manager is detected before anything is submitted). *)
+let commit_leader t txn (record : Txn.record) =
+  let config = t.env.Proposer.config in
+  let total = List.length t.env.Proposer.dcs in
+  let probe dst =
+    match
+      Rpc.call t.env.Proposer.rpc ~src:t.env.Proposer.dc ~dst
+        ~timeout:config.rpc_timeout
+        (Messages.Get_read_position { group = txn.group })
+    with
+    | Some _ -> true
+    | None -> false
+  in
+  let submit dst =
+    Rpc.call t.env.Proposer.rpc ~src:t.env.Proposer.dc ~dst
+      ~timeout:(2.0 *. config.rpc_timeout)
+      (Messages.Submit { group = txn.group; record })
+  in
+  let rec go attempts manager =
+    if attempts <= 0 then Audit.Aborted { reason = Audit.Unavailable; promotions = 0 }
+    else if not (probe manager) then go (attempts - 1) ((manager + 1) mod total)
+    else
+      match submit manager with
+      | Some (Messages.Submit_reply { result = Messages.Accepted_at position }) ->
+          Audit.Committed { position; promotions = 0; combined = false }
+      | Some (Messages.Submit_reply { result = Messages.Stale_read }) ->
+          Audit.Aborted { reason = Audit.Conflict; promotions = 0 }
+      | Some (Messages.Submit_reply { result = Messages.In_doubt }) ->
+          Audit.Unknown
+      | Some (Messages.Submit_reply { result = Messages.No_quorum })
+      | Some (Messages.Failed _) ->
+          Audit.Aborted { reason = Audit.Unavailable; promotions = 0 }
+      | Some _ -> Audit.Aborted { reason = Audit.Unavailable; promotions = 0 }
+      | None -> Audit.Unknown (* in doubt: submitted but no reply *)
+  in
+  (go (total + 1) (config.initial_leader mod total), Audit.no_stats)
+
+let commit txn =
+  if txn.finished then invalid_arg "Client.commit: transaction already finished";
+  txn.finished <- true;
+  let t = txn.client in
+  let commit_started_at = now t in
+  let observed = List.rev txn.reads in
+  let finish ?(stats = Audit.no_stats) record outcome =
+    Mdds_sim.Trace.record t.env.Proposer.trace
+      ~source:("cli." ^ t.id) ~category:"commit"
+      "%s: %s" txn.txn_id
+      (match outcome with
+      | Audit.Committed { position; promotions; _ } ->
+          Printf.sprintf "committed pos=%d promotions=%d" position promotions
+      | Audit.Aborted { reason; _ } ->
+          Format.asprintf "aborted (%a)" Audit.pp_reason reason
+      | Audit.Read_only_committed -> "read-only commit"
+      | Audit.Unknown -> "in doubt");
+    Audit.record t.audit
+      {
+        Audit.group = txn.group;
+        record;
+        observed;
+        outcome;
+        began_at = txn.began_at;
+        committed_at = now t;
+        commit_started_at;
+        client_dc = t.env.Proposer.dc;
+        stats;
+      };
+    outcome
+  in
+  let reads = List.rev_map fst txn.reads in
+  let writes =
+    List.rev_map (fun (key, value) -> { Txn.key; value }) txn.writes
+  in
+  let record =
+    Txn.make_record ~txn_id:txn.txn_id ~origin:t.env.Proposer.dc
+      ~read_position:txn.read_position ~reads ~writes
+  in
+  if writes = [] then finish record Audit.Read_only_committed
+  else
+    let outcome, stats =
+      match t.env.Proposer.config.protocol with
+      | Config.Basic -> commit_basic t txn record
+      | Config.Cp -> commit_cp t txn record
+      | Config.Leader -> commit_leader t txn record
+    in
+    finish ~stats record outcome

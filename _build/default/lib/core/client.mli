@@ -1,0 +1,52 @@
+(** The Transaction Client: the application-facing transaction API (§2.2)
+    and the commit protocols (§4.1 basic Paxos, §5 Paxos-CP).
+
+    One client belongs to one application instance in one datacenter. The
+    transaction lifecycle follows the paper's transaction protocol (§4):
+
+    + {!begin_} asks the local Transaction Service for the read position
+      (falling back to other datacenters if it is unreachable);
+    + {!read} returns buffered writes first (A1), otherwise reads from a
+      Transaction Service at the read position (A2), caching the result;
+    + {!write} only buffers locally;
+    + {!commit} builds the log entry from the read and write sets and runs
+      the configured commit protocol for position [read position + 1].
+
+    Read-only transactions commit locally without any messages (§2.2). *)
+
+module Txn = Mdds_types.Txn
+
+exception Unavailable of string
+(** No Transaction Service in any datacenter answered (within the
+    configured attempts); raised by {!begin_} and {!read}. *)
+
+type t
+
+val create :
+  rpc:(Messages.request, Messages.response) Mdds_net.Rpc.t ->
+  config:Config.t ->
+  dc:int ->
+  dcs:int list ->
+  audit:Audit.t ->
+  id:string ->
+  trace:Mdds_sim.Trace.t ->
+  t
+
+val dc : t -> int
+
+type txn
+
+val begin_ : t -> group:string -> txn
+val txn_id : txn -> string
+val read_position : txn -> int
+
+val read : txn -> Txn.key -> string option
+(** [None] if the key has never been written (as of the read position). *)
+
+val write : txn -> Txn.key -> string -> unit
+
+val commit : txn -> Audit.outcome
+(** Run the commit protocol; records the transaction in the audit trail and
+    returns its outcome. Never raises: total unavailability yields
+    [Aborted { reason = Unavailable; _ }]. A transaction can be committed
+    at most once ([Invalid_argument] otherwise). *)

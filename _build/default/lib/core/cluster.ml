@@ -1,0 +1,114 @@
+module Engine = Mdds_sim.Engine
+module Network = Mdds_net.Network
+module Topology = Mdds_net.Topology
+module Rpc = Mdds_net.Rpc
+module Wal = Mdds_wal.Wal
+module Txn = Mdds_types.Txn
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  net : (Messages.request, Messages.response) Rpc.packet Network.t;
+  rpc : (Messages.request, Messages.response) Rpc.t;
+  services : Service.t array;
+  config : Config.t;
+  audit : Audit.t;
+  trace : Mdds_sim.Trace.t;
+  mutable client_counter : int;
+}
+
+let create ?(seed = 42) ?(config = Config.default) topo =
+  let engine = Engine.create ~seed () in
+  let net = Network.create engine topo in
+  let rpc = Rpc.create net in
+  let dcs = List.init (Topology.size topo) Fun.id in
+  let trace = Mdds_sim.Trace.create engine in
+  let services =
+    Array.init (Topology.size topo) (fun dc ->
+        Service.start ~rpc ~config ~dc ~dcs ~trace)
+  in
+  {
+    engine;
+    topo;
+    net;
+    rpc;
+    services;
+    config;
+    audit = Audit.create ();
+    trace;
+    client_counter = 0;
+  }
+
+let engine t = t.engine
+let config t = t.config
+let topology t = t.topo
+let network t = t.net
+let audit t = t.audit
+let size t = Array.length t.services
+let service t dc = t.services.(dc)
+let services t = Array.to_list t.services
+
+let client ?id t ~dc =
+  t.client_counter <- t.client_counter + 1;
+  let id =
+    match id with
+    | Some id -> id
+    | None -> Printf.sprintf "c%d.%s" t.client_counter (Topology.name t.topo dc)
+  in
+  Client.create ~rpc:t.rpc ~config:t.config ~dc
+    ~dcs:(List.init (size t) Fun.id)
+    ~audit:t.audit ~id ~trace:t.trace
+
+let spawn ?at t f = Engine.spawn ?at t.engine f
+let run ?until t = Engine.run ?until t.engine
+let now t = Engine.now t.engine
+
+let trace t = t.trace
+
+let take_down t dc =
+  Mdds_sim.Trace.record t.trace ~level:Mdds_sim.Trace.Warn ~source:"fault"
+    ~category:"outage" "datacenter %s down" (Topology.name t.topo dc);
+  Network.set_down t.net dc
+let bring_up t dc = Network.set_up t.net dc
+let partition t groups = Network.partition t.net groups
+let heal t = Network.heal t.net
+
+let logs_agree t ~group =
+  let logs = Array.map (fun s -> Wal.dump (Service.wal s) ~group) t.services in
+  let by_pos = Hashtbl.create 64 in
+  let conflict = ref None in
+  Array.iteri
+    (fun dc log ->
+      List.iter
+        (fun (pos, entry) ->
+          match Hashtbl.find_opt by_pos pos with
+          | None -> Hashtbl.replace by_pos pos (dc, entry)
+          | Some (dc0, entry0) ->
+              if not (Txn.equal_entry entry0 entry) && !conflict = None then
+                conflict :=
+                  Some
+                    (Printf.sprintf
+                       "position %d differs between %s and %s" pos
+                       (Topology.name t.topo dc0) (Topology.name t.topo dc)))
+        log)
+    logs;
+  match !conflict with None -> Ok () | Some msg -> Error msg
+
+let committed_log t ~group =
+  (match logs_agree t ~group with
+  | Ok () -> ()
+  | Error msg -> failwith ("Cluster.committed_log: " ^ msg));
+  let by_pos = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun (pos, entry) ->
+          if not (Hashtbl.mem by_pos pos) then Hashtbl.replace by_pos pos entry)
+        (Wal.dump (Service.wal s) ~group))
+    t.services;
+  Hashtbl.fold (fun pos entry acc -> (pos, entry) :: acc) by_pos []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let combined_entries t ~group =
+  List.length
+    (List.filter (fun (_, entry) -> List.length entry > 1) (committed_log t ~group))

@@ -1,0 +1,69 @@
+(** A complete simulated deployment: engine, network, one Transaction
+    Service per datacenter, and factories for Transaction Clients.
+
+    This is the top-level entry point of the library — the simulated
+    equivalent of Figure 1's architecture. Typical use:
+
+    {[
+      let cluster = Cluster.create (Topology.ec2 "VVV") in
+      let client = Cluster.client cluster ~dc:0 in
+      Cluster.spawn cluster (fun () ->
+          let txn = Client.begin_ client ~group:"g" in
+          Client.write txn "x" "1";
+          ignore (Client.commit txn));
+      Cluster.run cluster
+    ]} *)
+
+type t
+
+val create : ?seed:int -> ?config:Config.t -> Mdds_net.Topology.t -> t
+(** Build the deployment and start all services. Default config is
+    {!Config.default} (Paxos-CP); default seed 42. *)
+
+val engine : t -> Mdds_sim.Engine.t
+val config : t -> Config.t
+val topology : t -> Mdds_net.Topology.t
+val network : t -> (Messages.request, Messages.response) Mdds_net.Rpc.packet Mdds_net.Network.t
+val audit : t -> Audit.t
+
+val trace : t -> Mdds_sim.Trace.t
+(** The protocol event trace; {!Mdds_sim.Trace.enable} it before running
+    to capture message rounds, decisions, learner/snapshot activity and
+    commit outcomes. *)
+
+val size : t -> int
+val service : t -> int -> Service.t
+val services : t -> Service.t list
+
+val client : ?id:string -> t -> dc:int -> Client.t
+(** A fresh application instance in the given datacenter. [?id] overrides
+    the generated client id (transaction ids are [<id>/<n>]). *)
+
+val spawn : ?at:float -> t -> (unit -> unit) -> unit
+(** Start a simulated process (an application thread). *)
+
+val run : ?until:float -> t -> unit
+(** Run the simulation to quiescence (or the time bound). *)
+
+val now : t -> float
+
+(** {1 Fault injection} *)
+
+val take_down : t -> int -> unit
+val bring_up : t -> int -> unit
+val partition : t -> int list list -> unit
+val heal : t -> unit
+
+(** {1 Checking (test oracles)} *)
+
+val logs_agree : t -> group:string -> (unit, string) result
+(** Replication property (R1): no two datacenter logs hold different
+    entries for the same position. *)
+
+val committed_log : t -> group:string -> (int * Mdds_types.Txn.entry) list
+(** The union of all datacenter logs, sorted by position. Raises
+    [Failure] if (R1) is violated. *)
+
+val combined_entries : t -> group:string -> int
+(** Number of log entries holding more than one transaction — the paper's
+    "combinations performed" telemetry (§6). *)

@@ -1,0 +1,74 @@
+module Txn = Mdds_types.Txn
+
+let candidates_of_votes ~own entries =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.replace seen own.Txn.txn_id ();
+  List.concat_map
+    (fun entry ->
+      List.filter_map
+        (fun (r : Txn.record) ->
+          if Hashtbl.mem seen r.txn_id then None
+          else begin
+            Hashtbl.replace seen r.txn_id ();
+            Some r
+          end)
+        entry)
+    entries
+
+(* Exhaustive search: maximum-length valid ordering of [own] plus any
+   subset of [candidates]. Candidate sets are small (the paper observes
+   lists of two or three in practice), so enumerating insertions is
+   affordable: extend partial orderings one candidate at a time, pruning
+   invalid prefixes. *)
+let exhaustive ~own candidates =
+  let best = ref [ own ] in
+  let consider ordering =
+    if List.length ordering > List.length !best then best := ordering
+  in
+  (* Depth-first over: which candidate to add next, and at which position
+     to insert it. A prefix-invalid ordering can become valid again only
+     via insertions *before* the offending read, which insertion at every
+     position covers; still, prune orderings that are invalid as-is. *)
+  let rec insert_everywhere x prefix = function
+    | [] -> [ List.rev_append prefix [ x ] ]
+    | y :: rest as suffix ->
+        (List.rev_append prefix (x :: suffix))
+        :: insert_everywhere x (y :: prefix) rest
+  in
+  let rec go ordering remaining =
+    consider ordering;
+    List.iteri
+      (fun i candidate ->
+        let rest = List.filteri (fun j _ -> j <> i) remaining in
+        List.iter
+          (fun ordering' ->
+            if Txn.valid_combination ordering' then go ordering' rest)
+          (insert_everywhere candidate [] ordering))
+      remaining
+  in
+  go [ own ] candidates;
+  !best
+
+(* Greedy single pass (§5): append each candidate if the list stays valid. *)
+let greedy ~own candidates =
+  List.fold_left
+    (fun acc candidate ->
+      let attempt = acc @ [ candidate ] in
+      if Txn.valid_combination attempt then attempt else acc)
+    [ own ] candidates
+
+let best ~own ~candidates ~exhaustive_limit =
+  let candidates =
+    let seen = Hashtbl.create 8 in
+    Hashtbl.replace seen own.Txn.txn_id ();
+    List.filter
+      (fun (r : Txn.record) ->
+        if Hashtbl.mem seen r.txn_id then false
+        else begin
+          Hashtbl.replace seen r.txn_id ();
+          true
+        end)
+      candidates
+  in
+  if List.length candidates <= exhaustive_limit then exhaustive ~own candidates
+  else greedy ~own candidates

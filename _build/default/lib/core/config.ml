@@ -1,0 +1,47 @@
+type protocol = Basic | Cp | Leader
+
+type t = {
+  protocol : protocol;
+  rpc_timeout : float;
+  processing_delay : float;
+  max_promotions : int option;
+  enable_combination : bool;
+  enable_fast_path : bool;
+  exhaustive_combination_limit : int;
+  max_rounds : int;
+  backoff_min : float;
+  backoff_max : float;
+  prepare_linger : float;
+  read_attempts : int;
+  initial_leader : int;
+}
+
+let default =
+  {
+    protocol = Cp;
+    rpc_timeout = 2.0;
+    processing_delay = 0.02;
+    max_promotions = None;
+    enable_combination = true;
+    enable_fast_path = true;
+    exhaustive_combination_limit = 4;
+    max_rounds = 25;
+    backoff_min = 0.002;
+    backoff_max = 0.040;
+    prepare_linger = 0.01;
+    read_attempts = 3;
+    initial_leader = 0;
+  }
+
+let basic = { default with protocol = Basic }
+
+let with_protocol protocol t = { t with protocol }
+
+let leader = { default with protocol = Leader }
+
+let protocol_name = function
+  | Basic -> "paxos"
+  | Cp -> "paxos-cp"
+  | Leader -> "leader"
+
+let pp_protocol ppf p = Format.pp_print_string ppf (protocol_name p)

@@ -1,0 +1,67 @@
+(** Transaction-tier configuration.
+
+    The defaults reproduce the paper's prototype (§6): 2 s message-loss
+    timeout, the leader-per-position fast path enabled, combination and
+    unlimited promotion for Paxos-CP. *)
+
+type protocol =
+  | Basic  (** The basic Paxos commit protocol (§4). *)
+  | Cp  (** Paxos-CP: combination + promotion (§5). *)
+  | Leader
+      (** The long-term-leader design the paper sketches as related/future
+          work (§7–§8): clients ship their whole transaction to one
+          designated site, which orders transactions, performs fine-grained
+          conflict checks against committed state, and replicates log
+          entries with Multi-Paxos-style single-round accepts. Fewer
+          message rounds per commit, but a single site does most of the
+          work and remote clients pay a wide-area hop. *)
+
+type t = {
+  protocol : protocol;
+  rpc_timeout : float;
+      (** Seconds before an unanswered message counts as lost (paper: 2 s). *)
+  processing_delay : float;
+      (** Service-side processing time per request, seconds — stands in for
+          the HBase operation cost in the paper's prototype. *)
+  max_promotions : int option;
+      (** Promotion attempts before aborting; [None] = unlimited (paper). *)
+  enable_combination : bool;  (** Paxos-CP combination enhancement. *)
+  enable_fast_path : bool;
+      (** Leader-per-log-position optimization (§4.1): skip the prepare
+          phase when first at the position's leader. *)
+  exhaustive_combination_limit : int;
+      (** Max candidate transactions for the exhaustive ordering search;
+          beyond it, the greedy single pass is used (§5). *)
+  max_rounds : int;
+      (** Ballot attempts per log position before reporting the system
+          unavailable (liveness valve; Paxos alone cannot guarantee
+          termination under contention). *)
+  backoff_min : float;
+  backoff_max : float;
+      (** Uniform random sleep bounds (seconds) before re-entering the
+          prepare phase (Algorithm 2, lines 40 and 55). *)
+  prepare_linger : float;
+      (** Extra seconds to keep collecting prepare responses after a
+          quorum of promises, so the tally sees more than a bare majority
+          (the combination window of §5 depends on it). *)
+  read_attempts : int;
+      (** How many datacenters a client tries for [begin]/[read] before
+          giving up (local first, then random others; §2.2). *)
+  initial_leader : int;
+      (** [Leader] protocol: the datacenter clients prefer as transaction
+          manager; on unreachability they probe the next one (round-robin). *)
+}
+
+val default : t
+(** Paxos-CP with the paper's parameters. *)
+
+val basic : t
+(** [default] with [protocol = Basic]. *)
+
+val leader : t
+(** [default] with [protocol = Leader]. *)
+
+val with_protocol : protocol -> t -> t
+
+val pp_protocol : Format.formatter -> protocol -> unit
+val protocol_name : protocol -> string

@@ -1,0 +1,184 @@
+module Txn = Mdds_types.Txn
+module Ballot = Mdds_paxos.Ballot
+module Tally = Mdds_paxos.Tally
+module Rpc = Mdds_net.Rpc
+module Engine = Mdds_sim.Engine
+module Rng = Mdds_sim.Rng
+
+module Trace = Mdds_sim.Trace
+
+type env = {
+  rpc : (Messages.request, Messages.response) Rpc.t;
+  config : Config.t;
+  dc : int;
+  dcs : int list;
+  rng : Rng.t;
+  trace : Trace.t;
+}
+
+type choice = Propose of Txn.entry | Stop of Txn.entry | Retry
+
+type result = Decided of Txn.entry | Observed of Txn.entry | Unavailable
+
+type stats = { prepare_rounds : int; accept_rounds : int; fast_path_used : bool }
+
+let quorum env = Tally.majority (List.length env.dcs)
+
+let backoff env =
+  Engine.sleep (Rng.uniform env.rng env.config.backoff_min env.config.backoff_max)
+
+(* Broadcast apply to every datacenter (Figure 3, step 6). Remote applies
+   are one-way; the local one is confirmed synchronously so that the next
+   transaction of this application instance sees the new read position
+   (the paper's co-located-replica optimization: the client updates its
+   local store as part of commit). A local timeout is tolerated. *)
+let broadcast_apply env ~group ~pos entry =
+  let msg = Messages.Apply { group; pos; entry } in
+  List.iter
+    (fun dst -> if dst <> env.dc then Rpc.notify env.rpc ~src:env.dc ~dst msg)
+    env.dcs;
+  ignore
+    (Rpc.call env.rpc ~src:env.dc ~dst:env.dc ~timeout:env.config.rpc_timeout msg)
+
+(* One accept round: true iff a majority voted for (ballot, entry).
+   Also returns the highest nextBal seen in rejections, for ballot
+   selection on retry. *)
+let accept_round env ~group ~pos ~ballot entry =
+  let acks = ref 0 in
+  let replies =
+    Rpc.broadcast env.rpc ~src:env.dc ~dsts:env.dcs ~timeout:env.config.rpc_timeout
+      ~enough:(fun responses ->
+        acks :=
+          List.length
+            (List.filter
+               (function _, Messages.Accept_reply { ok = true; _ } -> true | _ -> false)
+               responses);
+        !acks >= quorum env)
+      (Messages.Accept { group; pos; ballot; entry })
+  in
+  let oks, max_seen =
+    List.fold_left
+      (fun (oks, seen) (_, reply) ->
+        match reply with
+        | Messages.Accept_reply { ok; next_bal } ->
+            let seen =
+              if Ballot.compare next_bal seen > 0 then next_bal else seen
+            in
+            ((if ok then oks + 1 else oks), seen)
+        | _ -> (oks, seen))
+      (0, Ballot.bottom) replies
+  in
+  (oks >= quorum env, max_seen)
+
+(* One prepare round: Some (votes) once a majority promised, None with the
+   highest nextBal hint otherwise. *)
+let prepare_round env ~group ~pos ~ballot =
+  let replies =
+    Rpc.broadcast env.rpc ~src:env.dc ~dsts:env.dcs ~timeout:env.config.rpc_timeout
+      ~linger:env.config.prepare_linger
+      ~enough:(fun responses ->
+        List.length
+          (List.filter
+             (function _, Messages.Promise _ -> true | _ -> false)
+             responses)
+        >= quorum env)
+      (Messages.Prepare { group; pos; ballot })
+  in
+  let votes, max_seen =
+    List.fold_left
+      (fun (votes, seen) (from, reply) ->
+        match reply with
+        | Messages.Promise { vote } -> ({ Tally.from; vote } :: votes, seen)
+        | Messages.Prepare_reject { next_bal } ->
+            (votes, if Ballot.compare next_bal seen > 0 then next_bal else seen)
+        | _ -> (votes, seen))
+      ([], Ballot.bottom) replies
+  in
+  if List.length votes >= quorum env then Ok (List.rev votes)
+  else Error max_seen
+
+let run env ~group ~pos ?fast ~choose () =
+  let stats = ref { prepare_rounds = 0; accept_rounds = 0; fast_path_used = false } in
+  let bump_prepare () = stats := { !stats with prepare_rounds = !stats.prepare_rounds + 1 } in
+  let bump_accept () = stats := { !stats with accept_rounds = !stats.accept_rounds + 1 } in
+  let source = Printf.sprintf "prop.dc%d" env.dc in
+  let fast_outcome =
+    match fast with
+    | None -> None
+    | Some entry ->
+        stats := { !stats with fast_path_used = true };
+        bump_accept ();
+        Trace.record env.trace ~source ~category:"fast" "pos %d: accept round at ballot 0" pos;
+        let ok, seen = accept_round env ~group ~pos ~ballot:(Ballot.fast ~proposer:env.dc) entry in
+        if ok then begin
+          Trace.record env.trace ~source ~category:"decide" "pos %d decided via fast path" pos;
+          broadcast_apply env ~group ~pos entry;
+          Some (Decided entry)
+        end
+        else begin
+          ignore seen;
+          None (* fall through to the full protocol *)
+        end
+  in
+  match fast_outcome with
+  | Some r -> (r, !stats)
+  | None ->
+      let rec attempt ballot round =
+        if round > env.config.max_rounds then begin
+          Trace.record env.trace ~level:Trace.Warn ~source ~category:"giveup"
+            "pos %d: %d rounds exhausted" pos env.config.max_rounds;
+          (Unavailable, !stats)
+        end
+        else begin
+          bump_prepare ();
+          Trace.record env.trace ~source ~category:"prepare" "pos %d ballot %s round %d"
+            pos (Ballot.to_string ballot) round;
+          match prepare_round env ~group ~pos ~ballot with
+          | Error seen ->
+              backoff env;
+              attempt (Ballot.next ~after:(if Ballot.compare seen ballot > 0 then seen else ballot) ~proposer:env.dc) (round + 1)
+          | Ok votes -> (
+              match choose votes with
+              | Stop entry -> (Observed entry, !stats)
+              | Retry ->
+                  backoff env;
+                  attempt (Ballot.next ~after:ballot ~proposer:env.dc) (round + 1)
+              | Propose entry ->
+                  bump_accept ();
+                  let ok, seen = accept_round env ~group ~pos ~ballot entry in
+                  if ok then begin
+                    Trace.record env.trace ~source ~category:"decide"
+                      "pos %d decided at ballot %s (%d txns)" pos
+                      (Ballot.to_string ballot) (List.length entry);
+                    broadcast_apply env ~group ~pos entry;
+                    (Decided entry, !stats)
+                  end
+                  else begin
+                    backoff env;
+                    attempt
+                      (Ballot.next ~after:(if Ballot.compare seen ballot > 0 then seen else ballot) ~proposer:env.dc)
+                      (round + 1)
+                  end)
+        end
+      in
+      attempt (Ballot.make ~round:1 ~proposer:env.dc) 1
+
+let learn env ~group ~pos =
+  let choose votes =
+    (* Adopt whatever the votes reveal; never invent a value. *)
+    match
+      List.fold_left
+        (fun acc (r : Txn.entry Tally.response) ->
+          match (acc, r.vote) with
+          | None, v -> v
+          | Some _, None -> acc
+          | Some (bb, _), (Some (b, _) as v) ->
+              if Ballot.compare b bb > 0 then v else acc)
+        None votes
+    with
+    | Some (_, entry) -> Propose entry
+    | None -> Retry
+  in
+  match run env ~group ~pos ~choose () with
+  | Decided entry, _ | Observed entry, _ -> Some entry
+  | Unavailable, _ -> None

@@ -1,0 +1,25 @@
+type outcome = { final : Audit.outcome; attempts : int }
+
+let run client ~group ?(max_attempts = 10) ?(retry_unavailable = false) body =
+  if max_attempts < 1 then invalid_arg "Runner.run: max_attempts must be >= 1";
+  let rec attempt n =
+    let result =
+      try
+        let txn = Client.begin_ client ~group in
+        body txn;
+        Client.commit txn
+      with Client.Unavailable _ ->
+        (* begin or a read found no reachable service *)
+        Audit.Aborted { reason = Audit.Unavailable; promotions = 0 }
+    in
+    let retry =
+      match result with
+      | Audit.Aborted { reason = Audit.Conflict | Audit.Lost_position; _ } -> true
+      | Audit.Aborted { reason = Audit.Promotion_limit; _ } -> true
+      | Audit.Aborted { reason = Audit.Unavailable; _ } -> retry_unavailable
+      | Audit.Committed _ | Audit.Read_only_committed | Audit.Unknown -> false
+    in
+    if retry && n < max_attempts then attempt (n + 1)
+    else { final = result; attempts = n }
+  in
+  attempt 1

@@ -1,0 +1,33 @@
+(** Application-level transaction retry loop.
+
+    When the basic Paxos protocol aborts a transaction, the paper notes
+    the application's only recourse is to retry: begin again, re-read the
+    data items, re-apply the logic, attempt another commit — and it argues
+    promotion is cheaper than this round trip (§6: the promoted
+    transaction skips the re-read). This module packages that retry loop
+    so applications (and the `ext-retry` benchmark that measures the
+    claim) don't hand-roll it.
+
+    The body function is re-executed from scratch on every attempt with a
+    fresh transaction — it must be idempotent in its effects outside the
+    transaction. *)
+
+type outcome = {
+  final : Audit.outcome;  (** Outcome of the last attempt. *)
+  attempts : int;  (** Attempts performed (≥ 1). *)
+}
+
+val run :
+  Client.t ->
+  group:string ->
+  ?max_attempts:int ->
+  ?retry_unavailable:bool ->
+  (Client.txn -> unit) ->
+  outcome
+(** [run client ~group body] executes [body] in a transaction and commits,
+    retrying on [Conflict] and [Lost_position] aborts up to [max_attempts]
+    (default 10) total attempts. [Unknown] outcomes are never retried (the
+    transaction may have committed; retrying could apply it twice).
+    [retry_unavailable] (default false) also retries [Unavailable] aborts.
+    {!Client.Unavailable} exceptions from [begin_]/[read] count as
+    [Unavailable] attempts. *)

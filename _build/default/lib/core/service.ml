@@ -1,0 +1,312 @@
+module Store = Mdds_kvstore.Store
+module Row = Mdds_kvstore.Row
+module Wal = Mdds_wal.Wal
+module Txn = Mdds_types.Txn
+module Ballot = Mdds_paxos.Ballot
+module Acceptor = Mdds_paxos.Acceptor
+module Rpc = Mdds_net.Rpc
+module Codec = Mdds_codec.Codec
+
+type t = {
+  dc : int;
+  config : Config.t;
+  store : Store.t;
+  wal : Wal.t;
+  env : Proposer.env;
+  claims : (string * int, string) Hashtbl.t;
+  submit_locks : (string, Mdds_sim.Semaphore.t) Hashtbl.t;
+  won : (string, int) Hashtbl.t;  (* last position this manager decided *)
+  mutable learns : int;
+  mutable snapshots : int;
+}
+
+let dc t = t.dc
+let store t = t.store
+let wal t = t.wal
+let learns t = t.learns
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor state persistence (Algorithm 1's datastore state).         *)
+
+let paxos_key ~group ~pos = Printf.sprintf "paxos/%s/%d" group pos
+
+let vote_codec = Codec.(option (pair Ballot.codec Txn.entry_codec))
+
+let load_acceptor t ~group ~pos =
+  let key = paxos_key ~group ~pos in
+  match Store.read t.store ~key () with
+  | None -> (Acceptor.initial, None)
+  | Some (_, attrs) ->
+      let next_bal =
+        match Row.attribute attrs "nb" with
+        | None -> Ballot.bottom
+        | Some s -> Ballot.of_string s
+      in
+      let vote =
+        match Row.attribute attrs "vote" with
+        | None -> None
+        | Some s -> Codec.decode_exn vote_codec s
+      in
+      ({ Acceptor.next_bal; vote }, Row.attribute attrs "nb")
+
+(* Conditional save keyed on the nextBal attribute, mirroring Algorithm 1
+   lines 9 and 18: the write goes through only if nextBal has not changed
+   since we read the state. *)
+let save_acceptor t ~group ~pos ~expected_nb (state : Txn.entry Acceptor.state) =
+  let key = paxos_key ~group ~pos in
+  let attrs =
+    [
+      ("nb", Ballot.to_string state.next_bal);
+      ("vote", Codec.encode vote_codec state.vote);
+    ]
+  in
+  Store.check_and_write t.store ~key ~test_attribute:"nb" ~test_value:expected_nb
+    attrs
+
+let rec handle_prepare t ~group ~pos ~ballot =
+  let state, nb = load_acceptor t ~group ~pos in
+  let state', reply = Acceptor.on_prepare state ballot in
+  match reply with
+  | Acceptor.Reject next_bal -> Messages.Prepare_reject { next_bal }
+  | Acceptor.Promise vote ->
+      if save_acceptor t ~group ~pos ~expected_nb:nb state' then
+        Messages.Promise { vote }
+      else handle_prepare t ~group ~pos ~ballot (* state changed: retry *)
+
+let rec handle_accept t ~group ~pos ~ballot ~entry =
+  let state, nb = load_acceptor t ~group ~pos in
+  let state', ok = Acceptor.on_accept state ballot entry in
+  if not ok then Messages.Accept_reply { ok = false; next_bal = state.next_bal }
+  else if save_acceptor t ~group ~pos ~expected_nb:nb state' then
+    Messages.Accept_reply { ok = true; next_bal = state'.next_bal }
+  else handle_accept t ~group ~pos ~ballot ~entry
+
+(* ------------------------------------------------------------------ *)
+(* Log catch-up (§4.1 Fault Tolerance and Recovery).                   *)
+
+(* Catch-up past a compaction point: the entries cannot be learned through
+   Paxos any more (peers discarded them and their acceptor state), so fetch
+   a peer's applied data state instead. *)
+let fetch_snapshot t ~group ~at_least =
+  let peers = List.filter (fun d -> d <> t.dc) t.env.Proposer.dcs in
+  let rec try_peers = function
+    | [] -> false
+    | peer :: rest -> (
+        match
+          Rpc.call t.env.Proposer.rpc ~src:t.dc ~dst:peer
+            ~timeout:t.config.Config.rpc_timeout
+            (Messages.Get_snapshot { group })
+        with
+        | Some (Messages.Snapshot_reply { applied; rows }) when applied >= at_least ->
+            Wal.install_snapshot t.wal ~group ~applied rows;
+            t.snapshots <- t.snapshots + 1;
+            Mdds_sim.Trace.record t.env.Proposer.trace
+              ~source:(Printf.sprintf "svc.dc%d" t.dc) ~category:"snapshot"
+              "installed snapshot from dc%d (applied=%d, %d rows)" peer applied
+              (List.length rows);
+            true
+        | _ -> try_peers rest)
+  in
+  try_peers peers
+
+let ensure_applied t ~group ~upto =
+  let rec go attempts =
+    match Wal.apply t.wal ~group ~upto with
+    | Ok () -> Ok ()
+    | Error (`Gap pos) ->
+        if attempts <= 0 then Error pos
+        else (
+          match Proposer.learn t.env ~group ~pos with
+          | Some entry ->
+              t.learns <- t.learns + 1;
+              Mdds_sim.Trace.record t.env.Proposer.trace
+                ~source:(Printf.sprintf "svc.dc%d" t.dc) ~category:"learn"
+                "learned entry for pos %d" pos;
+              Wal.append t.wal ~group ~pos entry;
+              go attempts
+          | None ->
+              (* Unlearnable: possibly compacted away everywhere. *)
+              if fetch_snapshot t ~group ~at_least:pos then go (attempts - 1)
+              else Error pos)
+  in
+  go 3
+
+(* ------------------------------------------------------------------ *)
+(* Leadership of the next log position (§4.1 optimization).            *)
+
+let leader_of_position t ~group ~pos =
+  if pos < 1 then None
+  else
+    match Wal.entry t.wal ~group ~pos with
+    | Some (first :: _) -> Some first.Txn.origin
+    | Some [] | None -> None
+
+let handle_claim t ~group ~pos ~claimant =
+  match Hashtbl.find_opt t.claims (group, pos) with
+  | Some winner -> Messages.Claim_reply { first = String.equal winner claimant }
+  | None ->
+      Hashtbl.replace t.claims (group, pos) claimant;
+      Messages.Claim_reply { first = true }
+
+(* ------------------------------------------------------------------ *)
+(* Long-term-leader transaction manager (§7–§8 future work).            *)
+
+(* Commit decisions for a group are serialized: the manager orders
+   transactions, so two concurrent submissions must not race for the same
+   log position. *)
+let submit_lock t ~group =
+  match Hashtbl.find_opt t.submit_locks group with
+  | Some lock -> lock
+  | None ->
+      let lock =
+        Mdds_sim.Semaphore.create (Mdds_net.Rpc.engine t.env.Proposer.rpc) 1
+      in
+      Hashtbl.replace t.submit_locks group lock;
+      lock
+
+let handle_submit t ~group (record : Txn.record) =
+  Mdds_sim.Semaphore.with_permit (submit_lock t ~group) (fun () ->
+      let rec attempt tries =
+        if tries <= 0 then Messages.Submit_reply { result = Messages.No_quorum }
+        else
+          (* Bring the manager's view of the log up to date first. *)
+          let last = Wal.last_position t.wal ~group in
+          match ensure_applied t ~group ~upto:last with
+          | Error _ -> Messages.Submit_reply { result = Messages.No_quorum }
+          | Ok () ->
+              (* Fine-grained conflict check against committed state: a
+                 read is stale if its key was overwritten after the
+                 transaction's read position (the §7 sketch: "check each
+                 new transaction against previously committed
+                 transactions"). *)
+              let stale =
+                List.exists
+                  (fun key ->
+                    match Wal.data_version t.wal ~group ~key ~at:last with
+                    | Some version -> version > record.Txn.read_position
+                    | None -> false)
+                  (Txn.read_set record)
+              in
+              if stale then Messages.Submit_reply { result = Messages.Stale_read }
+              else
+                let pos = last + 1 in
+                (* Multi-Paxos steady state: having decided the previous
+                   position, the manager is the position's leader and
+                   skips the prepare phase; after a failover the first
+                   decision pays a full round. *)
+                let fast =
+                  if Hashtbl.find_opt t.won group = Some last then Some [ record ]
+                  else None
+                in
+                let exposed = ref (fast <> None) in
+                let choose votes =
+                  let entry =
+                    Mdds_paxos.Tally.find_winning votes ~own:[ record ]
+                  in
+                  if Txn.mem_entry ~txn_id:record.Txn.txn_id entry then
+                    exposed := true;
+                  Proposer.Propose entry
+                in
+                let result, _stats =
+                  Proposer.run t.env ~group ~pos ?fast ~choose ()
+                in
+                (match result with
+                | Proposer.Decided entry
+                  when Txn.mem_entry ~txn_id:record.Txn.txn_id entry ->
+                    Hashtbl.replace t.won group pos;
+                    Messages.Submit_reply { result = Messages.Accepted_at pos }
+                | Proposer.Decided _ | Proposer.Observed _ ->
+                    (* Another proposer (a rival manager after a failover,
+                       or a learner) took the position: refresh and retry
+                       at the next one. *)
+                    attempt (tries - 1)
+                | Proposer.Unavailable ->
+                    (* Gave up; if our accepts went out the transaction may
+                       still be completed by someone else. *)
+                    if !exposed then
+                      Messages.Submit_reply { result = Messages.In_doubt }
+                    else Messages.Submit_reply { result = Messages.No_quorum })
+      in
+      attempt 5)
+
+(* ------------------------------------------------------------------ *)
+
+let handle t ~src:_ request =
+  match request with
+  | Messages.Get_read_position { group } ->
+      let position = Wal.last_position t.wal ~group in
+      Messages.Read_position
+        { position; leader = leader_of_position t ~group ~pos:position }
+  | Messages.Read { group; key; position } -> (
+      match ensure_applied t ~group ~upto:position with
+      | Ok () -> Messages.Value { value = Wal.read_data t.wal ~group ~key ~at:position }
+      | Error pos ->
+          Messages.Failed (Printf.sprintf "cannot learn log position %d" pos))
+  | Messages.Prepare { group; pos; ballot } -> handle_prepare t ~group ~pos ~ballot
+  | Messages.Accept { group; pos; ballot; entry } ->
+      handle_accept t ~group ~pos ~ballot ~entry
+  | Messages.Apply { group; pos; entry } ->
+      Wal.append t.wal ~group ~pos entry;
+      Messages.Applied
+  | Messages.Claim_leadership { group; pos; claimant } ->
+      handle_claim t ~group ~pos ~claimant
+  | Messages.Submit { group; record } -> handle_submit t ~group record
+  | Messages.Get_snapshot { group } ->
+      let applied, rows = Wal.snapshot t.wal ~group in
+      Messages.Snapshot_reply { applied; rows }
+
+(* Restart the service processes of this datacenter: volatile state (the
+   leadership-claim table, the manager's winning streak, submission locks)
+   is lost; everything durable lives in the key-value store and survives —
+   in particular Paxos promises and votes, which is why Algorithm 1 keeps
+   them there. *)
+let restart t =
+  Hashtbl.reset t.claims;
+  Hashtbl.reset t.won;
+  Hashtbl.reset t.submit_locks
+
+let acceptor_state t ~group ~pos = fst (load_acceptor t ~group ~pos)
+
+let snapshots t = t.snapshots
+
+(* Checkpoint: discard the applied log prefix together with its Paxos
+   acceptor state (a compacted position can never be proposed again, so
+   the state is dead weight). *)
+let compact t ~group ~upto =
+  match Wal.compact t.wal ~group ~upto with
+  | Error `Not_applied -> Error `Not_applied
+  | Ok () ->
+      for pos = 1 to upto do
+        Store.delete t.store ~key:(paxos_key ~group ~pos)
+      done;
+      Ok ()
+
+let start ~rpc ~config ~dc ~dcs ~trace =
+  let store = Store.create () in
+  let env =
+    {
+      Proposer.rpc;
+      config;
+      dc;
+      dcs;
+      rng = Mdds_sim.Rng.split (Mdds_sim.Engine.rng (Rpc.engine rpc));
+      trace;
+    }
+  in
+  let t =
+    {
+      dc;
+      config;
+      store;
+      wal = Wal.create store;
+      env;
+      claims = Hashtbl.create 64;
+      submit_locks = Hashtbl.create 8;
+      won = Hashtbl.create 8;
+      learns = 0;
+      snapshots = 0;
+    }
+  in
+  Rpc.serve rpc ~node:dc ~processing:config.processing_delay (fun ~src request ->
+      handle t ~src request);
+  t

@@ -1,0 +1,60 @@
+(** The Transaction Service of one datacenter (§4, Algorithm 1).
+
+    One service runs per datacenter; it owns the datacenter's key-value
+    store and write-ahead-log view, and handles every request kind of
+    {!Messages}. Service processes are stateless in the paper's sense: all
+    durable protocol state — the Paxos acceptor state per log position and
+    the log itself — lives in the key-value store and is updated with
+    [check_and_write] retry loops exactly as in Algorithm 1, so any number
+    of concurrent request handlers are safe.
+
+    Fault tolerance (§4.1): a read at a position this datacenter has not
+    fully received runs the learner ({!Proposer.learn}) for each missing
+    log entry before answering, which is also how a recovering datacenter
+    catches up. *)
+
+type t
+
+val start :
+  rpc:(Messages.request, Messages.response) Mdds_net.Rpc.t ->
+  config:Config.t ->
+  dc:int ->
+  dcs:int list ->
+  trace:Mdds_sim.Trace.t ->
+  t
+(** Create the datacenter's store/log and register the request handler on
+    the RPC service port. *)
+
+val dc : t -> int
+val store : t -> Mdds_kvstore.Store.t
+val wal : t -> Mdds_wal.Wal.t
+
+val learns : t -> int
+(** How many missing log entries this service has learned (telemetry). *)
+
+val snapshots : t -> int
+(** How many peer snapshots this service installed during catch-up. *)
+
+val compact : t -> group:string -> upto:int -> (unit, [ `Not_applied ]) result
+(** Checkpoint: discard the applied log prefix 1..[upto] and its Paxos
+    acceptor state. Refused if the prefix is not fully applied. Replicas
+    that later need a discarded entry catch up via a peer snapshot
+    ({!Mdds_wal.Wal.install_snapshot}). *)
+
+val restart : t -> unit
+(** Simulate a service-process restart: volatile state (leadership claims,
+    the manager's fast-path streak, submission locks) is dropped; durable
+    state — the log and the Paxos acceptor state in the key-value store —
+    survives, so promises made before the restart are still honoured. *)
+
+(** {1 Direct (in-process) access for tests and checkers} *)
+
+val acceptor_state :
+  t -> group:string -> pos:int ->
+  Mdds_types.Txn.entry Mdds_paxos.Acceptor.state
+(** Decode the acceptor state currently persisted for a position. *)
+
+val handle : t -> src:int -> Messages.request -> Messages.response
+(** Process a request synchronously, bypassing the network (used by unit
+    tests; the RPC path calls this same function). May block on the
+    simulator if it needs to learn missing entries. *)

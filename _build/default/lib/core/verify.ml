@@ -1,0 +1,48 @@
+module Checker = Mdds_serial.Checker
+
+let check cluster ~group =
+  let ( let* ) = Result.bind in
+  let of_violation what = function
+    | Ok () -> Ok ()
+    | Error v -> Error (Format.asprintf "%s: %a" what Checker.pp_violation v)
+  in
+  let* () = Cluster.logs_agree cluster ~group in
+  let log = Cluster.committed_log cluster ~group in
+  let* () = of_violation "L2" (Checker.unique_txn_ids log) in
+  let events =
+    List.filter
+      (fun (e : Audit.event) -> String.equal e.group group)
+      (Audit.events (Cluster.audit cluster))
+  in
+  let committed, aborted =
+    List.fold_left
+      (fun (cs, abs) (e : Audit.event) ->
+        match e.outcome with
+        | Audit.Committed { position; _ } ->
+            ((e.record.txn_id, position) :: cs, abs)
+        | Audit.Aborted _ -> (cs, e.record.txn_id :: abs)
+        | Audit.Read_only_committed | Audit.Unknown -> (cs, abs))
+      ([], []) events
+  in
+  let* () = of_violation "L1" (Checker.check_audit ~log ~committed ~aborted) in
+  let* () = of_violation "L3" (Checker.check_log log) in
+  let observed_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Audit.event) -> Hashtbl.replace observed_tbl e.record.txn_id e.observed)
+    events;
+  let* () =
+    of_violation "replay" (Checker.replay log ~observed:(Hashtbl.find_opt observed_tbl))
+  in
+  let readers =
+    List.filter_map
+      (fun (e : Audit.event) ->
+        match e.outcome with
+        | Audit.Read_only_committed ->
+            Some (e.record.txn_id, e.record.read_position, e.observed)
+        | _ -> None)
+      events
+  in
+  of_violation "read-only" (Checker.check_read_only log ~readers)
+
+let check_exn cluster ~group =
+  match check cluster ~group with Ok () -> () | Error msg -> failwith msg

@@ -1,0 +1,21 @@
+(** End-to-end correctness verification of a finished simulation.
+
+    Runs every oracle the theory section (§3) calls for against a cluster's
+    final state and audit trail:
+
+    + (R1) all datacenter logs agree on every position;
+    + (L2) every transaction occupies at most one log slot;
+    + (L1) + outcome honesty: committed ⇔ present in the log at the
+      reported position, aborted ⇒ absent;
+    + (L3)/(A1)/(A2) structurally: no transaction's read set was
+      overwritten between its read position and its serial point;
+    + value-level one-copy serializability: replaying the log serially
+      reproduces every value every client observed.
+
+    Tests and examples call this after every run; a protocol bug that
+    breaks one-copy serializability cannot pass silently. *)
+
+val check : Cluster.t -> group:string -> (unit, string) result
+
+val check_exn : Cluster.t -> group:string -> unit
+(** Raises [Failure] with the violation description. *)

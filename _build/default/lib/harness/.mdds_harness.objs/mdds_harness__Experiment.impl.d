@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Format Hashtbl Int List Mdds_core Mdds_net Mdds_workload Option Printf Stats Stdlib String Unix

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Format Mdds_core Mdds_workload Stats Stdlib

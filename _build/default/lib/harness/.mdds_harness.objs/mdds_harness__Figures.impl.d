@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Experiment Hashtbl List Mdds_core Mdds_net Mdds_sim Mdds_workload Option Printf Stats Table

@@ -1,0 +1,1 @@
+lib/harness/stats.ml: Float Format List

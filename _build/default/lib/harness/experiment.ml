@@ -1,0 +1,154 @@
+module Config = Mdds_core.Config
+module Audit = Mdds_core.Audit
+module Cluster = Mdds_core.Cluster
+module Verify = Mdds_core.Verify
+module Topology = Mdds_net.Topology
+module Ycsb = Mdds_workload.Ycsb
+
+type spec = {
+  name : string;
+  topology : string;
+  seed : int;
+  config : Config.t;
+  workload : Ycsb.config;
+  loss : float;
+}
+
+let spec ?name ?(seed = 42) ?(config = Config.default) ?(workload = Ycsb.default)
+    ?(loss = 0.002) topology =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s/%s" (Config.protocol_name config.protocol) topology
+  in
+  { name; topology; seed; config; workload; loss }
+
+type result = {
+  spec : spec;
+  total : int;
+  commits : int;
+  commits_by_round : int array;
+  aborts : int;
+  aborts_conflict : int;
+  aborts_lost : int;
+  aborts_unavailable : int;
+  unknowns : int;
+  max_promotions : int;
+  combined_entries : int;
+  commit_latency : Stats.summary;
+  latency_by_round : Stats.summary array;
+  txn_latency : Stats.summary;
+  sim_duration : float;
+  wall_seconds : float;
+  events : Audit.event list;
+  messages_sent : int;
+  messages_delivered : int;
+  leader_share : float;
+  mean_rounds : float;
+  fast_path_rate : float;
+  verified : (unit, string) Stdlib.result;
+}
+
+let run spec =
+  let started = Unix.gettimeofday () in
+  let topo = Topology.ec2 ~loss:spec.loss spec.topology in
+  let cluster = Cluster.create ~seed:spec.seed ~config:spec.config topo in
+  let _handle = Ycsb.run cluster spec.workload in
+  Cluster.run cluster;
+  (* Workload statistics exclude the preload transaction; the correctness
+     oracle below still checks the full execution. *)
+  let audit = Audit.create () in
+  let preload_prefix = Ycsb.preload_id ^ "/" in
+  List.iter
+    (fun (e : Audit.event) ->
+      if not (String.starts_with ~prefix:preload_prefix e.record.txn_id) then
+        Audit.record audit e)
+    (Audit.events (Cluster.audit cluster));
+  let rounds = Audit.max_promotions_seen audit in
+  let commits_by_round =
+    Array.init (rounds + 1) (fun r -> Audit.commits_with_promotions audit r)
+  in
+  let latency_by_round =
+    Array.init (rounds + 1) (fun r ->
+        Stats.summarize (Audit.commit_latencies audit ~promotions:(Some r)))
+  in
+  let net_stats = Mdds_net.Network.stats (Cluster.network cluster) in
+  {
+    spec;
+    total = Audit.total audit;
+    commits = Audit.commits audit;
+    commits_by_round;
+    aborts = Audit.aborts audit;
+    aborts_conflict = Audit.abort_count audit Audit.Conflict;
+    aborts_lost = Audit.abort_count audit Audit.Lost_position;
+    aborts_unavailable = Audit.abort_count audit Audit.Unavailable;
+    unknowns = Audit.unknowns audit;
+    max_promotions = rounds;
+    combined_entries =
+      List.fold_left
+        (fun acc group -> acc + Cluster.combined_entries cluster ~group)
+        0
+        (Ycsb.group_keys spec.workload);
+    commit_latency = Stats.summarize (Audit.commit_latencies audit ~promotions:None);
+    latency_by_round;
+    txn_latency = Stats.summarize (Audit.txn_latencies audit);
+    sim_duration = Cluster.now cluster;
+    wall_seconds = Unix.gettimeofday () -. started;
+    events = Audit.events audit;
+    messages_sent = net_stats.Mdds_net.Network.sent;
+    messages_delivered = net_stats.Mdds_net.Network.delivered;
+    leader_share =
+      (let net = Cluster.network cluster in
+       let leader_dc = spec.config.Config.initial_leader in
+       float_of_int (Mdds_net.Network.delivered_to net leader_dc)
+       /. float_of_int (max 1 net_stats.Mdds_net.Network.delivered));
+    mean_rounds = Audit.mean_rounds audit;
+    fast_path_rate = Audit.fast_path_rate audit;
+    verified =
+      List.fold_left
+        (fun acc group ->
+          match acc with Error _ -> acc | Ok () -> Verify.check cluster ~group)
+        (Ok ())
+        (Ycsb.group_keys spec.workload);
+  }
+
+let commits_by_dc result =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Audit.event) ->
+      let committed =
+        match e.outcome with
+        | Audit.Committed _ | Audit.Read_only_committed -> 1
+        | Audit.Aborted _ | Audit.Unknown -> 0
+      in
+      let c, t =
+        Option.value (Hashtbl.find_opt tbl e.client_dc) ~default:(0, 0)
+      in
+      Hashtbl.replace tbl e.client_dc (c + committed, t + 1))
+    result.events;
+  Hashtbl.fold (fun dc (c, t) acc -> (dc, c, t) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+
+let commit_latency_by_dc result =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Audit.event) ->
+      match e.outcome with
+      | Audit.Committed _ ->
+          let prev = Option.value (Hashtbl.find_opt tbl e.client_dc) ~default:[] in
+          Hashtbl.replace tbl e.client_dc
+            ((e.committed_at -. e.commit_started_at) :: prev)
+      | _ -> ())
+    result.events;
+  Hashtbl.fold (fun dc xs acc -> (dc, Stats.summarize xs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let pp_brief ppf r =
+  Format.fprintf ppf
+    "%s: %d/%d commits (%d conflict, %d lost, %d unavailable), latency %a, \
+     combined=%d, max-promotions=%d, verified=%s [%.1fs sim, %.2fs wall]"
+    r.spec.name r.commits r.total r.aborts_conflict r.aborts_lost
+    r.aborts_unavailable Stats.pp_ms r.commit_latency.Stats.mean
+    r.combined_entries r.max_promotions
+    (match r.verified with Ok () -> "ok" | Error m -> "FAIL: " ^ m)
+    r.sim_duration r.wall_seconds

@@ -1,0 +1,71 @@
+(** Experiment runner: one simulated deployment + one workload → metrics.
+
+    Every figure reproduction is a set of these specs. A run always ends
+    with the full {!Mdds_core.Verify} oracle; an experiment whose execution
+    was not one-copy serializable reports it in [verified] and the figure
+    drivers treat that as a hard failure. *)
+
+module Config = Mdds_core.Config
+module Audit = Mdds_core.Audit
+module Ycsb = Mdds_workload.Ycsb
+
+type spec = {
+  name : string;
+  topology : string;  (** Region spec for {!Mdds_net.Topology.ec2}. *)
+  seed : int;
+  config : Config.t;
+  workload : Ycsb.config;
+  loss : float;  (** Link loss probability. *)
+}
+
+val spec :
+  ?name:string ->
+  ?seed:int ->
+  ?config:Config.t ->
+  ?workload:Ycsb.config ->
+  ?loss:float ->
+  string ->
+  spec
+(** [spec topology] with the paper's defaults. *)
+
+type result = {
+  spec : spec;
+  total : int;  (** Transactions that reached an outcome. *)
+  commits : int;
+  commits_by_round : int array;
+      (** [commits_by_round.(r)] = committed after exactly [r] promotions;
+          index 0 is the first attempt. Always basic-compatible: under the
+          basic protocol only index 0 is populated. *)
+  aborts : int;
+  aborts_conflict : int;
+  aborts_lost : int;
+  aborts_unavailable : int;
+  unknowns : int;  (** In-doubt submissions (leader protocol only). *)
+  max_promotions : int;
+  combined_entries : int;  (** Log entries with more than one transaction. *)
+  commit_latency : Stats.summary;  (** Committed transactions only. *)
+  latency_by_round : Stats.summary array;
+  txn_latency : Stats.summary;  (** Begin → outcome, all transactions. *)
+  sim_duration : float;  (** Virtual seconds. *)
+  wall_seconds : float;  (** Real time the simulation took. *)
+  events : Audit.event list;
+  messages_sent : int;  (** Total datagrams submitted to the network. *)
+  messages_delivered : int;
+  leader_share : float;
+      (** Fraction of delivered messages handled by the configured leader
+          datacenter — the single-site load concentration of leader-based
+          designs (§7). *)
+  mean_rounds : float;
+      (** Mean prepare+accept broadcasts per committed transaction. *)
+  fast_path_rate : float;  (** Committed transactions that tried the fast path. *)
+  verified : (unit, string) Stdlib.result;
+}
+
+val run : spec -> result
+
+val commits_by_dc : result -> (int * int * int) list
+(** [(dc, commits, total)] per client datacenter (for Figure 8). *)
+
+val commit_latency_by_dc : result -> (int * Stats.summary) list
+
+val pp_brief : Format.formatter -> result -> unit

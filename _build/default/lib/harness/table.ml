@@ -1,0 +1,39 @@
+let rstrip s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w -> pad (Option.value (List.nth_opt row c) ~default:"") w)
+         widths)
+    |> rstrip
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let print ~header rows = print_endline (render ~header rows)
+
+let fmt_f x = Printf.sprintf "%.1f" x
+let fmt_ms s = Printf.sprintf "%.1f" (s *. 1000.)
+
+let fmt_pct ~num ~den =
+  if den = 0 then "-" else Printf.sprintf "%.1f%%" (100. *. float_of_int num /. float_of_int den)

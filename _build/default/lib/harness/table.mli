@@ -1,0 +1,16 @@
+(** Fixed-width ASCII tables for experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Render rows under a header, columns padded to the widest cell. *)
+
+val print : header:string list -> string list list -> unit
+(** [render] to stdout. *)
+
+val fmt_f : float -> string
+(** Compact float ("12.3"). *)
+
+val fmt_ms : float -> string
+(** Seconds as "123.4" (milliseconds, no unit suffix). *)
+
+val fmt_pct : num:int -> den:int -> string
+(** "57.0%". *)

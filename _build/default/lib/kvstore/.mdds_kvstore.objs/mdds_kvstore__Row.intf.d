@@ -1,0 +1,1 @@
+lib/kvstore/row.mli:

@@ -1,0 +1,1 @@
+lib/kvstore/store.mli: Row

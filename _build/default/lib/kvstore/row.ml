@@ -1,0 +1,47 @@
+type value = (string * string) list
+
+(* Versions kept as a list sorted by decreasing timestamp; rows have few
+   versions relative to accesses and reads want the newest first. *)
+type t = { mutable versions : (int * value) list }
+
+let create () = { versions = [] }
+
+let normalize value =
+  (* Later bindings win: keep the last occurrence of each attribute. *)
+  let rec keep_last seen = function
+    | [] -> []
+    | (k, v) :: rest ->
+        if List.mem k seen then keep_last seen rest
+        else (k, v) :: keep_last (k :: seen) rest
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (keep_last [] (List.rev value))
+
+let latest t = match t.versions with [] -> None | v :: _ -> Some v
+
+let read t ?timestamp () =
+  match timestamp with
+  | None -> latest t
+  | Some ts -> List.find_opt (fun (vts, _) -> vts <= ts) t.versions
+
+let write t ?timestamp value =
+  let value = normalize value in
+  match timestamp with
+  | None ->
+      let ts = match t.versions with [] -> 1 | (vts, _) :: _ -> vts + 1 in
+      t.versions <- (ts, value) :: t.versions;
+      Ok ts
+  | Some ts -> (
+      match t.versions with
+      | (vts, _) :: _ when vts > ts -> Error `Stale
+      | (vts, _) :: rest when vts = ts ->
+          t.versions <- (ts, value) :: rest;
+          Ok ts
+      | _ ->
+          t.versions <- (ts, value) :: t.versions;
+          Ok ts)
+
+let attribute value name = List.assoc_opt name value
+
+let versions t = t.versions
+
+let version_count t = List.length t.versions

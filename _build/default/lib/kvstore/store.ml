@@ -1,0 +1,49 @@
+type value = Row.value
+
+type t = { rows : (string, Row.t) Hashtbl.t }
+
+let create () = { rows = Hashtbl.create 256 }
+
+let find_row t key = Hashtbl.find_opt t.rows key
+
+let find_or_create_row t key =
+  match Hashtbl.find_opt t.rows key with
+  | Some row -> row
+  | None ->
+      let row = Row.create () in
+      Hashtbl.replace t.rows key row;
+      row
+
+let read t ~key ?timestamp () =
+  match find_row t key with
+  | None -> None
+  | Some row -> Row.read row ?timestamp ()
+
+let write t ~key ?timestamp value =
+  Row.write (find_or_create_row t key) ?timestamp value
+
+let check_and_write t ~key ~test_attribute ~test_value value =
+  let current =
+    match find_row t key with
+    | None -> None
+    | Some row -> (
+        match Row.latest row with
+        | None -> None
+        | Some (_, v) -> Row.attribute v test_attribute)
+  in
+  if current = test_value then
+    match write t ~key value with Ok _ -> true | Error `Stale -> false
+  else false
+
+let attribute t ~key name =
+  match read t ~key () with
+  | None -> None
+  | Some (_, v) -> Row.attribute v name
+
+let delete t ~key = Hashtbl.remove t.rows key
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.rows []
+
+let row_count t = Hashtbl.length t.rows
+
+let reset t = Hashtbl.reset t.rows

@@ -1,0 +1,52 @@
+(** Per-datacenter multi-version key-value store.
+
+    Implements exactly the three-operation contract the paper requires of
+    the underlying store (§2.2): atomic per-row [read], [write] and
+    [check_and_write]. The transaction tier builds everything else —
+    write-ahead log, Paxos acceptor state, data versions — on top of these.
+
+    Atomicity note: within the simulator each operation runs without
+    interleaving (processes only yield at blocking points), which models
+    the per-row atomicity of HBase/BigTable. *)
+
+type t
+
+type value = Row.value
+
+val create : unit -> t
+
+val read : t -> key:string -> ?timestamp:int -> unit -> (int * value) option
+(** Most recent version of the row with timestamp ≤ [timestamp] (latest if
+    omitted); [None] if the row does not exist or has no such version. *)
+
+val write : t -> key:string -> ?timestamp:int -> value -> (int, [ `Stale ]) result
+(** Create a new version of the row (see {!Row.write}). *)
+
+val check_and_write :
+  t ->
+  key:string ->
+  test_attribute:string ->
+  test_value:string option ->
+  value ->
+  bool
+(** Atomic conditional write: if the latest version's [test_attribute]
+    equals [test_value] ([None] means "attribute absent or row missing"),
+    write [value] as a new auto-stamped version and return [true];
+    otherwise return [false] and write nothing. This is the primitive that
+    lets stateless service processes update Paxos state safely
+    (Algorithm 1, lines 9 and 18). *)
+
+val attribute : t -> key:string -> string -> string option
+(** Latest version's attribute, if any. *)
+
+val delete : t -> key:string -> unit
+(** Drop a row and all its versions (used by log compaction). *)
+
+val keys : t -> string list
+(** All row keys (unordered). *)
+
+val row_count : t -> int
+
+val reset : t -> unit
+(** Drop all rows (simulates a datacenter losing and re-provisioning its
+    store; used by recovery tests). *)

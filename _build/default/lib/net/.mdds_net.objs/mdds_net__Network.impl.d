@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Hashtbl List Mdds_sim Topology

@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Hashtbl List Mdds_sim Network

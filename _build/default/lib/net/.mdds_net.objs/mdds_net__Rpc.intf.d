@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Mdds_sim Network

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Hashtbl Printf String

@@ -1,0 +1,117 @@
+module Engine = Mdds_sim.Engine
+module Mailbox = Mdds_sim.Mailbox
+module Rng = Mdds_sim.Rng
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_down : int;
+  dropped_cut : int;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  rng : Rng.t;
+  boxes : (int * string, 'msg Mailbox.t) Hashtbl.t;
+  down : bool array;
+  mutable group_of : int array option; (* partition group per node, if any *)
+  mutable sent : int;
+  mutable delivered : int;
+  sent_by : int array;
+  delivered_to : int array;
+  mutable dropped_loss : int;
+  mutable dropped_down : int;
+  mutable dropped_cut : int;
+}
+
+let create engine topo =
+  {
+    engine;
+    topo;
+    rng = Rng.split (Engine.rng engine);
+    boxes = Hashtbl.create 64;
+    down = Array.make (Topology.size topo) false;
+    sent_by = Array.make (Topology.size topo) 0;
+    delivered_to = Array.make (Topology.size topo) 0;
+    group_of = None;
+    sent = 0;
+    delivered = 0;
+    dropped_loss = 0;
+    dropped_down = 0;
+    dropped_cut = 0;
+  }
+
+let engine t = t.engine
+let topology t = t.topo
+let size t = Topology.size t.topo
+
+let endpoint t ~node ~port =
+  match Hashtbl.find_opt t.boxes (node, port) with
+  | Some box -> box
+  | None ->
+      let box = Mailbox.create t.engine in
+      Hashtbl.replace t.boxes (node, port) box;
+      box
+
+let cut t src dst =
+  match t.group_of with
+  | None -> false
+  | Some groups -> groups.(src) <> groups.(dst)
+
+let send t ~src ~dst ~port msg =
+  t.sent <- t.sent + 1;
+  t.sent_by.(src) <- t.sent_by.(src) + 1;
+  if t.down.(src) || t.down.(dst) then t.dropped_down <- t.dropped_down + 1
+  else if cut t src dst then t.dropped_cut <- t.dropped_cut + 1
+  else
+    let link = Topology.link t.topo src dst in
+    if Rng.bool t.rng link.loss then t.dropped_loss <- t.dropped_loss + 1
+    else begin
+      let jitter = Rng.uniform t.rng (1.0 -. link.jitter) (1.0 +. link.jitter) in
+      let delay = link.delay *. jitter in
+      let box = endpoint t ~node:dst ~port in
+      Engine.schedule t.engine
+        ~at:(Engine.now t.engine +. delay)
+        (fun () ->
+          (* Re-check at delivery: the destination may have failed, or a
+             partition appeared, while the message was in flight. *)
+          if t.down.(dst) then t.dropped_down <- t.dropped_down + 1
+          else if cut t src dst then t.dropped_cut <- t.dropped_cut + 1
+          else begin
+            t.delivered <- t.delivered + 1;
+            t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
+            Mailbox.push box msg
+          end)
+    end
+
+let set_down t node =
+  t.down.(node) <- true;
+  Hashtbl.iter (fun (n, _) box -> if n = node then Mailbox.clear box) t.boxes
+
+let set_up t node = t.down.(node) <- false
+
+let is_down t node = t.down.(node)
+
+let partition t groups =
+  let n = Topology.size t.topo in
+  let group_of = Array.init n (fun i -> -1 - i) in
+  List.iteri
+    (fun gi members -> List.iter (fun node -> group_of.(node) <- gi) members)
+    groups;
+  t.group_of <- Some group_of
+
+let heal t = t.group_of <- None
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped_loss = t.dropped_loss;
+    dropped_down = t.dropped_down;
+    dropped_cut = t.dropped_cut;
+  }
+
+let sent_by t node = t.sent_by.(node)
+let delivered_to t node = t.delivered_to.(node)

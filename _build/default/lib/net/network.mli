@@ -1,0 +1,58 @@
+(** Simulated datagram transport between datacenters.
+
+    Matches the paper's communication model (§2.2): messages are
+    UDP-like — unordered across links, possibly lost, never corrupted or
+    duplicated; "either the message arrives before a known timeout or it is
+    lost". Datacenters can go offline and come back without notice, and
+    the network can be partitioned; both drop traffic silently.
+
+    Messages are addressed to a (node, port) pair; each such pair owns a
+    {!Mdds_sim.Mailbox}. *)
+
+type 'msg t
+
+type stats = {
+  sent : int;  (** Messages submitted to the transport. *)
+  delivered : int;  (** Messages pushed into a destination mailbox. *)
+  dropped_loss : int;  (** Lost to random link loss. *)
+  dropped_down : int;  (** Dropped because an endpoint was offline. *)
+  dropped_cut : int;  (** Dropped by a partition. *)
+}
+
+val create : Mdds_sim.Engine.t -> Topology.t -> 'msg t
+
+val engine : 'msg t -> Mdds_sim.Engine.t
+val topology : 'msg t -> Topology.t
+val size : 'msg t -> int
+
+val endpoint : 'msg t -> node:int -> port:string -> 'msg Mdds_sim.Mailbox.t
+(** The mailbox for [(node, port)], created on first use. *)
+
+val send : 'msg t -> src:int -> dst:int -> port:string -> 'msg -> unit
+(** Fire-and-forget send. Sampled delay; silently dropped on loss, outage
+    of either endpoint (checked at send *and* delivery time) or partition. *)
+
+(** {1 Fault injection} *)
+
+val set_down : 'msg t -> int -> unit
+(** Take a datacenter offline: its traffic is dropped and queued mail in
+    all its mailboxes is discarded (volatile state loss). *)
+
+val set_up : 'msg t -> int -> unit
+val is_down : 'msg t -> int -> bool
+
+val partition : 'msg t -> int list list -> unit
+(** [partition net groups] cuts every link between nodes of different
+    groups (a node absent from all groups forms its own singleton). *)
+
+val heal : 'msg t -> unit
+(** Remove any partition. *)
+
+val stats : 'msg t -> stats
+
+val sent_by : 'msg t -> int -> int
+(** Messages this datacenter submitted (load it generated). *)
+
+val delivered_to : 'msg t -> int -> int
+(** Messages delivered into this datacenter's mailboxes (load it served) —
+    used to quantify the single-site bottleneck of leader-based designs. *)

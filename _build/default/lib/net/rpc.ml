@@ -1,0 +1,148 @@
+module Engine = Mdds_sim.Engine
+module Mailbox = Mdds_sim.Mailbox
+
+type ('req, 'resp) packet =
+  | Request of { id : int; reply_to : int; src : int; oneway : bool; payload : 'req }
+  | Response of { id : int; payload : 'resp }
+
+type 'resp pending = { mutable active : bool; deliver : 'resp -> unit }
+
+type ('req, 'resp) t = {
+  net : ('req, 'resp) packet Network.t;
+  pending : (int, 'resp pending) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let service_port = "svc"
+let client_port = "cli"
+
+let network t = t.net
+let engine t = Network.engine t.net
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+(* Per-node dispatcher routing responses to their waiting caller. *)
+let start_dispatcher t node =
+  let box = Network.endpoint t.net ~node ~port:client_port in
+  Engine.spawn (Network.engine t.net) (fun () ->
+      let rec loop () =
+        (match Mailbox.recv box with
+        | Response { id; payload } -> (
+            match Hashtbl.find_opt t.pending id with
+            | Some p when p.active ->
+                p.active <- false;
+                Hashtbl.remove t.pending id;
+                p.deliver payload
+            | _ -> () (* late or duplicate reply: drop *))
+        | Request _ -> () (* misrouted: drop, like a stray datagram *));
+        loop ()
+      in
+      loop ())
+
+let create net =
+  let t = { net; pending = Hashtbl.create 64; next_id = 0 } in
+  for node = 0 to Network.size net - 1 do
+    start_dispatcher t node
+  done;
+  t
+
+let serve t ~node ?(processing = 0.0) handler =
+  let box = Network.endpoint t.net ~node ~port:service_port in
+  let rng = Mdds_sim.Rng.split (Engine.rng (Network.engine t.net)) in
+  Engine.spawn (Network.engine t.net) (fun () ->
+      let rec loop () =
+        (match Mailbox.recv box with
+        | Request { id; reply_to; src; oneway; payload } ->
+            Engine.spawn (Network.engine t.net) (fun () ->
+                (* Store/OS work per request varies in practice; +/-50%
+                   jitter around the mean spreads acceptor vote times. *)
+                if processing > 0.0 then
+                  Engine.sleep (Mdds_sim.Rng.uniform rng (0.5 *. processing) (1.5 *. processing));
+                let resp = handler ~src payload in
+                if not oneway then
+                  Network.send t.net ~src:node ~dst:reply_to ~port:client_port
+                    (Response { id; payload = resp }))
+        | Response _ -> ());
+        loop ()
+      in
+      loop ())
+
+let register t id deliver =
+  let p = { active = true; deliver } in
+  Hashtbl.replace t.pending id p;
+  p
+
+let expire t id p =
+  if p.active then begin
+    p.active <- false;
+    Hashtbl.remove t.pending id
+  end
+
+let call t ~src ~dst ~timeout req =
+  let id = fresh_id t in
+  Engine.suspend (fun wake ->
+      let p = register t id (fun resp -> wake (Some resp)) in
+      ignore
+        (Engine.after (engine t) timeout (fun () ->
+             if p.active then begin
+               expire t id p;
+               wake None
+             end));
+      Network.send t.net ~src ~dst ~port:service_port
+        (Request { id; reply_to = src; src; oneway = false; payload = req }))
+
+let broadcast t ~src ~dsts ~timeout ?(linger = 0.0) ?(enough = fun _ -> false) req =
+  let results = ref [] in
+  let finished = ref false in
+  let lingering = ref false in
+  Engine.suspend (fun wake ->
+      let ids = List.map (fun _ -> fresh_id t) dsts in
+      let cleanup () =
+        List.iter
+          (fun id ->
+            match Hashtbl.find_opt t.pending id with
+            | Some p -> expire t id p
+            | None -> ())
+          ids
+      in
+      let finish () =
+        if not !finished then begin
+          finished := true;
+          cleanup ();
+          wake (List.rev !results)
+        end
+      in
+      (* Once the quorum predicate holds, harvest near-simultaneous
+         stragglers for [linger] seconds before returning — the paper's
+         clients see "more than a simple majority" of responses because
+         replies from equidistant datacenters arrive together. *)
+      let satisfied () =
+        if List.length !results = List.length dsts then finish ()
+        else if linger <= 0.0 then finish ()
+        else if not !lingering then begin
+          lingering := true;
+          ignore (Engine.after (engine t) linger (fun () -> finish ()))
+        end
+      in
+      List.iter2
+        (fun dst id ->
+          ignore
+            (register t id (fun resp ->
+                 if not !finished then begin
+                   results := (dst, resp) :: !results;
+                   if List.length !results = List.length dsts || enough !results
+                   then satisfied ()
+                 end));
+          Network.send t.net ~src ~dst ~port:service_port
+            (Request { id; reply_to = src; src; oneway = false; payload = req }))
+        dsts ids;
+      ignore (Engine.after (engine t) timeout (fun () -> finish ()));
+      (* Degenerate broadcast: nothing to wait for. *)
+      if dsts = [] then finish ())
+
+let notify t ~src ~dst req =
+  let id = fresh_id t in
+  Network.send t.net ~src ~dst ~port:service_port
+    (Request { id; reply_to = src; src; oneway = true; payload = req })

@@ -1,0 +1,60 @@
+(** Request/response messaging over the lossy datagram {!Network}.
+
+    This is the shape of the paper's client↔service communication: the
+    Transaction Client sends a request to the Transaction Service of one or
+    all datacenters and waits for replies until a timeout (2 s in the
+    paper's prototype) — there are no connections, retransmissions or
+    ordering guarantees. {!broadcast} implements the Paxos message rounds:
+    send to every datacenter in parallel and collect replies until a quorum
+    predicate is satisfied or the timeout fires (Algorithm 2).
+
+    ['req] and ['resp] are the application's request/response payloads. *)
+
+type ('req, 'resp) packet
+(** Wire format (opaque; exposed so the underlying network is typed). *)
+
+type ('req, 'resp) t
+
+val create : ('req, 'resp) packet Network.t -> ('req, 'resp) t
+(** Wrap a network carrying RPC packets and start the per-node response
+    dispatchers. *)
+
+val network : ('req, 'resp) t -> ('req, 'resp) packet Network.t
+val engine : ('req, 'resp) t -> Mdds_sim.Engine.t
+
+val serve :
+  ('req, 'resp) t ->
+  node:int ->
+  ?processing:float ->
+  (src:int -> 'req -> 'resp) ->
+  unit
+(** Start a service loop at [node]. Each incoming request is handled in its
+    own spawned process (the paper's stateless per-request service
+    processes), after an optional randomized delay of mean [processing]
+    (uniform within +/-50%, modelling store/OS work). The handler may
+    block (e.g. perform nested RPCs). *)
+
+val call :
+  ('req, 'resp) t -> src:int -> dst:int -> timeout:float -> 'req -> 'resp option
+(** Send one request and wait for its reply; [None] on timeout (request or
+    reply lost, destination down, or slow). *)
+
+val broadcast :
+  ('req, 'resp) t ->
+  src:int ->
+  dsts:int list ->
+  timeout:float ->
+  ?linger:float ->
+  ?enough:((int * 'resp) list -> bool) ->
+  'req ->
+  (int * 'resp) list
+(** Send the request to every destination in parallel and collect
+    [(dst, reply)] pairs until all have answered, [enough] is satisfied, or
+    the timeout fires; returns whatever was collected (possibly early).
+    [linger] keeps collecting for that many extra seconds after [enough]
+    first holds, so near-simultaneous responses beyond the quorum are still
+    seen (Paxos-CP's tally wants more than a bare majority, §5). *)
+
+val notify : ('req, 'resp) t -> src:int -> dst:int -> 'req -> unit
+(** One-way message: no reply is sent or awaited (used for the apply phase,
+    Algorithm 2 lines 58–61). *)

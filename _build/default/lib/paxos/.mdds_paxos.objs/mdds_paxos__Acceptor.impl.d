@@ -1,0 +1,1 @@
+lib/paxos/acceptor.ml: Ballot Format

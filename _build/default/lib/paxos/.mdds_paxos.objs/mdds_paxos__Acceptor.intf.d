@@ -1,0 +1,1 @@
+lib/paxos/acceptor.mli: Ballot Format

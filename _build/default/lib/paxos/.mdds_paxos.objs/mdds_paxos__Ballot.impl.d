@@ -1,0 +1,1 @@
+lib/paxos/ballot.ml: Format Int Mdds_codec Printf Stdlib String

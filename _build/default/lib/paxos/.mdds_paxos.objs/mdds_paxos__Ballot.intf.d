@@ -1,0 +1,1 @@
+lib/paxos/ballot.mli: Format Mdds_codec

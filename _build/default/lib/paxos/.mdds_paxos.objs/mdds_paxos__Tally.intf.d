@@ -1,0 +1,1 @@
+lib/paxos/tally.mli: Ballot

@@ -1,0 +1,27 @@
+type 'v state = {
+  next_bal : Ballot.t;
+  vote : (Ballot.t * 'v) option;
+}
+
+let initial = { next_bal = Ballot.bottom; vote = None }
+
+type 'v prepare_reply =
+  | Promise of (Ballot.t * 'v) option
+  | Reject of Ballot.t
+
+let on_prepare state ballot =
+  if Ballot.compare ballot state.next_bal > 0 then
+    ({ state with next_bal = ballot }, Promise state.vote)
+  else (state, Reject state.next_bal)
+
+let on_accept state ballot value =
+  if Ballot.(ballot >= state.next_bal) then
+    ({ next_bal = ballot; vote = Some (ballot, value) }, true)
+  else (state, false)
+
+let pp pp_v ppf state =
+  Format.fprintf ppf "@[<h>{nextBal=%a; vote=%a}@]" Ballot.pp state.next_bal
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.fprintf ppf "⊥")
+       (fun ppf (b, v) -> Format.fprintf ppf "(%a,%a)" Ballot.pp b pp_v v))
+    state.vote

@@ -1,0 +1,39 @@
+(** Pure acceptor transitions for one Paxos (Synod) instance.
+
+    This is Algorithm 1's Transaction Service logic with the storage layer
+    factored out: the Transaction Service persists the state in its
+    key-value store (via [check_and_write]) and applies these pure
+    transition functions, so the acceptor rules can be tested — including
+    property-based safety tests over arbitrary message schedules — in
+    isolation from the network and store.
+
+    Deviation from Algorithm 1, documented in DESIGN.md: [on_accept]
+    follows Lamport's rule (accept iff [ballot ≥ nextBal]) rather than the
+    equality test of line 18. Equality assumes every accept is preceded by
+    that proposer's prepare at the same ballot, which the leader fast path
+    (§4.1) deliberately skips; [≥] admits the fast round-0 accept and is
+    the classical, provably safe condition. *)
+
+type 'v state = {
+  next_bal : Ballot.t;  (** Highest prepare answered ([nextBal]). *)
+  vote : (Ballot.t * 'v) option;  (** Last vote cast ([ballotNumber, value]). *)
+}
+
+val initial : 'v state
+(** [⟨−1, −1, ⊥⟩] — no promise, no vote. *)
+
+type 'v prepare_reply =
+  | Promise of (Ballot.t * 'v) option
+      (** The last vote (or [None]); the acceptor promises to ignore
+          ballots below the prepared one. *)
+  | Reject of Ballot.t
+      (** Already promised the returned (higher or equal) ballot. *)
+
+val on_prepare : 'v state -> Ballot.t -> 'v state * 'v prepare_reply
+(** Handle a [prepare propNum] message (Algorithm 1, lines 3–15). *)
+
+val on_accept : 'v state -> Ballot.t -> 'v -> 'v state * bool
+(** Handle an [accept propNum value] message; [true] iff the vote was
+    cast (Algorithm 1, lines 16–19, with the [≥] rule above). *)
+
+val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v state -> unit

@@ -1,0 +1,40 @@
+(** Paxos proposal numbers (ballots).
+
+    A ballot is a [(round, proposer)] pair ordered lexicographically, which
+    makes proposal numbers unique per proposer and totally ordered — the
+    two properties Algorithm 2 requires of [propNum]. Round [0] is reserved
+    for the leader fast path (§4.1's per-position leader optimization): the
+    first client blessed by the position's leader proposes directly at a
+    round-0 ballot, skipping the prepare phase. *)
+
+type t = { round : int; proposer : int }
+
+val bottom : t
+(** The initial [nextBal = −1] of Algorithm 1: smaller than every real
+    ballot; no prepare has been answered. *)
+
+val fast : proposer:int -> t
+(** The round-0 ballot used by the leader fast path. *)
+
+val make : round:int -> proposer:int -> t
+(** Requires [round ≥ 1] (rounds 0 and below are reserved). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val next : after:t -> proposer:int -> t
+(** Smallest ballot of [proposer] strictly greater than [after] with
+    [round ≥ 1] — how a client picks "a larger proposal number" when
+    retrying (Algorithm 2, line 41). *)
+
+val is_bottom : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Invalid_argument] on bad input.
+    Used to persist acceptor state as key-value attributes. *)
+
+val codec : t Mdds_codec.Codec.t

@@ -1,0 +1,1 @@
+lib/serial/checker.ml: Format Hashtbl Int List Mdds_types Printf

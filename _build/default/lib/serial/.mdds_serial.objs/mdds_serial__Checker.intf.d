@@ -1,0 +1,1 @@
+lib/serial/checker.mli: Format Mdds_types

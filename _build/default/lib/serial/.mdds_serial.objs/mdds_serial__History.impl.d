@@ -1,0 +1,1 @@
+lib/serial/history.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/serial/mvmc.ml: Hashtbl List Mdds_types Option Printf

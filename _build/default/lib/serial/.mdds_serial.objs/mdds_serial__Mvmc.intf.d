@@ -1,0 +1,1 @@
+lib/serial/mvmc.mli: Mdds_types

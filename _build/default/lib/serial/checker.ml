@@ -1,0 +1,173 @@
+module Txn = Mdds_types.Txn
+
+type violation = { txn_id : string; position : int; message : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "txn %s at position %d: %s" v.txn_id v.position v.message
+
+let violation txn_id position fmt =
+  Printf.ksprintf (fun message -> Error { txn_id; position; message }) fmt
+
+(* Walk the log in serial order, tracking the log position of the last
+   write to each key; a record must see no write to its read set after its
+   read position. *)
+let check_log log =
+  let last_write : (Txn.key, int * string) Hashtbl.t = Hashtbl.create 256 in
+  let rec entries = function
+    | [] -> Ok ()
+    | (pos, entry) :: rest ->
+        let rec records = function
+          | [] -> entries rest
+          | (r : Txn.record) :: more -> (
+              let stale =
+                List.find_opt
+                  (fun key ->
+                    match Hashtbl.find_opt last_write key with
+                    | Some (wpos, _) when wpos > r.read_position -> true
+                    | _ -> false)
+                  (Txn.read_set r)
+              in
+              match stale with
+              | Some key ->
+                  let wpos, writer = Hashtbl.find last_write key in
+                  violation r.txn_id pos
+                    "stale read of %s: wrote at position %d by %s, read position %d"
+                    key wpos writer r.read_position
+              | None ->
+                  List.iter
+                    (fun key -> Hashtbl.replace last_write key (pos, r.txn_id))
+                    (Txn.write_set r);
+                  records more)
+        in
+        records entry
+  in
+  entries log
+
+let replay log ~observed =
+  let current : (Txn.key, string) Hashtbl.t = Hashtbl.create 256 in
+  let rec entries = function
+    | [] -> Ok ()
+    | (pos, entry) :: rest ->
+        let rec records = function
+          | [] -> entries rest
+          | (r : Txn.record) :: more -> (
+              let mismatch =
+                match observed r.txn_id with
+                | None -> None
+                | Some pairs ->
+                    List.find_opt
+                      (fun (key, seen) -> Hashtbl.find_opt current key <> seen)
+                      pairs
+              in
+              match mismatch with
+              | Some (key, seen) ->
+                  violation r.txn_id pos
+                    "read %s = %s but the serial execution holds %s" key
+                    (match seen with None -> "<none>" | Some v -> Printf.sprintf "%S" v)
+                    (match Hashtbl.find_opt current key with
+                    | None -> "<none>"
+                    | Some v -> Printf.sprintf "%S" v)
+              | None ->
+                  List.iter
+                    (fun (w : Txn.write) -> Hashtbl.replace current w.key w.value)
+                    r.writes;
+                  records more)
+        in
+        records entry
+  in
+  entries log
+
+let unique_txn_ids log =
+  let seen = Hashtbl.create 256 in
+  let rec go = function
+    | [] -> Ok ()
+    | (pos, entry) :: rest ->
+        let rec records = function
+          | [] -> go rest
+          | (r : Txn.record) :: more -> (
+              match Hashtbl.find_opt seen r.txn_id with
+              | Some first ->
+                  violation r.txn_id pos "also appears at position %d (L2 violation)"
+                    first
+              | None ->
+                  Hashtbl.replace seen r.txn_id pos;
+                  records more)
+        in
+        records entry
+  in
+  go log
+
+let check_read_only log ~readers =
+  let current : (Txn.key, string) Hashtbl.t = Hashtbl.create 256 in
+  let readers =
+    List.sort (fun (_, a, _) (_, b, _) -> Int.compare a b) readers
+  in
+  let check_reader (txn_id, rp, pairs) =
+    match
+      List.find_opt (fun (key, seen) -> Hashtbl.find_opt current key <> seen) pairs
+    with
+    | None -> Ok ()
+    | Some (key, seen) ->
+        violation txn_id rp "read-only txn read %s = %s but position %d holds %s"
+          key
+          (match seen with None -> "<none>" | Some v -> Printf.sprintf "%S" v)
+          rp
+          (match Hashtbl.find_opt current key with
+          | None -> "<none>"
+          | Some v -> Printf.sprintf "%S" v)
+  in
+  let apply_entry entry =
+    List.iter
+      (fun (r : Txn.record) ->
+        List.iter
+          (fun (w : Txn.write) -> Hashtbl.replace current w.key w.value)
+          r.writes)
+      entry
+  in
+  (* Walk positions in order, checking the readers whose read position has
+     just been fully applied. *)
+  let rec go readers log =
+    match readers with
+    | [] -> Ok ()
+    | (_, rp, _) :: _ -> (
+        match log with
+        | (pos, entry) :: rest when pos <= rp ->
+            apply_entry entry;
+            go readers rest
+        | _ -> (
+            (* All entries <= rp applied (or the log is exhausted). *)
+            match check_reader (List.hd readers) with
+            | Error _ as e -> e
+            | Ok () -> go (List.tl readers) log))
+  in
+  go readers log
+
+let check_audit ~log ~committed ~aborted =
+  let position_of = Hashtbl.create 256 in
+  List.iter
+    (fun (pos, entry) ->
+      List.iter
+        (fun (r : Txn.record) -> Hashtbl.replace position_of r.txn_id pos)
+        entry)
+    log;
+  let rec check_committed = function
+    | [] -> Ok ()
+    | (txn_id, pos) :: rest -> (
+        match Hashtbl.find_opt position_of txn_id with
+        | None ->
+            violation txn_id pos "reported committed but absent from the log (L1)"
+        | Some p when p <> pos ->
+            violation txn_id pos "reported committed at %d but logged at %d" pos p
+        | Some _ -> check_committed rest)
+  in
+  let rec check_aborted = function
+    | [] -> Ok ()
+    | txn_id :: rest -> (
+        match Hashtbl.find_opt position_of txn_id with
+        | Some p ->
+            violation txn_id p "reported aborted but present in the log (L1)"
+        | None -> check_aborted rest)
+  in
+  match check_committed committed with
+  | Error _ as e -> e
+  | Ok () -> check_aborted aborted

@@ -1,0 +1,62 @@
+(** One-copy serializability oracle for executions of the transactional
+    datastore.
+
+    Theorem 1 reduces one-copy serializability to the log properties
+    (L1)–(L3), (R1) and the read properties (A1)–(A2). The cluster's
+    {!Mdds_core.Cluster.logs_agree} checks (R1); this module checks the
+    rest against a replicated log and the audit trail:
+
+    - {!check_log}: the serial history defined by the log (positions in
+      order, records within an entry in order) gives every transaction
+      exactly the reads it was entitled to: no key in its read set was
+      written between its read position and its commit position, nor by a
+      preceding record in its own entry — the union of (L3)'s admission
+      rules for combination and promotion, verified independently of the
+      protocol's own checks.
+    - {!replay}: stronger, value-level: re-execute the log serially and
+      confirm every value each client actually observed equals the value a
+      serial execution would have produced at its commit point.
+    - {!check_audit}: (L1)/(L2) plus outcome honesty — every transaction
+      reported committed appears in the log exactly once, at the reported
+      position, and no aborted transaction appears at all. *)
+
+module Txn = Mdds_types.Txn
+
+type violation = {
+  txn_id : string;
+  position : int;
+  message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_log : (int * Txn.entry) list -> (unit, violation) result
+(** The log must be sorted by position (as {!Mdds_core.Cluster.committed_log}
+    returns it) and gap-free from its first position. *)
+
+val replay :
+  (int * Txn.entry) list ->
+  observed:(string -> (Txn.key * string option) list option) ->
+  (unit, violation) result
+(** [observed txn_id] returns the key/value pairs the client's reads
+    actually returned ([None] if unknown — such transactions get only the
+    structural check). *)
+
+val check_audit :
+  log:(int * Txn.entry) list ->
+  committed:(string * int) list ->
+  aborted:string list ->
+  (unit, violation) result
+(** [committed] is [(txn_id, position)] as reported to clients. *)
+
+val unique_txn_ids : (int * Txn.entry) list -> (unit, violation) result
+(** (L2): no transaction occupies two log slots. *)
+
+val check_read_only :
+  (int * Txn.entry) list ->
+  readers:(string * int * (Txn.key * string option) list) list ->
+  (unit, violation) result
+(** Read-only transactions are not logged; Theorem 1 serializes each one
+    immediately after the last transaction of its read position. Verify
+    that each reader [(txn_id, read_position, observed)] saw exactly the
+    state the log replay produces at that position. *)

@@ -1,0 +1,65 @@
+type action = Read of string | Write of string
+
+type step = { txn : string; action : action }
+
+type t = step list
+
+let key_of = function Read k -> k | Write k -> k
+
+let conflicting a b =
+  key_of a = key_of b
+  && match (a, b) with Read _, Read _ -> false | _ -> true
+
+let conflict_edges schedule =
+  let rec go acc = function
+    | [] -> acc
+    | s :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc s' ->
+              if s'.txn <> s.txn && conflicting s.action s'.action then
+                let edge = (s.txn, s'.txn) in
+                if List.mem edge acc then acc else edge :: acc
+              else acc)
+            acc rest
+        in
+        go acc rest
+  in
+  List.rev (go [] schedule)
+
+let txns schedule =
+  List.fold_left
+    (fun acc s -> if List.mem s.txn acc then acc else s.txn :: acc)
+    [] schedule
+  |> List.rev
+
+(* Kahn's algorithm; [None] on a cycle. *)
+let serial_order schedule =
+  let nodes = txns schedule in
+  let edges = conflict_edges schedule in
+  let in_degree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace in_degree n 0) nodes;
+  List.iter
+    (fun (_, dst) -> Hashtbl.replace in_degree dst (Hashtbl.find in_degree dst + 1))
+    edges;
+  let rec go acc remaining edges =
+    match
+      List.find_opt (fun n -> Hashtbl.find in_degree n = 0) remaining
+    with
+    | None -> if remaining = [] then Some (List.rev acc) else None
+    | Some n ->
+        let outgoing, rest = List.partition (fun (src, _) -> src = n) edges in
+        List.iter
+          (fun (_, dst) ->
+            Hashtbl.replace in_degree dst (Hashtbl.find in_degree dst - 1))
+          outgoing;
+        go (n :: acc) (List.filter (fun m -> m <> n) remaining) rest
+  in
+  go [] nodes edges
+
+let conflict_serializable schedule = serial_order schedule <> None
+
+let of_serial txns =
+  List.concat_map
+    (fun (txn, actions) -> List.map (fun action -> { txn; action }) actions)
+    txns

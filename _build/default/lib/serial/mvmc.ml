@@ -1,0 +1,104 @@
+type txn = {
+  id : string;
+  reads : (string * string option) list;
+  writes : string list;
+}
+
+let validate txns =
+  let ids = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem ids t.id then
+        invalid_arg (Printf.sprintf "Mvmc: duplicate transaction id %s" t.id);
+      Hashtbl.replace ids t.id t)
+    txns;
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (key, from) ->
+          match from with
+          | None -> ()
+          | Some writer -> (
+              match Hashtbl.find_opt ids writer with
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Mvmc: %s reads from unknown transaction %s"
+                       t.id writer)
+              | Some w ->
+                  if not (List.mem key w.writes) then
+                    invalid_arg
+                      (Printf.sprintf "Mvmc: %s reads %s from %s, which never writes it"
+                         t.id key writer)))
+        t.reads)
+    txns
+
+(* Depth-first search for a witness order. At each step, a transaction may
+   come next iff every one of its reads currently sees the right version:
+   the last already-placed writer of the key (or the initial version). *)
+let one_copy_serializable txns =
+  validate txns;
+  let admissible last_writer t =
+    List.for_all
+      (fun (key, from) -> Hashtbl.find_opt last_writer key = from)
+      t.reads
+  in
+  let rec search placed_rev last_writer remaining =
+    match remaining with
+    | [] -> Some (List.rev placed_rev)
+    | _ ->
+        List.find_map
+          (fun t ->
+            if admissible last_writer t then begin
+              let saved =
+                List.map (fun k -> (k, Hashtbl.find_opt last_writer k)) t.writes
+              in
+              List.iter (fun k -> Hashtbl.replace last_writer k t.id) t.writes;
+              let rest = List.filter (fun u -> u.id <> t.id) remaining in
+              match search (t.id :: placed_rev) last_writer rest with
+              | Some _ as witness -> witness
+              | None ->
+                  (* Backtrack. *)
+                  List.iter
+                    (fun (k, prev) ->
+                      match prev with
+                      | Some v -> Hashtbl.replace last_writer k v
+                      | None -> Hashtbl.remove last_writer k)
+                    saved;
+                  None
+            end
+            else None)
+          remaining
+  in
+  search [] (Hashtbl.create 16) txns
+
+let of_log log =
+  let module Txn = Mdds_types.Txn in
+  (* last_writer_upto.(k) tracked incrementally as we scan positions. *)
+  let writer_history : (string, (int * string) list) Hashtbl.t = Hashtbl.create 32 in
+  let writer_at key pos =
+    match Hashtbl.find_opt writer_history key with
+    | None -> None
+    | Some versions ->
+        List.find_map (fun (p, w) -> if p <= pos then Some w else None) versions
+  in
+  List.concat_map
+    (fun (pos, entry) ->
+      List.map
+        (fun (r : Txn.record) ->
+          let reads =
+            List.map (fun key -> (key, writer_at key r.read_position)) (Txn.read_set r)
+          in
+          (* Record this transaction's writes at this position before the
+             next record of the same entry is interpreted: within an
+             entry, later records read from the *log prefix* only — the
+             combination rule guarantees no intra-entry reads-from — so
+             ordering of this update relative to siblings is immaterial
+             for reads at read_position < pos. *)
+          List.iter
+            (fun key ->
+              let prev = Option.value (Hashtbl.find_opt writer_history key) ~default:[] in
+              Hashtbl.replace writer_history key ((pos, r.txn_id) :: prev))
+            (Txn.write_set r);
+          { id = r.txn_id; reads; writes = Txn.write_set r })
+        entry)
+    log

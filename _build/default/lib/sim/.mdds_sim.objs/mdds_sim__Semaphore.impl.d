@@ -1,0 +1,1 @@
+lib/sim/semaphore.ml: Engine Fun Queue

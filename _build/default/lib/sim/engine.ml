@@ -1,0 +1,102 @@
+open Effect
+open Effect.Deep
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  events : (unit -> unit) Heap.t;
+  random : Rng.t;
+  mutable executed : int;
+}
+
+type _ Effect.t +=
+  | Sleep : (t * float) -> unit Effect.t
+  | Suspend : (t * (('a -> unit) -> unit)) -> 'a Effect.t
+
+(* The engine the currently-executing process belongs to. Processes only
+   run from inside [run], which maintains this; effects need it to schedule
+   their continuations. *)
+let current : t option ref = ref None
+
+let create ?(seed = 42) () =
+  { clock = 0.0; seq = 0; events = Heap.create (); random = Rng.create seed; executed = 0 }
+
+let now t = t.clock
+let rng t = t.random
+let processed t = t.executed
+
+let schedule t ~at f =
+  let at = if at < t.clock then t.clock else at in
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~time:at ~seq:t.seq f
+
+type timer = { mutable cancelled : bool }
+
+let after t d f =
+  let tm = { cancelled = false } in
+  schedule t ~at:(t.clock +. d) (fun () -> if not tm.cancelled then f ());
+  tm
+
+let cancel tm = tm.cancelled <- true
+
+let engine_of_process () =
+  match !current with
+  | Some t -> t
+  | None -> failwith "Engine: blocking operation outside a running process"
+
+(* Run a process step under the effect handler. Continuations re-enter
+   through the event queue, so the handler installs itself only once per
+   process: [continue] resumes under the same (deep) handler. *)
+let start_process _t f =
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep (t, d) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule t ~at:(t.clock +. d) (fun () -> continue k ()))
+          | Suspend (t, register) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  register (fun v -> schedule t ~at:t.clock (fun () -> continue k v)))
+          | _ -> None);
+    }
+
+let spawn ?at t f =
+  let at = match at with None -> t.clock | Some x -> x in
+  schedule t ~at (fun () -> start_process t f)
+
+let sleep d =
+  let t = engine_of_process () in
+  perform (Sleep (t, d))
+
+let suspend register =
+  let t = engine_of_process () in
+  perform (Suspend (t, register))
+
+let yield () = sleep 0.0
+
+let run ?(until = infinity) t =
+  let saved = !current in
+  current := Some t;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let rec loop () =
+        match Heap.peek t.events with
+        | None -> ()
+        | Some (time, _, _) when time > until -> t.clock <- until
+        | Some _ ->
+            (match Heap.pop t.events with
+            | None -> assert false
+            | Some (time, _, f) ->
+                t.clock <- time;
+                t.executed <- t.executed + 1;
+                f ());
+            loop ()
+      in
+      loop ())

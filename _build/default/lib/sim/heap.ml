@@ -1,0 +1,75 @@
+type 'a entry = { time : float; seq : int; item : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = max 16 (cap * 2) in
+    let nd = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 nd 0 t.size;
+    t.data <- nd
+  end
+
+let push t ~time ~seq item =
+  let e = { time; seq; item } in
+  if Array.length t.data = 0 then t.data <- Array.make 16 e;
+  grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.data.(!i) t.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(!i) in
+    t.data.(!i) <- t.data.(parent);
+    t.data.(parent) <- tmp;
+    i := parent
+  done
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.data.(0) in
+    Some (e.time, e.seq, e.item)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.seq, top.item)
+  end
+
+let clear t = t.size <- 0

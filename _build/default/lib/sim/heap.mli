@@ -1,0 +1,24 @@
+(** Binary min-heap, specialized as the simulator's event queue.
+
+    Elements are ordered by a [float] primary key (simulated time) with an
+    [int] tiebreaker (insertion sequence number), so that events scheduled
+    for the same instant fire in FIFO order — the property that makes the
+    whole simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert an element with the given priority key. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+(** Return the minimum without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,53 @@
+type 'a waiter = { mutable active : bool; wake : 'a option -> unit }
+
+type 'a t = {
+  engine : Engine.t;
+  queue : 'a Queue.t;
+  waiters : 'a waiter Queue.t;
+}
+
+let create engine = { engine; queue = Queue.create (); waiters = Queue.create () }
+
+let rec pop_waiter t =
+  match Queue.take_opt t.waiters with
+  | None -> None
+  | Some w -> if w.active then Some w else pop_waiter t
+
+let push t msg =
+  match pop_waiter t with
+  | Some w ->
+      w.active <- false;
+      w.wake (Some msg)
+  | None -> Queue.push msg t.queue
+
+let poll t = Queue.take_opt t.queue
+
+let recv t =
+  match Queue.take_opt t.queue with
+  | Some msg -> msg
+  | None -> (
+      let result =
+        Engine.suspend (fun wake ->
+            Queue.push { active = true; wake } t.waiters)
+      in
+      match result with
+      | Some msg -> msg
+      | None -> assert false (* no timeout was armed *))
+
+let recv_timeout t ~timeout =
+  match Queue.take_opt t.queue with
+  | Some msg -> Some msg
+  | None ->
+      Engine.suspend (fun wake ->
+          let w = { active = true; wake } in
+          Queue.push w t.waiters;
+          ignore
+            (Engine.after t.engine timeout (fun () ->
+                 if w.active then begin
+                   w.active <- false;
+                   w.wake None
+                 end)))
+
+let length t = Queue.length t.queue
+
+let clear t = Queue.clear t.queue

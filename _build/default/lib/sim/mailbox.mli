@@ -1,0 +1,29 @@
+(** Unbounded FIFO message queues connecting simulated processes.
+
+    A mailbox is the reception endpoint of every simulated node: the network
+    layer pushes delivered messages, and server processes block on [recv].
+    Receives optionally carry a timeout, which is how the transaction tier
+    implements the paper's "either the message arrives before a known
+    timeout or it is lost" failure model. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue a message; wakes the oldest waiting receiver, if any. *)
+
+val recv : 'a t -> 'a
+(** Block the calling process until a message is available. *)
+
+val recv_timeout : 'a t -> timeout:float -> 'a option
+(** Like {!recv} but gives up after [timeout] seconds, returning [None]. *)
+
+val poll : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Number of queued (undelivered) messages. *)
+
+val clear : 'a t -> unit
+(** Drop all queued messages (waiting receivers stay blocked). *)

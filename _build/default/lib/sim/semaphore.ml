@@ -1,0 +1,27 @@
+type t = {
+  engine : Engine.t;
+  mutable permits : int;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create engine permits =
+  if permits < 0 then invalid_arg "Semaphore.create: negative permits";
+  ignore engine;
+  { engine; permits; waiters = Queue.create () }
+
+let acquire t =
+  if t.permits > 0 then t.permits <- t.permits - 1
+  else Engine.suspend (fun wake -> Queue.push (fun () -> wake ()) t.waiters)
+
+let release t =
+  match Queue.take_opt t.waiters with
+  | Some wake -> wake ()
+  | None -> t.permits <- t.permits + 1
+
+let with_permit t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let available t = t.permits
+
+let waiting t = Queue.length t.waiters

@@ -1,0 +1,26 @@
+(** Counting semaphore for simulated processes.
+
+    Used wherever a component must serialize work across concurrently
+    spawned handler processes — e.g. the long-term-leader transaction
+    manager admits one commit decision at a time per transaction group.
+    Waiters are served in FIFO order. *)
+
+type t
+
+val create : Engine.t -> int -> t
+(** [create engine n] makes a semaphore with [n] permits ([n ≥ 0]). *)
+
+val acquire : t -> unit
+(** Take a permit, blocking the calling process until one is available. *)
+
+val release : t -> unit
+(** Return a permit, waking the oldest waiter if any. *)
+
+val with_permit : t -> (unit -> 'a) -> 'a
+(** [acquire], run the function, [release] — also on exceptions. *)
+
+val available : t -> int
+(** Permits currently free. *)
+
+val waiting : t -> int
+(** Processes currently blocked in {!acquire}. *)

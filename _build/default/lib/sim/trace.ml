@@ -1,0 +1,56 @@
+type level = Debug | Info | Warn
+
+type event = {
+  time : float;
+  level : level;
+  source : string;
+  category : string;
+  message : string;
+}
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  buffer : event Queue.t;
+  mutable on : bool;
+  mutable recorded : int;
+}
+
+let create ?(capacity = 10_000) engine =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { engine; capacity; buffer = Queue.create (); on = false; recorded = 0 }
+
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let push t event =
+  t.recorded <- t.recorded + 1;
+  Queue.push event t.buffer;
+  if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+
+let record t ?(level = Info) ~source ~category fmt =
+  Printf.ksprintf
+    (fun message ->
+      if t.on then
+        push t { time = Engine.now t.engine; level; source; category; message })
+    fmt
+
+let events t = List.of_seq (Queue.to_seq t.buffer)
+
+let tail t n =
+  let all = events t in
+  let len = List.length all in
+  if len <= n then all else List.filteri (fun i _ -> i >= len - n) all
+
+let count t ~category =
+  Queue.fold (fun acc e -> if e.category = category then acc + 1 else acc) 0 t.buffer
+
+let total t = t.recorded
+
+let clear t = Queue.clear t.buffer
+
+let pp_event ppf e =
+  let level = match e.level with Debug -> "·" | Info -> " " | Warn -> "!" in
+  Format.fprintf ppf "[%9.4fs]%s %-12s %-10s %s" e.time level e.source e.category
+    e.message

@@ -1,0 +1,54 @@
+(** Structured execution traces.
+
+    A bounded in-memory record of interesting protocol events — message
+    rounds, commit outcomes, learner activity, fault injections — stamped
+    with virtual time and source. Tracing is off by default and costs one
+    branch when disabled; when enabled it is the primary debugging tool for
+    protocol runs (`mdds run --trace` prints the tail of the trace).
+
+    Events are plain data; rendering is the caller's business
+    ({!pp_event} gives the standard one-line form). *)
+
+type level = Debug | Info | Warn
+
+type event = {
+  time : float;  (** Virtual time of the event. *)
+  level : level;
+  source : string;  (** Component, e.g. ["svc.V1"], ["client.c3.O1"]. *)
+  category : string;  (** Event kind, e.g. ["prepare"], ["commit"]. *)
+  message : string;
+}
+
+type t
+
+val create : ?capacity:int -> Engine.t -> t
+(** A disabled trace buffer keeping at most [capacity] (default 10_000)
+    most recent events. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val record :
+  t -> ?level:level -> source:string -> category:string ->
+  ('a, unit, string, unit) format4 -> 'a
+(** [record t ~source ~category fmt …] appends an event (no-op when
+    disabled; the format arguments are still evaluated, so keep them
+    cheap). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val tail : t -> int -> event list
+(** The [n] most recent events, oldest first. *)
+
+val count : t -> category:string -> int
+(** Events of a category among the retained ones. *)
+
+val total : t -> int
+(** Events recorded since creation (including evicted ones). *)
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+(** ["[  1.234s] svc.V1 prepare: …"]. *)

@@ -1,0 +1,1 @@
+lib/types/txn.ml: Format List Mdds_codec String

@@ -1,0 +1,1 @@
+lib/types/txn.mli: Format Mdds_codec

@@ -1,0 +1,85 @@
+module Codec = Mdds_codec.Codec
+
+type key = string
+
+type write = { key : key; value : string }
+
+type record = {
+  txn_id : string;
+  origin : int;
+  read_position : int;
+  reads : key list;
+  writes : write list;
+}
+
+type entry = record list
+
+let make_record ~txn_id ~origin ~read_position ~reads ~writes =
+  { txn_id; origin; read_position; reads; writes }
+
+let dedup keys = List.sort_uniq String.compare keys
+
+let read_set r = dedup r.reads
+let write_set r = dedup (List.map (fun w -> w.key) r.writes)
+
+let entry_write_set e = dedup (List.concat_map write_set e)
+
+let is_read_only r = r.writes = []
+
+let reads_from t s =
+  let written = write_set s in
+  List.exists (fun k -> List.mem k written) (read_set t)
+
+let conflicts_with_any t winners = List.exists (reads_from t) winners
+
+let valid_combination entry =
+  let rec go preceding_writes = function
+    | [] -> true
+    | r :: rest ->
+        let stale = List.exists (fun k -> List.mem k preceding_writes) (read_set r) in
+        (not stale) && go (List.rev_append (write_set r) preceding_writes) rest
+  in
+  go [] entry
+
+let mem_entry ~txn_id entry = List.exists (fun r -> r.txn_id = txn_id) entry
+
+let equal_write a b = a.key = b.key && a.value = b.value
+
+let equal_record a b =
+  a.txn_id = b.txn_id && a.origin = b.origin
+  && a.read_position = b.read_position
+  && List.equal String.equal a.reads b.reads
+  && List.equal equal_write a.writes b.writes
+
+let equal_entry = List.equal equal_record
+
+let pp_write ppf w = Format.fprintf ppf "%s:=%S" w.key w.value
+
+let pp_record ppf r =
+  Format.fprintf ppf "@[<h>{%s@@dc%d rp=%d r=[%a] w=[%a]}@]" r.txn_id r.origin
+    r.read_position
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") Format.pp_print_string)
+    r.reads
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp_write)
+    r.writes
+
+let pp_entry ppf e =
+  Format.fprintf ppf "@[<h>[%a]@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_record)
+    e
+
+let write_codec =
+  Codec.map
+    (fun (key, value) -> { key; value })
+    (fun { key; value } -> (key, value))
+    Codec.(pair string string)
+
+let record_codec =
+  Codec.map
+    (fun ((txn_id, origin), (read_position, reads, writes)) ->
+      { txn_id; origin; read_position; reads; writes })
+    (fun { txn_id; origin; read_position; reads; writes } ->
+      ((txn_id, origin), (read_position, reads, writes)))
+    Codec.(pair (pair string int) (triple int (list string) (list write_codec)))
+
+let entry_codec = Codec.list record_codec

@@ -1,0 +1,76 @@
+(** Transaction-tier value types shared across the stack.
+
+    A committed read/write transaction is summarized by a {!record}: its
+    identity, the datacenter of the client that executed it, the keys it
+    read (with the log position each read was served at — property (A2))
+    and the writes it performed. A write-ahead-log {!entry} is an ordered
+    list of such records: basic Paxos always writes singleton lists, while
+    Paxos-CP's combination enhancement writes longer ones (§5).
+
+    Everything here is immutable plain data with codecs, so records can be
+    shipped in Paxos messages and persisted in the key-value store. *)
+
+type key = string
+(** A data item identifier, unique within its transaction group. *)
+
+type write = { key : key; value : string }
+(** One buffered write operation. *)
+
+type record = {
+  txn_id : string;  (** Globally unique transaction identifier. *)
+  origin : int;  (** Datacenter of the client that ran the transaction. *)
+  read_position : int;  (** Log position all its reads were served at. *)
+  reads : key list;  (** Keys read from the datastore (read set). *)
+  writes : write list;  (** Buffered writes applied at commit. *)
+}
+
+type entry = record list
+(** The value decided for one log position: transactions in serialization
+    order. Invariant (enforced by combination): no record reads a key
+    written by an earlier record of the same entry. *)
+
+(** {1 Construction and accessors} *)
+
+val make_record :
+  txn_id:string -> origin:int -> read_position:int ->
+  reads:key list -> writes:write list -> record
+
+val read_set : record -> key list
+(** Keys read, deduplicated. *)
+
+val write_set : record -> key list
+(** Keys written, deduplicated. *)
+
+val entry_write_set : entry -> key list
+(** Union of the write sets of all records in the entry. *)
+
+val is_read_only : record -> bool
+
+(** {1 Conflict predicates (the heart of Paxos-CP's admission tests)} *)
+
+val reads_from : record -> record -> bool
+(** [reads_from t s] iff [t] read some key that [s] wrote — serializing [t]
+    after [s] at a later position would give [t] a stale read. *)
+
+val conflicts_with_any : record -> record list -> bool
+(** [conflicts_with_any t winners] iff [t] reads a key written by any
+    record in [winners] (the promotion admission test, §5). *)
+
+val valid_combination : entry -> bool
+(** Checks the combination invariant: no record reads a key written by any
+    record preceding it in the list (§5, Combination). *)
+
+val mem_entry : txn_id:string -> entry -> bool
+(** Whether the entry contains the transaction with the given id. *)
+
+(** {1 Equality, formatting, codecs} *)
+
+val equal_record : record -> record -> bool
+val equal_entry : entry -> entry -> bool
+
+val pp_record : Format.formatter -> record -> unit
+val pp_entry : Format.formatter -> entry -> unit
+
+val write_codec : write Mdds_codec.Codec.t
+val record_codec : record Mdds_codec.Codec.t
+val entry_codec : entry Mdds_codec.Codec.t

@@ -1,0 +1,1 @@
+lib/wal/wal.ml: List Mdds_codec Mdds_kvstore Mdds_types Printf String

@@ -1,0 +1,1 @@
+lib/wal/wal.mli: Mdds_kvstore Mdds_types

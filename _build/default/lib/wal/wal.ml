@@ -1,0 +1,161 @@
+module Store = Mdds_kvstore.Store
+module Txn = Mdds_types.Txn
+module Codec = Mdds_codec.Codec
+
+type t = { store : Store.t }
+
+let create store = { store }
+let store t = t.store
+
+let log_key ~group ~pos = Printf.sprintf "log/%s/%d" group pos
+let meta_key ~group = "logmeta/" ^ group
+let data_key ~group ~key = Printf.sprintf "data/%s/%s" group key
+
+let meta_int t ~group name =
+  match Store.attribute t.store ~key:(meta_key ~group) name with
+  | None -> 0
+  | Some s -> int_of_string s
+
+let set_meta t ~group name v =
+  let key = meta_key ~group in
+  let current =
+    match Store.read t.store ~key () with None -> [] | Some (_, attrs) -> attrs
+  in
+  let attrs = (name, string_of_int v) :: List.remove_assoc name current in
+  match Store.write t.store ~key attrs with
+  | Ok _ -> ()
+  | Error `Stale -> assert false (* auto-stamped writes cannot be stale *)
+
+let entry t ~group ~pos =
+  match Store.attribute t.store ~key:(log_key ~group ~pos) "entry" with
+  | None -> None
+  | Some encoded -> Some (Codec.decode_exn Txn.entry_codec encoded)
+
+let append t ~group ~pos e =
+  (match entry t ~group ~pos with
+  | Some existing when not (Txn.equal_entry existing e) ->
+      failwith
+        (Printf.sprintf
+           "Wal.append: conflicting entry for %s position %d (R1 violation)"
+           group pos)
+  | Some _ -> () (* duplicate apply: idempotent *)
+  | None -> (
+      let encoded = Codec.encode Txn.entry_codec e in
+      match Store.write t.store ~key:(log_key ~group ~pos) [ ("entry", encoded) ] with
+      | Ok _ -> ()
+      | Error `Stale -> assert false));
+  if pos > meta_int t ~group "last" then set_meta t ~group "last" pos
+
+let last_position t ~group = meta_int t ~group "last"
+
+let first_gap t ~group ~upto =
+  let rec go pos =
+    if pos > upto then None
+    else
+      match entry t ~group ~pos with
+      | None -> Some pos
+      | Some _ -> go (pos + 1)
+  in
+  go 1
+
+let applied_position t ~group = meta_int t ~group "applied"
+
+let compacted_position t ~group = meta_int t ~group "compacted"
+
+let apply_entry t ~group ~pos e =
+  List.iter
+    (fun (record : Txn.record) ->
+      List.iter
+        (fun (w : Txn.write) ->
+          match
+            Store.write t.store ~key:(data_key ~group ~key:w.key) ~timestamp:pos
+              [ ("v", w.value) ]
+          with
+          | Ok _ -> ()
+          | Error `Stale ->
+              (* A higher-versioned write exists: this entry was already
+                 applied past this point; per-position overwrite keeps the
+                 operation idempotent, stale means a *later* position wrote
+                 the key, which only happens on re-apply. Safe to skip. *)
+              ())
+        record.writes)
+    e
+
+let apply t ~group ~upto =
+  let rec go pos =
+    if pos > upto then Ok ()
+    else
+      match entry t ~group ~pos with
+      | None -> Error (`Gap pos)
+      | Some e ->
+          apply_entry t ~group ~pos e;
+          set_meta t ~group "applied" pos;
+          go (pos + 1)
+  in
+  go (max (applied_position t ~group) (compacted_position t ~group) + 1)
+
+let compact t ~group ~upto =
+  if upto > applied_position t ~group then Error `Not_applied
+  else begin
+    for pos = compacted_position t ~group + 1 to upto do
+      Store.delete t.store ~key:(log_key ~group ~pos)
+    done;
+    if upto > compacted_position t ~group then set_meta t ~group "compacted" upto;
+    Ok ()
+  end
+
+let snapshot t ~group =
+  let prefix = "data/" ^ group ^ "/" in
+  let rows =
+    List.filter_map
+      (fun key ->
+        if String.starts_with ~prefix key then
+          match Store.read t.store ~key () with
+          | Some (version, attrs) -> (
+              match Mdds_kvstore.Row.attribute attrs "v" with
+              | Some value ->
+                  let data_key =
+                    String.sub key (String.length prefix)
+                      (String.length key - String.length prefix)
+                  in
+                  Some (data_key, version, value)
+              | None -> None)
+          | None -> None
+        else None)
+      (Store.keys t.store)
+  in
+  (applied_position t ~group, rows)
+
+let install_snapshot t ~group ~applied rows =
+  List.iter
+    (fun (key, version, value) ->
+      match
+        Store.write t.store ~key:(data_key ~group ~key) ~timestamp:version
+          [ ("v", value) ]
+      with
+      | Ok _ | Error `Stale -> () (* local state already newer: keep it *))
+    rows;
+  if applied > applied_position t ~group then set_meta t ~group "applied" applied;
+  if applied > compacted_position t ~group then set_meta t ~group "compacted" applied;
+  if applied > meta_int t ~group "last" then set_meta t ~group "last" applied
+
+let read_data t ~group ~key ~at =
+  match Store.read t.store ~key:(data_key ~group ~key) ~timestamp:at () with
+  | None -> None
+  | Some (_, attrs) -> Mdds_kvstore.Row.attribute attrs "v"
+
+let data_version t ~group ~key ~at =
+  match Store.read t.store ~key:(data_key ~group ~key) ~timestamp:at () with
+  | None -> None
+  | Some (ts, _) -> Some ts
+
+let dump t ~group =
+  let last = last_position t ~group in
+  let rec go pos acc =
+    if pos < 1 then acc
+    else
+      match entry t ~group ~pos with
+      | None -> go (pos - 1) acc
+      | Some e -> go (pos - 1) ((pos, e) :: acc)
+  in
+  go last []

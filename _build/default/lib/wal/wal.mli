@@ -1,0 +1,89 @@
+(** Per-datacenter write-ahead log, stored in the key-value store.
+
+    Every transaction group has its own log (§3.2): a sequence of positions
+    numbered from 1, each holding the committed transaction(s) decided by
+    the Paxos instance for that position. The log and its metadata live in
+    ordinary key-value rows, so the transaction tier keeps no private
+    durable state.
+
+    Log entries are written at commit time; the data writes they contain
+    are applied to versioned data rows later — by {!apply} — with the log
+    position as the version timestamp (§3.2: "the commit log position
+    serves as the timestamp"). [applied_position] tracks the background
+    application watermark.
+
+    Row layout (one store, many groups):
+    - ["log/<group>/<pos>"]: attribute ["entry"] = encoded {!Mdds_types.Txn.entry};
+    - ["logmeta/<group>"]: attributes ["last"], ["applied"];
+    - ["data/<group>/<key>"]: attribute ["v"], versioned by log position. *)
+
+type t
+
+val create : Mdds_kvstore.Store.t -> t
+val store : t -> Mdds_kvstore.Store.t
+
+(** {1 The log} *)
+
+val append : t -> group:string -> pos:int -> Mdds_types.Txn.entry -> unit
+(** Record the decided entry for a position. Idempotent for equal entries.
+    Raises [Failure] if a *different* entry is already present — that would
+    be a violation of replication property (R1) and indicates a protocol
+    bug, so it must not be silently absorbed. *)
+
+val entry : t -> group:string -> pos:int -> Mdds_types.Txn.entry option
+
+val last_position : t -> group:string -> int
+(** Highest position with a locally known entry (0 if none). This is the
+    "position of the last written log entry" a client's [begin] asks for. *)
+
+val first_gap : t -> group:string -> upto:int -> int option
+(** Lowest position in [1..upto] with no local entry. *)
+
+(** {1 Applying entries to data rows} *)
+
+val applied_position : t -> group:string -> int
+
+val apply : t -> group:string -> upto:int -> (unit, [ `Gap of int ]) result
+(** Apply all entries from the watermark up to [upto] to the data rows, in
+    log order (writes within an entry in record order, so later records of
+    a combined entry win). Stops at the first missing entry, returning its
+    position; the caller (Transaction Service) must learn it via Paxos. *)
+
+val read_data : t -> group:string -> key:string -> at:int -> string option
+(** Value of [key] as of log position [at] — the most recent applied write
+    with position ≤ [at]. Requires the log to be applied through [at] to be
+    meaningful; the Transaction Service guarantees that before reading. *)
+
+val data_version : t -> group:string -> key:string -> at:int -> int option
+(** Position of the write that {!read_data} would return (test oracle). *)
+
+(** {1 Compaction and snapshots}
+
+    Once a prefix of the log has been applied to the data rows, the rows
+    themselves are the checkpoint: the prefix can be discarded
+    (Megastore-style checkpointing). A replica that fell behind a
+    compaction point can no longer learn those entries through Paxos — it
+    installs a snapshot of the data rows instead and resumes the log from
+    the snapshot's position. *)
+
+val compacted_position : t -> group:string -> int
+(** Highest discarded log position (0 = nothing compacted). *)
+
+val compact : t -> group:string -> upto:int -> (unit, [ `Not_applied ]) result
+(** Discard log entries 1..[upto]. Refused unless the prefix has been
+    applied — compaction must never lose unapplied writes. *)
+
+val snapshot : t -> group:string -> int * (string * int * string) list
+(** [(applied, rows)]: the applied watermark and, for every data key of
+    the group, its latest [(key, version, value)] as of that watermark. *)
+
+val install_snapshot :
+  t -> group:string -> applied:int -> (string * int * string) list -> unit
+(** Install a peer's snapshot: write each row version (keeping newer local
+    data if any) and advance the applied/compacted watermarks to
+    [applied]. The local log then starts after the snapshot. *)
+
+(** {1 Introspection} *)
+
+val dump : t -> group:string -> (int * Mdds_types.Txn.entry) list
+(** All locally known entries, sorted by position (for checkers/tests). *)

@@ -1,0 +1,1 @@
+lib/workload/distribution.ml: Format Mdds_sim

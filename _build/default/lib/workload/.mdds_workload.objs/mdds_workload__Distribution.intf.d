@@ -1,0 +1,1 @@
+lib/workload/distribution.mli: Format Mdds_sim

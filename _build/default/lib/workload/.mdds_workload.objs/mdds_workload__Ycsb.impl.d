@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Distribution List Mdds_core Mdds_sim Printf

@@ -1,0 +1,1 @@
+lib/workload/ycsb.mli: Distribution Mdds_core

@@ -1,0 +1,47 @@
+module Rng = Mdds_sim.Rng
+
+type t = Uniform | Zipfian of float
+
+(* Zipfian over [0, n) by Gray et al.'s analytic method (YCSB's
+   ZipfianGenerator): closed-form inverse of the harmonic CDF
+   approximation. *)
+let zipfian theta rng n =
+  let nf = float_of_int n in
+  let zeta =
+    (* zeta(n, theta); n is small (attribute counts), direct sum is fine
+       and exact. *)
+    let s = ref 0.0 in
+    for i = 1 to n do
+      s := !s +. (1.0 /. (float_of_int i ** theta))
+    done;
+    !s
+  in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. nf) ** (1.0 -. theta)))
+    /. (1.0 -. ((1.0 /. zeta) *. 2.0 *. (1.0 -. theta) /. nf))
+  in
+  let u = Rng.float rng 1.0 in
+  let uz = u *. zeta in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** theta) then 1
+  else
+    let rank = int_of_float (nf *. (((eta *. u) -. eta +. 1.0) ** alpha)) in
+    min (max rank 0) (n - 1)
+
+(* Multiplicative scrambling so rank 0 (the hottest key) is not always
+   attribute 0. *)
+let scramble index n = (index * 2654435761) land max_int mod n
+
+let sample t rng n =
+  if n <= 0 then invalid_arg "Distribution.sample: empty domain";
+  match t with
+  | Uniform -> Rng.int rng n
+  | Zipfian theta ->
+      if theta <= 0.0 || theta >= 1.0 then
+        invalid_arg "Distribution.sample: theta must be in (0, 1)";
+      scramble (zipfian theta rng n) n
+
+let pp ppf = function
+  | Uniform -> Format.pp_print_string ppf "uniform"
+  | Zipfian theta -> Format.fprintf ppf "zipfian(%.2f)" theta

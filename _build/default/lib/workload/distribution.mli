@@ -1,0 +1,16 @@
+(** Key-selection distributions for the workload generator.
+
+    YCSB's two standard request distributions: uniform, and the scrambled
+    Zipfian used to model skewed access ("hot keys"). The Zipfian sampler
+    uses the rejection-inversion-free method of Gray et al. (as in YCSB's
+    [ZipfianGenerator]), with a multiplicative hash to scatter the hot
+    items across the key space. *)
+
+type t =
+  | Uniform
+  | Zipfian of float  (** Skew parameter theta, 0 < theta < 1 (YCSB: 0.99). *)
+
+val sample : t -> Mdds_sim.Rng.t -> int -> int
+(** [sample dist rng n] draws an index in [\[0, n)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Cluster = Mdds_core.Cluster
+module Client = Mdds_core.Client
+module Engine = Mdds_sim.Engine
+module Rng = Mdds_sim.Rng
+
+type config = {
+  group : string;
+  groups : int;
+  total_txns : int;
+  threads : int;
+  rate : float;
+  ops_per_txn : int;
+  read_fraction : float;
+  attributes : int;
+  distribution : Distribution.t;
+  stagger : float;
+  client_dcs : int list;
+  preload : bool;
+}
+
+let default =
+  {
+    group = "ycsb";
+    groups = 1;
+    total_txns = 500;
+    threads = 4;
+    rate = 1.0;
+    ops_per_txn = 10;
+    read_fraction = 0.5;
+    attributes = 100;
+    distribution = Distribution.Uniform;
+    stagger = 0.25;
+    client_dcs = [ 0 ];
+    preload = true;
+  }
+
+type handle = { mutable begin_failures : int; mutable finished : int }
+
+let attribute_key i = Printf.sprintf "a%03d" i
+
+let group_keys config =
+  if config.groups <= 1 then [ config.group ]
+  else List.init config.groups (fun i -> Printf.sprintf "%s-%d" config.group i)
+
+let group_key config i =
+  if config.groups <= 1 then config.group
+  else Printf.sprintf "%s-%d" config.group (i mod config.groups)
+
+(* Preload: one transaction writing every attribute, committed before any
+   worker starts; gives reads a defined initial value at log position 1. *)
+let preload_duration = 1.0
+
+let preload_id = "preload"
+
+let run_preload cluster config =
+  let client = Cluster.client cluster ~id:preload_id ~dc:(List.hd config.client_dcs) in
+  Cluster.spawn cluster (fun () ->
+      for g = 0 to max 0 (config.groups - 1) do
+        let txn = Client.begin_ client ~group:(group_key config g) in
+        for i = 0 to config.attributes - 1 do
+          Client.write txn (attribute_key i) "init"
+        done;
+        match Client.commit txn with
+        | Mdds_core.Audit.Committed _ -> ()
+        | _ -> failwith "Ycsb: preload transaction failed to commit"
+      done)
+
+let run_worker cluster config handle ~index ~txns =
+  let dc =
+    List.nth config.client_dcs (index mod List.length config.client_dcs)
+  in
+  let client = Cluster.client cluster ~dc in
+  let rng = Rng.split (Engine.rng (Cluster.engine cluster)) in
+  let start =
+    (if config.preload then preload_duration else 0.0)
+    +. (float_of_int index *. config.stagger)
+  in
+  Cluster.spawn cluster ~at:start (fun () ->
+      let scheduled = ref (Engine.now (Cluster.engine cluster)) in
+      for _k = 1 to txns do
+        (* Poisson arrivals at the target rate (exponential inter-arrival
+           times), but never overlap own transactions. *)
+        scheduled := !scheduled +. Rng.exponential rng (1.0 /. config.rate);
+        let now = Engine.now (Cluster.engine cluster) in
+        if !scheduled > now then Engine.sleep (!scheduled -. now);
+        (try
+           let txn = Client.begin_ client ~group:(group_key config _k) in
+           for op = 0 to config.ops_per_txn - 1 do
+             let key =
+               attribute_key (Distribution.sample config.distribution rng config.attributes)
+             in
+             if Rng.bool rng config.read_fraction then
+               ignore (Client.read txn key)
+             else
+               Client.write txn key
+                 (Printf.sprintf "%s#%d" (Client.txn_id txn) op)
+           done;
+           ignore (Client.commit txn)
+         with Client.Unavailable _ -> handle.begin_failures <- handle.begin_failures + 1);
+        handle.finished <- handle.finished + 1
+      done)
+
+let run cluster config =
+  if config.threads <= 0 then invalid_arg "Ycsb.run: threads must be positive";
+  if config.client_dcs = [] then invalid_arg "Ycsb.run: client_dcs empty";
+  let handle = { begin_failures = 0; finished = 0 } in
+  if config.preload then run_preload cluster config;
+  let base = config.total_txns / config.threads in
+  let extra = config.total_txns mod config.threads in
+  for index = 0 to config.threads - 1 do
+    let txns = base + if index < extra then 1 else 0 in
+    if txns > 0 then run_worker cluster config handle ~index ~txns
+  done;
+  handle

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Float Int64 List Mdds_codec QCheck QCheck_alcotest String Test

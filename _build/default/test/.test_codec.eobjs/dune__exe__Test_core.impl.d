@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Gen List Mdds_core Mdds_net Mdds_paxos Mdds_types Option Printf QCheck QCheck_alcotest Test

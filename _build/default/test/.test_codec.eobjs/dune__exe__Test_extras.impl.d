@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Hashtbl List Mdds_core Mdds_kvstore Mdds_net Mdds_serial Mdds_sim Mdds_types Mdds_wal Mdds_workload Option Printf

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Array Fun Gen List Mdds_core Mdds_net Mdds_paxos Mdds_sim Mdds_types Mdds_wal Printf QCheck QCheck_alcotest Test

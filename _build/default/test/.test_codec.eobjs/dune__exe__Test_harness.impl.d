@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Format Gen List Mdds_core Mdds_harness Mdds_workload QCheck QCheck_alcotest String

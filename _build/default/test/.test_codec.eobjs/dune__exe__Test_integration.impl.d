@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Format List Mdds_core Mdds_net Mdds_sim Mdds_types Mdds_workload Printf QCheck QCheck_alcotest

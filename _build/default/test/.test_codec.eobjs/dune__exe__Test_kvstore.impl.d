@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Gen List Mdds_kvstore Option QCheck QCheck_alcotest

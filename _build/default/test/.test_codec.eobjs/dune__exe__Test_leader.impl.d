@@ -1,0 +1,1 @@
+test/test_leader.ml: Alcotest List Mdds_core Mdds_net Mdds_sim Printf

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Gen List Mdds_net Mdds_sim Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Array Gen Hashtbl List Mdds_paxos Option Printf QCheck QCheck_alcotest String Test

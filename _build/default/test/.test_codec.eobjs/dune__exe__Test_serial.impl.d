@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Format Gen List Mdds_serial Mdds_types Option Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Float List Mdds_core Mdds_harness Mdds_workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Fun List Mdds_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Format List Mdds_codec Mdds_types Printf QCheck QCheck_alcotest String

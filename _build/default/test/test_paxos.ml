@@ -1,0 +1,335 @@
+(* Tests for the pure Paxos building blocks: ballots, acceptor transitions,
+   vote tallying — plus a model-based safety property: under arbitrary
+   interleavings of correctly-behaving proposers, at most one value is ever
+   chosen for an instance. *)
+
+module Ballot = Mdds_paxos.Ballot
+module Acceptor = Mdds_paxos.Acceptor
+module Tally = Mdds_paxos.Tally
+
+(* ------------------------------------------------------------------ *)
+(* Ballot.                                                              *)
+
+let test_ballot_order () =
+  let b round proposer = Ballot.make ~round ~proposer in
+  Alcotest.(check bool) "round dominates" true (Ballot.compare (b 1 9) (b 2 0) < 0);
+  Alcotest.(check bool) "proposer breaks ties" true (Ballot.compare (b 1 0) (b 1 1) < 0);
+  Alcotest.(check bool) "equal" true (Ballot.equal (b 3 2) (b 3 2));
+  Alcotest.(check bool) "bottom below fast" true Ballot.(bottom < fast ~proposer:0);
+  Alcotest.(check bool) "fast below round 1" true Ballot.(fast ~proposer:9 < b 1 0);
+  Alcotest.(check bool) "is_bottom" true (Ballot.is_bottom Ballot.bottom);
+  Alcotest.check_raises "make round 0 reserved"
+    (Invalid_argument "Ballot.make: round must be >= 1") (fun () ->
+      ignore (Ballot.make ~round:0 ~proposer:1))
+
+let test_ballot_next () =
+  let b = Ballot.make ~round:3 ~proposer:5 in
+  let n = Ballot.next ~after:b ~proposer:2 in
+  Alcotest.(check bool) "strictly greater" true (Ballot.compare n b > 0);
+  Alcotest.(check int) "owned by proposer" 2 n.Ballot.proposer;
+  (* From bottom, the next ballot is round >= 1. *)
+  let from_bottom = Ballot.next ~after:Ballot.bottom ~proposer:0 in
+  Alcotest.(check bool) "round >= 1" true (from_bottom.Ballot.round >= 1);
+  (* Same-round higher proposer is allowed when it is greater. *)
+  let n2 = Ballot.next ~after:(Ballot.make ~round:2 ~proposer:1) ~proposer:4 in
+  Alcotest.(check bool) "greater" true
+    (Ballot.compare n2 (Ballot.make ~round:2 ~proposer:1) > 0)
+
+let test_ballot_strings () =
+  let b = Ballot.make ~round:7 ~proposer:3 in
+  Alcotest.(check bool) "roundtrip" true (Ballot.equal (Ballot.of_string (Ballot.to_string b)) b);
+  Alcotest.(check bool) "bottom roundtrip" true
+    (Ballot.equal (Ballot.of_string (Ballot.to_string Ballot.bottom)) Ballot.bottom);
+  Alcotest.check_raises "garbage" (Invalid_argument "Ballot.of_string") (fun () ->
+      ignore (Ballot.of_string "nope"))
+
+let prop_ballot_next_monotone =
+  QCheck.Test.make ~name:"next is strictly monotone" ~count:300
+    QCheck.(triple (int_range (-1) 50) (int_bound 9) (int_bound 9))
+    (fun (round, p1, p2) ->
+      let after =
+        if round < 1 then Ballot.bottom else Ballot.make ~round ~proposer:p1
+      in
+      let n = Ballot.next ~after ~proposer:p2 in
+      Ballot.compare n after > 0 && n.Ballot.round >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor.                                                            *)
+
+let b round proposer = Ballot.make ~round ~proposer
+
+let test_acceptor_prepare () =
+  let s = Acceptor.initial in
+  (match Acceptor.on_prepare s (b 1 0) with
+  | s', Acceptor.Promise None ->
+      Alcotest.(check bool) "nextBal raised" true (Ballot.equal s'.Acceptor.next_bal (b 1 0))
+  | _ -> Alcotest.fail "expected null promise");
+  let s1, _ = Acceptor.on_prepare s (b 2 0) in
+  (match Acceptor.on_prepare s1 (b 1 5) with
+  | s2, Acceptor.Reject nb ->
+      Alcotest.(check bool) "reject reports promised" true (Ballot.equal nb (b 2 0));
+      Alcotest.(check bool) "state unchanged" true
+        (Ballot.equal s2.Acceptor.next_bal (b 2 0))
+  | _ -> Alcotest.fail "expected reject");
+  (* Re-prepare at the same ballot is rejected (must be strictly greater). *)
+  match Acceptor.on_prepare s1 (b 2 0) with
+  | _, Acceptor.Reject _ -> ()
+  | _ -> Alcotest.fail "same-ballot prepare must be rejected"
+
+let test_acceptor_accept () =
+  let s = Acceptor.initial in
+  (* Fast path: accept at round 0 with no prior promise. *)
+  let s1, ok = Acceptor.on_accept s (Ballot.fast ~proposer:2) "v" in
+  Alcotest.(check bool) "fast accept" true ok;
+  (match s1.Acceptor.vote with
+  | Some (bv, "v") -> Alcotest.(check bool) "vote ballot" true (Ballot.equal bv (Ballot.fast ~proposer:2))
+  | _ -> Alcotest.fail "vote not recorded");
+  (* Lower-than-promised accept is refused. *)
+  let s2, _ = Acceptor.on_prepare s1 (b 5 0) in
+  let s3, ok = Acceptor.on_accept s2 (b 4 9) "w" in
+  Alcotest.(check bool) "stale accept refused" false ok;
+  Alcotest.(check bool) "vote unchanged" true (s3.Acceptor.vote = s1.Acceptor.vote);
+  (* Accept at exactly the promised ballot succeeds and re-votes. *)
+  let s4, ok = Acceptor.on_accept s2 (b 5 0) "w" in
+  Alcotest.(check bool) "promised accept" true ok;
+  match s4.Acceptor.vote with
+  | Some (_, "w") -> ()
+  | _ -> Alcotest.fail "revote missing"
+
+let test_acceptor_promise_returns_vote () =
+  let s = Acceptor.initial in
+  let s1, ok = Acceptor.on_accept s (b 1 0) "old" in
+  Alcotest.(check bool) "voted" true ok;
+  match Acceptor.on_prepare s1 (b 2 1) with
+  | _, Acceptor.Promise (Some (bv, "old")) ->
+      Alcotest.(check bool) "vote ballot reported" true (Ballot.equal bv (b 1 0))
+  | _ -> Alcotest.fail "promise must carry the last vote"
+
+(* ------------------------------------------------------------------ *)
+(* Tally.                                                               *)
+
+let vote from round proposer v = { Tally.from; vote = Some (b round proposer, v) }
+let null from = { Tally.from; vote = None }
+
+let test_majority () =
+  List.iter
+    (fun (d, m) -> Alcotest.(check int) (Printf.sprintf "majority %d" d) m (Tally.majority d))
+    [ (1, 1); (2, 2); (3, 2); (4, 3); (5, 3); (7, 4) ];
+  Alcotest.(check bool) "is_quorum" true (Tally.is_quorum ~total:5 3);
+  Alcotest.(check bool) "not quorum" false (Tally.is_quorum ~total:5 2)
+
+let test_find_winning () =
+  Alcotest.(check string) "all null gives own" "mine"
+    (Tally.find_winning [ null 0; null 1; null 2 ] ~own:"mine");
+  Alcotest.(check string) "max ballot wins" "late"
+    (Tally.find_winning
+       [ vote 0 1 0 "early"; vote 1 3 1 "late"; vote 2 2 0 "mid" ]
+       ~own:"mine");
+  Alcotest.(check string) "nulls ignored" "v"
+    (Tally.find_winning [ null 0; vote 1 1 0 "v"; null 2 ] ~own:"mine")
+
+let eq = String.equal
+
+let test_decide_free () =
+  (* D=3, all three responded, one vote: 1 + 0 silent <= 1 → free. *)
+  (match Tally.decide ~total:3 ~equal:eq [ vote 0 1 0 "a"; null 1; null 2 ] with
+  | Tally.Free -> ()
+  | _ -> Alcotest.fail "expected free");
+  (* All null with a majority responding: free. *)
+  (match Tally.decide ~total:3 ~equal:eq [ null 0; null 1 ] with
+  | Tally.Free -> ()
+  | _ -> Alcotest.fail "expected free (all null)");
+  (* D=5, 4 responses, max 1 vote: 1 + 1 silent <= 2 → free. *)
+  match Tally.decide ~total:5 ~equal:eq [ vote 0 1 0 "a"; null 1; null 2; null 3 ] with
+  | Tally.Free -> ()
+  | _ -> Alcotest.fail "expected free (D=5)"
+
+let test_decide_chosen () =
+  (* D=3, two votes for the same value: majority → chosen. *)
+  (match Tally.decide ~total:3 ~equal:eq [ vote 0 1 0 "a"; vote 1 1 0 "a"; null 2 ] with
+  | Tally.Chosen "a" -> ()
+  | _ -> Alcotest.fail "expected chosen");
+  (* D=5 with three same-value votes. *)
+  match
+    Tally.decide ~total:5 ~equal:eq
+      [ vote 0 1 0 "a"; vote 1 1 0 "a"; vote 2 1 0 "a"; null 3; null 4 ]
+  with
+  | Tally.Chosen "a" -> ()
+  | _ -> Alcotest.fail "expected chosen (D=5)"
+
+let test_decide_constrained () =
+  (* D=3, only a bare majority responded and one voted: the silent one
+     might agree, so 1 + 1 > 1 → constrained to the max-ballot value. *)
+  (match Tally.decide ~total:3 ~equal:eq [ vote 0 1 0 "a"; null 1 ] with
+  | Tally.Constrained "a" -> ()
+  | _ -> Alcotest.fail "expected constrained");
+  (* D=5: two values split 2/1 with one silent: max 2 + 1 = 3 > 2, no
+     majority seen → constrained to max ballot ("b" at round 4). *)
+  match
+    Tally.decide ~total:5 ~equal:eq
+      [ vote 0 1 0 "a"; vote 1 2 0 "a"; vote 2 4 1 "b"; null 3 ]
+  with
+  | Tally.Constrained "b" -> ()
+  | _ -> Alcotest.fail "expected constrained to max ballot"
+
+let test_decide_empty () =
+  let expected = Invalid_argument "Tally.decide: need a majority of responses" in
+  Alcotest.check_raises "no responses" expected (fun () ->
+      ignore (Tally.decide ~total:3 ~equal:eq []));
+  Alcotest.check_raises "sub-quorum" expected (fun () ->
+      ignore (Tally.decide ~total:5 ~equal:eq [ null 0; null 1 ]))
+
+let test_vote_counts () =
+  let counts =
+    Tally.vote_counts ~equal:eq [ vote 0 1 0 "a"; vote 1 2 1 "a"; vote 2 3 0 "b"; null 3 ]
+  in
+  Alcotest.(check int) "a count" 2 (List.assoc "a" counts);
+  Alcotest.(check int) "b count" 1 (List.assoc "b" counts)
+
+let tally_coherence_prop =
+  (* decide's classification is internally coherent with its inputs. *)
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* total = 3 -- 7 in
+      let* n = Tally.majority total -- total in
+      let* votes =
+        flatten_l
+          (List.init n (fun from ->
+               map
+                 (fun v ->
+                   match v with
+                   | None -> { Tally.from; vote = None }
+                   | Some (r, value) ->
+                       { Tally.from; vote = Some (b (r + 1) 0, value) })
+                 (option (pair (0 -- 3) (oneofl [ "a"; "b"; "c" ])))))
+      in
+      return (total, votes))
+  in
+  Test.make ~name:"decide classification is coherent" ~count:500 (make gen)
+    (fun (total, votes) ->
+      let counts = Tally.vote_counts ~equal:String.equal votes in
+      let max_votes = List.fold_left (fun m (_, n) -> max m n) 0 counts in
+      let silent = total - List.length votes in
+      match Tally.decide ~total ~equal:String.equal votes with
+      | Tally.Free -> max_votes + silent <= total / 2
+      | Tally.Chosen v ->
+          (* v really has a majority of observed votes. *)
+          List.assoc v counts > total / 2
+      | Tally.Constrained v ->
+          (* Neither window: some non-null vote exists and v is the
+             max-ballot one. *)
+          max_votes + silent > total / 2
+          && max_votes <= total / 2
+          && v = Tally.find_winning votes ~own:"OWN-SENTINEL")
+
+(* ------------------------------------------------------------------ *)
+(* Model-based safety: arbitrary interleavings of proposer actions.     *)
+
+(* A tiny executable model of an instance: N acceptor states, P proposers
+   following the proper two-phase rules. The schedule (a list of (proposer,
+   acceptor-subset) action pairs generated by QCheck) decides which
+   prepare/accept messages get through. Safety: the set of values ever
+   chosen (voted by a majority of acceptors at the same ballot) has at most
+   one element — and matches what the basic findWinningVal adoption rule
+   preserves. *)
+
+let safety_model_prop =
+  let open QCheck in
+  let n_acceptors = 3 and n_proposers = 3 in
+  let schedule_gen =
+    Gen.(
+      list_size (5 -- 40)
+        (pair (int_bound (n_proposers - 1))
+           (list_size (1 -- n_acceptors) (int_bound (n_acceptors - 1)))))
+  in
+  Test.make ~name:"no two different values are ever chosen" ~count:500
+    (make schedule_gen)
+    (fun schedule ->
+      let acceptors = Array.make n_acceptors Acceptor.initial in
+      (* Per-proposer state: current round and a pending value phase. *)
+      let rounds = Array.make n_proposers 0 in
+      let chosen : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+      let record_chosen () =
+        (* A value is chosen when a majority voted for it at one ballot. *)
+        let tbl = Hashtbl.create 4 in
+        Array.iter
+          (fun (s : string Acceptor.state) ->
+            match s.Acceptor.vote with
+            | Some (bv, v) ->
+                let key = Ballot.to_string bv ^ "/" ^ v in
+                Hashtbl.replace tbl key
+                  (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+            | None -> ())
+          acceptors;
+        Hashtbl.iter
+          (fun key count ->
+            if count >= Tally.majority n_acceptors then
+              let value = List.nth (String.split_on_char '/' key) 1 in
+              Hashtbl.replace chosen value ())
+          tbl
+      in
+      List.iter
+        (fun (proposer, subset) ->
+          let subset = List.sort_uniq compare subset in
+          (* One full proposer round against the chosen subset: prepare to
+             them; if a majority promised, adopt per findWinningVal and
+             send accepts to the same subset. *)
+          rounds.(proposer) <- rounds.(proposer) + 1;
+          let ballot = Ballot.make ~round:rounds.(proposer) ~proposer in
+          let promises =
+            List.filter_map
+              (fun a ->
+                let s', reply = Acceptor.on_prepare acceptors.(a) ballot in
+                acceptors.(a) <- s';
+                match reply with
+                | Acceptor.Promise vote -> Some { Tally.from = a; vote }
+                | Acceptor.Reject _ -> None)
+              subset
+          in
+          if List.length promises >= Tally.majority n_acceptors then begin
+            let value =
+              Tally.find_winning promises ~own:(Printf.sprintf "v%d" proposer)
+            in
+            List.iter
+              (fun a ->
+                let s', _ok = Acceptor.on_accept acceptors.(a) ballot value in
+                acceptors.(a) <- s')
+              subset;
+            record_chosen ()
+          end)
+        schedule;
+      Hashtbl.length chosen <= 1)
+
+let () =
+  Alcotest.run "paxos"
+    [
+      ( "ballot",
+        [
+          Alcotest.test_case "ordering" `Quick test_ballot_order;
+          Alcotest.test_case "next" `Quick test_ballot_next;
+          Alcotest.test_case "strings" `Quick test_ballot_strings;
+          QCheck_alcotest.to_alcotest prop_ballot_next_monotone;
+        ] );
+      ( "acceptor",
+        [
+          Alcotest.test_case "prepare" `Quick test_acceptor_prepare;
+          Alcotest.test_case "accept" `Quick test_acceptor_accept;
+          Alcotest.test_case "promise carries vote" `Quick test_acceptor_promise_returns_vote;
+        ] );
+      ( "tally",
+        [
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "find_winning" `Quick test_find_winning;
+          Alcotest.test_case "decide free" `Quick test_decide_free;
+          Alcotest.test_case "decide chosen" `Quick test_decide_chosen;
+          Alcotest.test_case "decide constrained" `Quick test_decide_constrained;
+          Alcotest.test_case "decide empty" `Quick test_decide_empty;
+          Alcotest.test_case "vote counts" `Quick test_vote_counts;
+        ] );
+      ( "safety",
+        [
+          QCheck_alcotest.to_alcotest tally_coherence_prop;
+          QCheck_alcotest.to_alcotest safety_model_prop;
+        ] );
+    ]

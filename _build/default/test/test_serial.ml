@@ -1,0 +1,363 @@
+(* Tests for the serializability theory: the SCSV history tester and the
+   log-based one-copy serializability checker. *)
+
+module History = Mdds_serial.History
+module Checker = Mdds_serial.Checker
+module Txn = Mdds_types.Txn
+
+(* ------------------------------------------------------------------ *)
+(* History (conflict serializability).                                  *)
+
+let step txn action = { History.txn; action }
+
+let test_history_serializable () =
+  (* t1 then t2 on the same key, cleanly ordered. *)
+  let schedule =
+    [
+      step "t1" (History.Write "x");
+      step "t2" (History.Read "x");
+      step "t2" (History.Write "y");
+    ]
+  in
+  Alcotest.(check bool) "serializable" true (History.conflict_serializable schedule);
+  match History.serial_order schedule with
+  | Some [ "t1"; "t2" ] -> ()
+  | Some other -> Alcotest.failf "order: %s" (String.concat "," other)
+  | None -> Alcotest.fail "no order"
+
+let test_history_lost_update_cycle () =
+  (* Classic lost update: both read x, then both write x. *)
+  let schedule =
+    [
+      step "t1" (History.Read "x");
+      step "t2" (History.Read "x");
+      step "t1" (History.Write "x");
+      step "t2" (History.Write "x");
+    ]
+  in
+  Alcotest.(check bool) "not serializable" false (History.conflict_serializable schedule);
+  Alcotest.(check bool) "no serial order" true (History.serial_order schedule = None)
+
+let test_history_read_read_no_conflict () =
+  let schedule = [ step "t1" (History.Read "x"); step "t2" (History.Read "x") ] in
+  Alcotest.(check (list (pair string string))) "no edges" [] (History.conflict_edges schedule);
+  Alcotest.(check bool) "serializable" true (History.conflict_serializable schedule)
+
+let test_history_edges () =
+  let schedule =
+    [ step "t1" (History.Write "x"); step "t2" (History.Read "x"); step "t2" (History.Write "x") ]
+  in
+  let edges = History.conflict_edges schedule in
+  Alcotest.(check bool) "t1->t2 edge" true (List.mem ("t1", "t2") edges);
+  Alcotest.(check bool) "no self edges" true
+    (List.for_all (fun (a, b) -> a <> b) edges)
+
+let prop_serial_schedules_serializable =
+  let open QCheck in
+  let action_gen =
+    Gen.(
+      map2
+        (fun read key -> if read then History.Read key else History.Write key)
+        bool
+        (oneofl [ "x"; "y"; "z" ]))
+  in
+  let txns_gen =
+    Gen.(
+      list_size (1 -- 6)
+        (pair (map (Printf.sprintf "t%d") nat) (list_size (1 -- 4) action_gen)))
+  in
+  Test.make ~name:"back-to-back execution is always serializable" ~count:300
+    (make txns_gen)
+    (fun txns ->
+      (* Deduplicate ids to keep transactions distinct. *)
+      let txns = List.mapi (fun i (id, ops) -> (Printf.sprintf "%s_%d" id i, ops)) txns in
+      History.conflict_serializable (History.of_serial txns))
+
+(* ------------------------------------------------------------------ *)
+(* Checker.                                                             *)
+
+let record ?(reads = []) ?(writes = []) ~rp txn_id =
+  Txn.make_record ~txn_id ~origin:0 ~read_position:rp ~reads
+    ~writes:(List.map (fun (key, value) -> { Txn.key; value }) writes)
+
+let ok_log =
+  [
+    (1, [ record "t1" ~rp:0 ~writes:[ ("x", "1"); ("y", "1") ] ]);
+    (2, [ record "t2" ~rp:1 ~reads:[ "x" ] ~writes:[ ("x", "2") ] ]);
+    (* combined entry: t4 does not read what t3 wrote *)
+    ( 3,
+      [
+        record "t3" ~rp:2 ~reads:[ "x" ] ~writes:[ ("y", "3") ];
+        record "t4" ~rp:2 ~reads:[ "x" ] ~writes:[ ("z", "3") ];
+      ] );
+    (* promoted transaction: rp=2, commits at 4, reads z?? no: reads x
+       which was last written at 2 <= rp. *)
+    (4, [ record "t5" ~rp:2 ~reads:[ "x" ] ~writes:[ ("w", "4") ] ]);
+  ]
+
+let test_check_log_ok () =
+  match Checker.check_log ok_log with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "unexpected violation: %s"
+        (Format.asprintf "%a" Checker.pp_violation v)
+
+let test_check_log_stale_read () =
+  let log =
+    [
+      (1, [ record "t1" ~rp:0 ~writes:[ ("x", "1") ] ]);
+      (* t2 read at position 0 but x was overwritten at 1 before its slot. *)
+      (2, [ record "t2" ~rp:0 ~reads:[ "x" ] ~writes:[ ("y", "2") ] ]);
+    ]
+  in
+  match Checker.check_log log with
+  | Error { txn_id = "t2"; position = 2; _ } -> ()
+  | Error v -> Alcotest.failf "wrong violation: %s" (Format.asprintf "%a" Checker.pp_violation v)
+  | Ok () -> Alcotest.fail "stale read not detected"
+
+let test_check_log_intra_entry () =
+  (* Within one entry, a later record reading an earlier record's write is
+     a violation of the combination rule. *)
+  let log =
+    [
+      ( 1,
+        [
+          record "t1" ~rp:0 ~writes:[ ("x", "1") ];
+          record "t2" ~rp:0 ~reads:[ "x" ];
+        ] );
+    ]
+  in
+  match Checker.check_log log with
+  | Error { txn_id = "t2"; _ } -> ()
+  | _ -> Alcotest.fail "intra-entry stale read not detected"
+
+let test_replay_values () =
+  let observed = function
+    | "t2" -> Some [ ("x", Some "1") ]
+    | "t5" -> Some [ ("x", Some "2") ]
+    | _ -> Some []
+  in
+  (match Checker.replay ok_log ~observed with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "replay: %s" (Format.asprintf "%a" Checker.pp_violation v));
+  (* A wrong observed value is caught. *)
+  let observed = function "t2" -> Some [ ("x", Some "stale") ] | _ -> None in
+  match Checker.replay ok_log ~observed with
+  | Error { txn_id = "t2"; _ } -> ()
+  | _ -> Alcotest.fail "wrong value not detected"
+
+let test_replay_initial_none () =
+  let log = [ (1, [ record "t1" ~rp:0 ~reads:[ "q" ] ~writes:[ ("q", "1") ] ]) ] in
+  let observed = function "t1" -> Some [ ("q", None) ] | _ -> None in
+  (match Checker.replay log ~observed with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "initial None mismatch");
+  let observed = function "t1" -> Some [ ("q", Some "ghost") ] | _ -> None in
+  match Checker.replay log ~observed with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "phantom initial value accepted"
+
+let test_unique_ids () =
+  (match Checker.unique_txn_ids ok_log with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unique ids rejected");
+  let log = [ (1, [ record "t1" ~rp:0 ]); (2, [ record "t1" ~rp:1 ]) ] in
+  match Checker.unique_txn_ids log with
+  | Error { txn_id = "t1"; position = 2; _ } -> ()
+  | _ -> Alcotest.fail "duplicate id not detected"
+
+let test_check_audit () =
+  let log = [ (1, [ record "t1" ~rp:0 ~writes:[ ("x", "1") ] ]) ] in
+  (match Checker.check_audit ~log ~committed:[ ("t1", 1) ] ~aborted:[ "t9" ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "honest audit rejected");
+  (match Checker.check_audit ~log ~committed:[ ("t2", 1) ] ~aborted:[] with
+  | Error { txn_id = "t2"; _ } -> ()
+  | _ -> Alcotest.fail "phantom commit not detected");
+  (match Checker.check_audit ~log ~committed:[ ("t1", 3) ] ~aborted:[] with
+  | Error { txn_id = "t1"; _ } -> ()
+  | _ -> Alcotest.fail "wrong position not detected");
+  match Checker.check_audit ~log ~committed:[] ~aborted:[ "t1" ] with
+  | Error { txn_id = "t1"; _ } -> ()
+  | _ -> Alcotest.fail "aborted-but-logged not detected"
+
+let test_check_read_only () =
+  let log =
+    [
+      (1, [ record "t1" ~rp:0 ~writes:[ ("x", "1") ] ]);
+      (2, [ record "t2" ~rp:1 ~writes:[ ("x", "2") ] ]);
+    ]
+  in
+  (* A reader at position 1 must see x=1; at 2, x=2; at 0, nothing. *)
+  (match
+     Checker.check_read_only log
+       ~readers:
+         [
+           ("r0", 0, [ ("x", None) ]);
+           ("r1", 1, [ ("x", Some "1") ]);
+           ("r2", 2, [ ("x", Some "2") ]);
+         ]
+   with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "read-only: %s" (Format.asprintf "%a" Checker.pp_violation v));
+  match Checker.check_read_only log ~readers:[ ("r1", 1, [ ("x", Some "2") ]) ] with
+  | Error { txn_id = "r1"; _ } -> ()
+  | _ -> Alcotest.fail "stale read-only not detected"
+
+(* ------------------------------------------------------------------ *)
+(* Mvmc: the definitional (Definition 1) decision procedure.             *)
+
+module Mvmc = Mdds_serial.Mvmc
+
+let mtxn id reads writes = { Mvmc.id; reads; writes }
+
+let test_mvmc_witness () =
+  (* w1 writes x; r reads x from w1: witness must place w1 before r. *)
+  let txns = [ mtxn "r" [ ("x", Some "w1") ] []; mtxn "w1" [] [ "x" ] ] in
+  (match Mvmc.one_copy_serializable txns with
+  | Some order ->
+      let pos id = Option.get (List.find_index (String.equal id) order) in
+      Alcotest.(check bool) "writer first" true (pos "w1" < pos "r")
+  | None -> Alcotest.fail "serializable history rejected");
+  (* Reading the initial version forces r before w1. *)
+  let txns = [ mtxn "r" [ ("x", None) ] []; mtxn "w1" [] [ "x" ] ] in
+  match Mvmc.one_copy_serializable txns with
+  | Some order ->
+      let pos id = Option.get (List.find_index (String.equal id) order) in
+      Alcotest.(check bool) "reader first" true (pos "r" < pos "w1")
+  | None -> Alcotest.fail "initial-version read rejected"
+
+let test_mvmc_not_serializable () =
+  (* Classic write-skew-like contradiction: t1 reads initial x but must
+     follow t2 (reads t2's y), while t2 reads initial y but must follow
+     t1 (reads t1's x) — no serial order satisfies both. *)
+  let txns =
+    [
+      mtxn "t1" [ ("x", None); ("y", Some "t2") ] [ "x" ];
+      mtxn "t2" [ ("y", None); ("x", Some "t1") ] [ "y" ];
+    ]
+  in
+  Alcotest.(check bool) "cycle rejected" true
+    (Mvmc.one_copy_serializable txns = None)
+
+let test_mvmc_validation () =
+  Alcotest.check_raises "unknown writer"
+    (Invalid_argument "Mvmc: t reads from unknown transaction ghost") (fun () ->
+      ignore (Mvmc.one_copy_serializable [ mtxn "t" [ ("x", Some "ghost") ] [] ]));
+  Alcotest.check_raises "non-writer"
+    (Invalid_argument "Mvmc: t reads x from w, which never writes it") (fun () ->
+      ignore
+        (Mvmc.one_copy_serializable
+           [ mtxn "t" [ ("x", Some "w") ] []; mtxn "w" [] [ "y" ] ]));
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Mvmc: duplicate transaction id d") (fun () ->
+      ignore (Mvmc.one_copy_serializable [ mtxn "d" [] []; mtxn "d" [] [] ]))
+
+let test_mvmc_of_log () =
+  let txns = Mvmc.of_log ok_log in
+  (* t2 read x from t1 (written at 1, read position 1). *)
+  let t2 = List.find (fun t -> t.Mvmc.id = "t2") txns in
+  Alcotest.(check bool) "reads-from derived" true
+    (t2.Mvmc.reads = [ ("x", Some "t1") ]);
+  match Mvmc.one_copy_serializable txns with
+  | Some _ -> ()
+  | None -> Alcotest.fail "honest log rejected by Definition 1"
+
+let prop_checker_agrees_with_definition =
+  (* Cross-validation of the practical oracle against the definitional
+     procedure: every honest serial log accepted by check_log is 1SR by
+     Definition 1. *)
+  let open QCheck in
+  let key_gen = Gen.oneofl [ "x"; "y"; "z" ] in
+  let log_gen =
+    Gen.(list_size (1 -- 6) (pair (list_size (0 -- 2) key_gen) (list_size (0 -- 2) key_gen)))
+  in
+  Test.make ~name:"check_log-accepted logs satisfy Definition 1" ~count:200
+    (make log_gen)
+    (fun txns ->
+      let log =
+        List.mapi
+          (fun i (reads, writes) ->
+            ( i + 1,
+              [
+                record (Printf.sprintf "t%d" i) ~rp:i ~reads
+                  ~writes:(List.map (fun k -> (k, string_of_int i)) writes);
+              ] ))
+          txns
+      in
+      match Checker.check_log log with
+      | Error _ -> true (* not applicable *)
+      | Ok () -> Mvmc.one_copy_serializable (Mvmc.of_log log) <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: logs that pass check_log are conflict-serializable
+   in the SCSV sense when projected to a schedule in log order. *)
+
+let prop_checked_logs_serializable =
+  let open QCheck in
+  let key_gen = Gen.oneofl [ "x"; "y"; "z" ] in
+  let log_gen =
+    (* Build an honest log: transactions execute serially, each reading at
+       the previous position. This must pass both checkers. *)
+    Gen.(
+      list_size (1 -- 10) (pair (list_size (0 -- 2) key_gen) (list_size (0 -- 2) key_gen)))
+  in
+  Test.make ~name:"honest serial logs pass check_log and are serializable" ~count:200
+    (make log_gen)
+    (fun txns ->
+      let log =
+        List.mapi
+          (fun i (reads, writes) ->
+            ( i + 1,
+              [
+                record (Printf.sprintf "t%d" i) ~rp:i ~reads
+                  ~writes:(List.map (fun k -> (k, string_of_int i)) writes);
+              ] ))
+          txns
+      in
+      (match Checker.check_log log with Ok () -> true | Error _ -> false)
+      &&
+      let schedule =
+        List.concat_map
+          (fun (_, entry) ->
+            List.concat_map
+              (fun (r : Txn.record) ->
+                List.map (fun k -> step r.txn_id (History.Read k)) (Txn.read_set r)
+                @ List.map (fun k -> step r.txn_id (History.Write k)) (Txn.write_set r))
+              entry)
+          log
+      in
+      History.conflict_serializable schedule)
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "history",
+        [
+          Alcotest.test_case "serializable" `Quick test_history_serializable;
+          Alcotest.test_case "lost update cycle" `Quick test_history_lost_update_cycle;
+          Alcotest.test_case "read-read no conflict" `Quick test_history_read_read_no_conflict;
+          Alcotest.test_case "edges" `Quick test_history_edges;
+          QCheck_alcotest.to_alcotest prop_serial_schedules_serializable;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "valid log passes" `Quick test_check_log_ok;
+          Alcotest.test_case "stale read detected" `Quick test_check_log_stale_read;
+          Alcotest.test_case "intra-entry rule" `Quick test_check_log_intra_entry;
+          Alcotest.test_case "replay values" `Quick test_replay_values;
+          Alcotest.test_case "replay initial state" `Quick test_replay_initial_none;
+          Alcotest.test_case "unique ids" `Quick test_unique_ids;
+          Alcotest.test_case "audit honesty" `Quick test_check_audit;
+          Alcotest.test_case "read-only transactions" `Quick test_check_read_only;
+          QCheck_alcotest.to_alcotest prop_checked_logs_serializable;
+        ] );
+      ( "mvmc",
+        [
+          Alcotest.test_case "witness order" `Quick test_mvmc_witness;
+          Alcotest.test_case "non-serializable rejected" `Quick test_mvmc_not_serializable;
+          Alcotest.test_case "validation" `Quick test_mvmc_validation;
+          Alcotest.test_case "of_log" `Quick test_mvmc_of_log;
+          QCheck_alcotest.to_alcotest prop_checker_agrees_with_definition;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Shape-regression tests: scaled-down versions of the paper's figures,
+   asserting the *qualitative* result each figure reports. These keep the
+   reproduction honest under refactoring — a change that flips who wins, or
+   flattens a trend the paper highlights, fails CI even if everything is
+   still "correct". *)
+
+module Config = Mdds_core.Config
+module Experiment = Mdds_harness.Experiment
+module Ycsb = Mdds_workload.Ycsb
+
+(* Smaller/faster than the real figures: 200 txns, two seeds. *)
+let seeds = [ 101; 202 ]
+
+let small = { Ycsb.default with total_txns = 200 }
+
+let commits ?(workload = small) ?(topology = "VVV") config =
+  let runs =
+    List.map
+      (fun seed ->
+        let r = Experiment.run (Experiment.spec ~seed ~config ~workload topology) in
+        (match r.Experiment.verified with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "not serializable: %s" m);
+        r)
+      seeds
+  in
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0. runs /. float_of_int (List.length runs)
+  in
+  ( mean (fun r -> float_of_int r.Experiment.commits),
+    mean (fun r -> r.Experiment.commit_latency.Mdds_harness.Stats.mean) )
+
+let test_cp_beats_basic () =
+  (* The headline: Paxos-CP commits substantially more than basic. *)
+  let basic, _ = commits Config.basic in
+  let cp, _ = commits Config.default in
+  if cp < basic *. 1.15 then
+    Alcotest.failf "CP advantage collapsed: basic %.0f, cp %.0f" basic cp
+
+let test_basic_flat_under_contention () =
+  (* Figure 6's left edge: contention level barely moves basic Paxos. *)
+  let lo, _ = commits ~workload:{ small with Ycsb.attributes = 20 } Config.basic in
+  let hi, _ = commits ~workload:{ small with Ycsb.attributes = 500 } Config.basic in
+  let spread = abs_float (lo -. hi) /. Float.max lo hi in
+  if spread > 0.15 then
+    Alcotest.failf "basic should be flat: %.0f at 20 attrs vs %.0f at 500" lo hi
+
+let test_cp_rises_with_less_contention () =
+  (* Figure 6's trend for CP. *)
+  let lo, _ = commits ~workload:{ small with Ycsb.attributes = 20 } Config.default in
+  let hi, _ = commits ~workload:{ small with Ycsb.attributes = 500 } Config.default in
+  if hi <= lo then
+    Alcotest.failf "CP should gain from low contention: %.0f at 20 vs %.0f at 500" lo hi
+
+let test_concurrency_decreases_commits () =
+  (* Figure 7's trend, both protocols. *)
+  List.iter
+    (fun config ->
+      let slow, _ = commits ~workload:{ small with Ycsb.rate = 0.5 } config in
+      let fast, _ = commits ~workload:{ small with Ycsb.rate = 4.0 } config in
+      if fast >= slow then
+        Alcotest.failf "%s: commits should fall with throughput (%.0f -> %.0f)"
+          (Config.protocol_name config.Config.protocol)
+          slow fast)
+    [ Config.basic; Config.default ]
+
+let test_wan_latency_exceeds_local () =
+  (* Figure 5(b)'s geography effect. *)
+  let _, local = commits ~topology:"VV" Config.basic in
+  let _, wan = commits ~topology:"OV" Config.basic in
+  if wan < 1.5 *. local then
+    Alcotest.failf "cross-region quorum should be slower: VV %.3f vs OV %.3f" local wan
+
+let test_replicas_have_little_effect () =
+  (* Figure 4(a): 2 vs 5 replicas changes commits only mildly. *)
+  let two, _ = commits ~topology:"VV" Config.default in
+  let five, _ = commits ~topology:"VVVOC" Config.default in
+  let spread = abs_float (two -. five) /. Float.max two five in
+  if spread > 0.15 then
+    Alcotest.failf "replica count should matter little: %.0f (2) vs %.0f (5)" two five
+
+let test_groups_scale () =
+  (* §2.1: spreading load over more groups recovers commits. *)
+  let one, _ =
+    commits ~workload:{ small with Ycsb.rate = 2.0; groups = 1 } Config.basic
+  in
+  let eight, _ =
+    commits ~workload:{ small with Ycsb.rate = 2.0; groups = 8 } Config.basic
+  in
+  if eight <= one then
+    Alcotest.failf "groups should scale: %.0f (1 group) vs %.0f (8 groups)" one eight
+
+let () =
+  Alcotest.run "shapes"
+    [
+      ( "figure-shapes",
+        [
+          Alcotest.test_case "CP beats basic (fig 4a)" `Slow test_cp_beats_basic;
+          Alcotest.test_case "basic flat under contention (fig 6)" `Slow
+            test_basic_flat_under_contention;
+          Alcotest.test_case "CP gains from low contention (fig 6)" `Slow
+            test_cp_rises_with_less_contention;
+          Alcotest.test_case "throughput lowers commits (fig 7)" `Slow
+            test_concurrency_decreases_commits;
+          Alcotest.test_case "WAN quorums are slower (fig 5b)" `Slow
+            test_wan_latency_exceeds_local;
+          Alcotest.test_case "replica count matters little (fig 4a)" `Slow
+            test_replicas_have_little_effect;
+          Alcotest.test_case "groups scale (§2.1)" `Slow test_groups_scale;
+        ] );
+    ]

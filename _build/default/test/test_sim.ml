@@ -1,0 +1,373 @@
+(* Tests for the discrete-event simulation engine: heap, RNG, engine
+   scheduling semantics, mailboxes. *)
+
+module Heap = Mdds_sim.Heap
+module Rng = Mdds_sim.Rng
+module Engine = Mdds_sim.Engine
+module Mailbox = Mdds_sim.Mailbox
+
+(* ------------------------------------------------------------------ *)
+(* Heap.                                                                *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h ~time:2.0 ~seq:1 "b";
+  Heap.push h ~time:1.0 ~seq:2 "a";
+  Heap.push h ~time:3.0 ~seq:3 "c";
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  (match Heap.peek h with
+  | Some (t, _, v) ->
+      Alcotest.(check (float 0.0)) "peek time" 1.0 t;
+      Alcotest.(check string) "peek item" "a" v
+  | None -> Alcotest.fail "peek");
+  let order = List.init 3 (fun _ -> match Heap.pop h with Some (_, _, v) -> v | None -> "?") in
+  Alcotest.(check (list string)) "pop order" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "drained" true (Heap.pop h = None)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.push h ~time:5.0 ~seq:i i
+  done;
+  let order = List.init 10 (fun _ -> match Heap.pop h with Some (_, _, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "FIFO at equal time" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] order
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h ~time:1.0 ~seq:1 ();
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let heap_sorted_prop =
+  QCheck.Test.make ~name:"heap pops in nondecreasing (time, seq) order" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, _) -> Heap.push h ~time:t ~seq:i i) entries;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, s, _) -> (
+            match prev with
+            | Some (pt, ps) when t < pt || (t = pt && s < ps) -> false
+            | _ -> drain (Some (t, s)))
+      in
+      drain None)
+
+(* ------------------------------------------------------------------ *)
+(* RNG.                                                                 *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done;
+  let c = Rng.create 8 in
+  Alcotest.(check bool) "different seed differs" true (Rng.int64 a <> Rng.int64 c)
+
+let test_rng_split () =
+  let parent = Rng.create 1 in
+  let child = Rng.split parent in
+  (* Child and parent streams must not be identical. *)
+  let same = ref true in
+  for _ = 1 to 20 do
+    if Rng.int64 parent <> Rng.int64 child then same := false
+  done;
+  Alcotest.(check bool) "split independent" false !same
+
+let test_rng_copy () =
+  let a = Rng.create 3 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_ranges () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let n = Rng.int rng 10 in
+    if n < 0 || n >= 10 then Alcotest.failf "int out of range: %d" n;
+    let f = Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of range: %f" f;
+    let u = Rng.uniform rng 5.0 6.0 in
+    if u < 5.0 || u >= 6.0 then Alcotest.failf "uniform out of range: %f" u;
+    let e = Rng.exponential rng 1.0 in
+    if e < 0.0 then Alcotest.failf "exponential negative: %f" e
+  done
+
+let test_rng_bool_bias () =
+  let rng = Rng.create 5 in
+  let hits = ref 0 in
+  let n = 10000 in
+  for _ = 1 to n do
+    if Rng.bool rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if p < 0.27 || p > 0.33 then Alcotest.failf "bool(0.3) frequency %f" p
+
+let test_rng_shuffle_pick () =
+  let rng = Rng.create 17 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 50 Fun.id);
+  Alcotest.(check bool) "pick member" true (Array.mem (Rng.pick rng a) a);
+  Alcotest.check_raises "pick empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Engine.                                                              *)
+
+let test_engine_time_and_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let note tag = log := (tag, Engine.now engine) :: !log in
+  Engine.spawn engine (fun () ->
+      note "start";
+      Engine.sleep 2.0;
+      note "after2");
+  Engine.spawn engine (fun () ->
+      Engine.sleep 1.0;
+      note "after1");
+  Engine.run engine;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "ordering"
+    [ ("start", 0.0); ("after1", 1.0); ("after2", 2.0) ]
+    (List.rev !log)
+
+let test_engine_spawn_at () =
+  let engine = Engine.create () in
+  let seen = ref (-1.0) in
+  Engine.spawn ~at:5.5 engine (fun () -> seen := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "spawn at" 5.5 !seen
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule engine ~at:1.0 (fun () -> incr fired);
+  Engine.schedule engine ~at:10.0 (fun () -> incr fired);
+  Engine.run ~until:5.0 engine;
+  Alcotest.(check int) "only early event" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock clamped" 5.0 (Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "resumed" 2 !fired
+
+let test_engine_timer_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.after engine 1.0 (fun () -> fired := true) in
+  Engine.cancel timer;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_engine_suspend_wake () =
+  let engine = Engine.create () in
+  let waker = ref None in
+  let got = ref 0 in
+  Engine.spawn engine (fun () -> got := Engine.suspend (fun w -> waker := Some w));
+  Engine.schedule engine ~at:3.0 (fun () ->
+      match !waker with Some w -> w 42 | None -> Alcotest.fail "not suspended");
+  Engine.run engine;
+  Alcotest.(check int) "woken with value" 42 !got
+
+let test_engine_yield_interleaves () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let worker tag =
+    Engine.spawn engine (fun () ->
+        log := (tag ^ "1") :: !log;
+        Engine.yield ();
+        log := (tag ^ "2") :: !log)
+  in
+  worker "a";
+  worker "b";
+  Engine.run engine;
+  Alcotest.(check (list string)) "yield interleaving" [ "a1"; "b1"; "a2"; "b2" ]
+    (List.rev !log)
+
+let test_engine_exception_propagates () =
+  let engine = Engine.create () in
+  Engine.spawn engine (fun () -> failwith "boom");
+  Alcotest.check_raises "process exception" (Failure "boom") (fun () ->
+      Engine.run engine)
+
+let test_engine_past_schedule_clamps () =
+  (* Scheduling into the past executes at the current time instead of
+     rewinding the clock. *)
+  let engine = Engine.create () in
+  let seen = ref (-1.0) in
+  Engine.spawn engine (fun () ->
+      Engine.sleep 5.0;
+      Engine.schedule engine ~at:1.0 (fun () -> seen := Engine.now engine));
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "clamped to now" 5.0 !seen
+
+let test_engine_zero_sleep_runs_later_events_first () =
+  (* sleep 0 yields to already-queued same-time events (FIFO). *)
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.spawn engine (fun () ->
+      log := "a1" :: !log;
+      Engine.sleep 0.0;
+      log := "a2" :: !log);
+  Engine.schedule engine ~at:0.0 (fun () -> log := "b" :: !log);
+  Engine.run engine;
+  Alcotest.(check (list string)) "fifo" [ "a1"; "b"; "a2" ] (List.rev !log)
+
+let test_engine_processed_counter () =
+  let engine = Engine.create () in
+  for i = 1 to 5 do
+    Engine.schedule engine ~at:(float_of_int i) (fun () -> ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "events processed" 5 (Engine.processed engine)
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox.                                                             *)
+
+let test_mailbox_fifo () =
+  let engine = Engine.create () in
+  let mb = Mailbox.create engine in
+  let got = ref [] in
+  Engine.spawn engine (fun () ->
+      for _ = 1 to 3 do
+        let msg = Mailbox.recv mb in
+        got := msg :: !got
+      done);
+  Engine.spawn engine (fun () ->
+      Mailbox.push mb 1;
+      Mailbox.push mb 2;
+      Engine.sleep 1.0;
+      Mailbox.push mb 3);
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_timeout_expires () =
+  let engine = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create engine in
+  let result = ref (Some 0) and finished_at = ref 0.0 in
+  Engine.spawn engine (fun () ->
+      result := Mailbox.recv_timeout mb ~timeout:2.0;
+      finished_at := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check bool) "timed out" true (!result = None);
+  Alcotest.(check (float 1e-9)) "at timeout" 2.0 !finished_at
+
+let test_mailbox_timeout_delivery () =
+  let engine = Engine.create () in
+  let mb = Mailbox.create engine in
+  let result = ref None in
+  Engine.spawn engine (fun () -> result := Mailbox.recv_timeout mb ~timeout:5.0);
+  Engine.schedule engine ~at:1.0 (fun () -> Mailbox.push mb "msg");
+  Engine.run engine;
+  Alcotest.(check (option string)) "delivered before timeout" (Some "msg") !result
+
+let test_mailbox_late_push_not_lost () =
+  (* After a timeout fires, a later push must go to the queue, not to the
+     dead waiter. *)
+  let engine = Engine.create () in
+  let mb = Mailbox.create engine in
+  let first = ref (Some "sentinel") and second = ref None in
+  Engine.spawn engine (fun () ->
+      first := Mailbox.recv_timeout mb ~timeout:1.0;
+      Engine.sleep 2.0;
+      second := Mailbox.recv_timeout mb ~timeout:1.0);
+  Engine.schedule engine ~at:1.5 (fun () -> Mailbox.push mb "late");
+  Engine.run engine;
+  Alcotest.(check (option string)) "first timed out" None !first;
+  Alcotest.(check (option string)) "second got queued msg" (Some "late") !second
+
+let test_mailbox_poll_and_clear () =
+  let engine = Engine.create () in
+  let mb = Mailbox.create engine in
+  Alcotest.(check (option int)) "poll empty" None (Mailbox.poll mb);
+  Mailbox.push mb 9;
+  Alcotest.(check int) "length" 1 (Mailbox.length mb);
+  Alcotest.(check (option int)) "poll" (Some 9) (Mailbox.poll mb);
+  Mailbox.push mb 1;
+  Mailbox.clear mb;
+  Alcotest.(check int) "cleared" 0 (Mailbox.length mb)
+
+let test_mailbox_multiple_waiters () =
+  let engine = Engine.create () in
+  let mb = Mailbox.create engine in
+  let got = ref [] in
+  for i = 1 to 2 do
+    Engine.spawn engine (fun () ->
+        let msg = Mailbox.recv mb in
+        got := (i, msg) :: !got)
+  done;
+  Engine.schedule engine ~at:1.0 (fun () ->
+      Mailbox.push mb "x";
+      Mailbox.push mb "y");
+  Engine.run engine;
+  (* Oldest waiter served first. *)
+  Alcotest.(check (list (pair int string)))
+    "waiters FIFO"
+    [ (1, "x"); (2, "y") ]
+    (List.sort compare !got)
+
+let determinism_prop =
+  QCheck.Test.make ~name:"identical seeds give identical executions" ~count:20
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let trace seed =
+        let engine = Engine.create ~seed () in
+        let rng = Rng.split (Engine.rng engine) in
+        let log = Buffer.create 64 in
+        for i = 1 to 20 do
+          Engine.spawn engine (fun () ->
+              Engine.sleep (Rng.float rng 10.0);
+              Buffer.add_string log
+                (Printf.sprintf "%d@%.6f;" i (Engine.now engine)))
+        done;
+        Engine.run engine;
+        Buffer.contents log
+      in
+      trace seed = trace seed)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          QCheck_alcotest.to_alcotest heap_sorted_prop;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "bool bias" `Quick test_rng_bool_bias;
+          Alcotest.test_case "shuffle and pick" `Quick test_rng_shuffle_pick;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time and order" `Quick test_engine_time_and_order;
+          Alcotest.test_case "spawn at" `Quick test_engine_spawn_at;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "timer cancel" `Quick test_engine_timer_cancel;
+          Alcotest.test_case "suspend/wake" `Quick test_engine_suspend_wake;
+          Alcotest.test_case "yield interleaves" `Quick test_engine_yield_interleaves;
+          Alcotest.test_case "exceptions propagate" `Quick test_engine_exception_propagates;
+          Alcotest.test_case "past schedule clamps" `Quick test_engine_past_schedule_clamps;
+          Alcotest.test_case "zero sleep yields" `Quick test_engine_zero_sleep_runs_later_events_first;
+          Alcotest.test_case "processed counter" `Quick test_engine_processed_counter;
+          QCheck_alcotest.to_alcotest determinism_prop;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "timeout expires" `Quick test_mailbox_timeout_expires;
+          Alcotest.test_case "timeout delivery" `Quick test_mailbox_timeout_delivery;
+          Alcotest.test_case "late push not lost" `Quick test_mailbox_late_push_not_lost;
+          Alcotest.test_case "poll and clear" `Quick test_mailbox_poll_and_clear;
+          Alcotest.test_case "multiple waiters" `Quick test_mailbox_multiple_waiters;
+        ] );
+    ]

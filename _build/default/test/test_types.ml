@@ -1,0 +1,111 @@
+(* Tests for transaction records, conflict predicates and codecs. *)
+
+module Txn = Mdds_types.Txn
+module Codec = Mdds_codec.Codec
+
+let record ?(reads = []) ?(writes = []) ?(rp = 0) ?(origin = 0) txn_id =
+  Txn.make_record ~txn_id ~origin ~read_position:rp ~reads
+    ~writes:(List.map (fun (key, value) -> { Txn.key; value }) writes)
+
+let test_sets () =
+  let r = record "t" ~reads:[ "b"; "a"; "b" ] ~writes:[ ("y", "1"); ("x", "2"); ("y", "3") ] in
+  Alcotest.(check (list string)) "read set dedup+sort" [ "a"; "b" ] (Txn.read_set r);
+  Alcotest.(check (list string)) "write set dedup+sort" [ "x"; "y" ] (Txn.write_set r);
+  Alcotest.(check bool) "not read-only" false (Txn.is_read_only r);
+  Alcotest.(check bool) "read-only" true (Txn.is_read_only (record "q" ~reads:[ "a" ]));
+  let e = [ record "a" ~writes:[ ("k1", "v") ]; record "b" ~writes:[ ("k2", "v") ] ] in
+  Alcotest.(check (list string)) "entry write set" [ "k1"; "k2" ] (Txn.entry_write_set e)
+
+let test_reads_from () =
+  let s = record "s" ~writes:[ ("x", "1") ] in
+  let t = record "t" ~reads:[ "x" ] in
+  let u = record "u" ~reads:[ "y" ] ~writes:[ ("x", "2") ] in
+  Alcotest.(check bool) "t reads from s" true (Txn.reads_from t s);
+  Alcotest.(check bool) "u does not read from s" false (Txn.reads_from u s);
+  Alcotest.(check bool) "write-write is not reads-from" false (Txn.reads_from u s);
+  Alcotest.(check bool) "conflicts with any" true (Txn.conflicts_with_any t [ u; s ]);
+  Alcotest.(check bool) "no conflict" false (Txn.conflicts_with_any u [ s ])
+
+let test_valid_combination () =
+  let w_x = record "w" ~writes:[ ("x", "1") ] in
+  let r_x = record "r" ~reads:[ "x" ] in
+  let r_y = record "ry" ~reads:[ "y" ] ~writes:[ ("z", "1") ] in
+  Alcotest.(check bool) "empty" true (Txn.valid_combination []);
+  Alcotest.(check bool) "singleton" true (Txn.valid_combination [ r_x ]);
+  Alcotest.(check bool) "reader before writer ok" true (Txn.valid_combination [ r_x; w_x ]);
+  Alcotest.(check bool) "reader after writer invalid" false (Txn.valid_combination [ w_x; r_x ]);
+  Alcotest.(check bool) "independent" true (Txn.valid_combination [ w_x; r_y ]);
+  (* Blind write after write is fine (no read involved). *)
+  let w_x2 = record "w2" ~writes:[ ("x", "2") ] in
+  Alcotest.(check bool) "write-write ok" true (Txn.valid_combination [ w_x; w_x2 ]);
+  (* Chains: r reads x written by first element two steps earlier. *)
+  Alcotest.(check bool) "transitively invalid" false
+    (Txn.valid_combination [ w_x; r_y; r_x ])
+
+let test_mem_entry () =
+  let e = [ record "a"; record "b" ] in
+  Alcotest.(check bool) "present" true (Txn.mem_entry ~txn_id:"b" e);
+  Alcotest.(check bool) "absent" false (Txn.mem_entry ~txn_id:"c" e)
+
+let test_equal_and_pp () =
+  let a = record "t" ~reads:[ "x" ] ~writes:[ ("y", "1") ] ~rp:4 in
+  let b = record "t" ~reads:[ "x" ] ~writes:[ ("y", "1") ] ~rp:4 in
+  Alcotest.(check bool) "equal" true (Txn.equal_record a b);
+  Alcotest.(check bool) "entry equal" true (Txn.equal_entry [ a ] [ b ]);
+  Alcotest.(check bool) "differs on rp" false
+    (Txn.equal_record a (record "t" ~reads:[ "x" ] ~writes:[ ("y", "1") ] ~rp:5));
+  let s = Format.asprintf "%a" Txn.pp_record a in
+  Alcotest.(check bool) "pp braces" true
+    (String.length s > 0 && String.contains s '{');
+  Alcotest.(check bool) "pp mentions id" true
+    (String.length s >= 2 && String.sub s 1 1 = "t")
+
+let record_gen =
+  let open QCheck.Gen in
+  let key = oneofl [ "a"; "b"; "c"; "d" ] in
+  let* txn_id = map (Printf.sprintf "t%d") small_nat in
+  let* origin = int_bound 4 in
+  let* rp = int_bound 100 in
+  let* reads = list_size (0 -- 4) key in
+  let* writes = list_size (0 -- 4) (pair key (map string_of_int small_nat)) in
+  return
+    (Txn.make_record ~txn_id ~origin ~read_position:rp ~reads
+       ~writes:(List.map (fun (key, value) -> { Txn.key; value }) writes))
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"record/entry codec roundtrip" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (0 -- 5) record_gen))
+    (fun entry ->
+      let encoded = Codec.encode Txn.entry_codec entry in
+      Txn.equal_entry (Codec.decode_exn Txn.entry_codec encoded) entry)
+
+let prop_combination_prefix_closed =
+  (* Any prefix of a valid combination is itself valid. *)
+  QCheck.Test.make ~name:"valid combinations are prefix-closed" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (0 -- 5) record_gen))
+    (fun entry ->
+      (not (Txn.valid_combination entry))
+      ||
+      let rec prefixes acc = function
+        | [] -> [ List.rev acc ]
+        | x :: rest -> List.rev acc :: prefixes (x :: acc) rest
+      in
+      List.for_all Txn.valid_combination (prefixes [] entry))
+
+let () =
+  Alcotest.run "types"
+    [
+      ( "txn",
+        [
+          Alcotest.test_case "read/write sets" `Quick test_sets;
+          Alcotest.test_case "reads_from" `Quick test_reads_from;
+          Alcotest.test_case "valid_combination" `Quick test_valid_combination;
+          Alcotest.test_case "mem_entry" `Quick test_mem_entry;
+          Alcotest.test_case "equality and printing" `Quick test_equal_and_pp;
+        ] );
+      ( "props",
+        [
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_combination_prefix_closed;
+        ] );
+    ]

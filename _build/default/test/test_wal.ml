@@ -1,0 +1,194 @@
+(* Tests for the write-ahead log view over the key-value store. *)
+
+module Store = Mdds_kvstore.Store
+module Wal = Mdds_wal.Wal
+module Txn = Mdds_types.Txn
+
+let record ?(reads = []) ?(writes = []) ?(rp = 0) txn_id =
+  Txn.make_record ~txn_id ~origin:0 ~read_position:rp ~reads
+    ~writes:(List.map (fun (key, value) -> { Txn.key; value }) writes)
+
+let fresh () = Wal.create (Store.create ())
+
+let group = "g"
+
+let test_append_and_read () =
+  let wal = fresh () in
+  Alcotest.(check int) "empty last" 0 (Wal.last_position wal ~group);
+  Alcotest.(check bool) "no entry" true (Wal.entry wal ~group ~pos:1 = None);
+  let e1 = [ record "t1" ~writes:[ ("x", "1") ] ] in
+  Wal.append wal ~group ~pos:1 e1;
+  Alcotest.(check int) "last" 1 (Wal.last_position wal ~group);
+  (match Wal.entry wal ~group ~pos:1 with
+  | Some e -> Alcotest.(check bool) "roundtrip" true (Txn.equal_entry e e1)
+  | None -> Alcotest.fail "entry missing");
+  (* Idempotent duplicate append. *)
+  Wal.append wal ~group ~pos:1 e1;
+  Alcotest.(check int) "still 1" 1 (Wal.last_position wal ~group)
+
+let test_append_conflict_fails () =
+  let wal = fresh () in
+  Wal.append wal ~group ~pos:1 [ record "t1" ];
+  match Wal.append wal ~group ~pos:1 [ record "t2" ] with
+  | () -> Alcotest.fail "conflicting append accepted (R1 violation absorbed)"
+  | exception Failure _ -> ()
+
+let test_groups_independent () =
+  let wal = fresh () in
+  Wal.append wal ~group:"a" ~pos:1 [ record "t1" ];
+  Alcotest.(check int) "other group empty" 0 (Wal.last_position wal ~group:"b")
+
+let test_gaps () =
+  let wal = fresh () in
+  Wal.append wal ~group ~pos:1 [ record "t1" ];
+  Wal.append wal ~group ~pos:3 [ record "t3" ];
+  Alcotest.(check int) "last sees max" 3 (Wal.last_position wal ~group);
+  Alcotest.(check (option int)) "gap at 2" (Some 2) (Wal.first_gap wal ~group ~upto:3);
+  Alcotest.(check (option int)) "no gap through 1" None (Wal.first_gap wal ~group ~upto:1);
+  match Wal.apply wal ~group ~upto:3 with
+  | Error (`Gap 2) -> ()
+  | Error (`Gap n) -> Alcotest.failf "gap at %d" n
+  | Ok () -> Alcotest.fail "apply skipped a gap"
+
+let test_apply_and_read_data () =
+  let wal = fresh () in
+  Wal.append wal ~group ~pos:1 [ record "t1" ~writes:[ ("x", "a"); ("y", "b") ] ];
+  Wal.append wal ~group ~pos:2 [ record "t2" ~writes:[ ("x", "c") ] ];
+  Alcotest.(check int) "not applied yet" 0 (Wal.applied_position wal ~group);
+  Alcotest.(check bool) "apply ok" true (Wal.apply wal ~group ~upto:2 = Ok ());
+  Alcotest.(check int) "watermark" 2 (Wal.applied_position wal ~group);
+  Alcotest.(check (option string)) "x at 1" (Some "a") (Wal.read_data wal ~group ~key:"x" ~at:1);
+  Alcotest.(check (option string)) "x at 2" (Some "c") (Wal.read_data wal ~group ~key:"x" ~at:2);
+  Alcotest.(check (option string)) "y at 2" (Some "b") (Wal.read_data wal ~group ~key:"y" ~at:2);
+  Alcotest.(check (option string)) "unknown key" None (Wal.read_data wal ~group ~key:"z" ~at:2);
+  Alcotest.(check (option int)) "version of x at 2" (Some 2) (Wal.data_version wal ~group ~key:"x" ~at:2);
+  Alcotest.(check (option int)) "version of y at 2" (Some 1) (Wal.data_version wal ~group ~key:"y" ~at:2)
+
+let test_apply_idempotent () =
+  let wal = fresh () in
+  Wal.append wal ~group ~pos:1 [ record "t1" ~writes:[ ("x", "a") ] ];
+  Alcotest.(check bool) "first" true (Wal.apply wal ~group ~upto:1 = Ok ());
+  Alcotest.(check bool) "second" true (Wal.apply wal ~group ~upto:1 = Ok ());
+  Alcotest.(check (option string)) "value stable" (Some "a")
+    (Wal.read_data wal ~group ~key:"x" ~at:1)
+
+let test_combined_entry_order () =
+  (* Within one combined entry, a later record's write to the same key
+     wins — list order is the serial order (§5). *)
+  let wal = fresh () in
+  Wal.append wal ~group ~pos:1
+    [ record "t1" ~writes:[ ("x", "first") ]; record "t2" ~writes:[ ("x", "second") ] ];
+  Alcotest.(check bool) "apply" true (Wal.apply wal ~group ~upto:1 = Ok ());
+  Alcotest.(check (option string)) "later record wins" (Some "second")
+    (Wal.read_data wal ~group ~key:"x" ~at:1)
+
+let test_dump_sorted () =
+  let wal = fresh () in
+  Wal.append wal ~group ~pos:2 [ record "t2" ];
+  Wal.append wal ~group ~pos:1 [ record "t1" ];
+  Wal.append wal ~group ~pos:3 [ record "t3" ];
+  let positions = List.map fst (Wal.dump wal ~group) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] positions
+
+let test_compaction () =
+  let wal = fresh () in
+  for pos = 1 to 5 do
+    Wal.append wal ~group ~pos
+      [ record (Printf.sprintf "t%d" pos) ~writes:[ ("x", string_of_int pos) ] ]
+  done;
+  (* Cannot compact unapplied entries. *)
+  Alcotest.(check bool) "refuse unapplied" true
+    (Wal.compact wal ~group ~upto:3 = Error `Not_applied);
+  Alcotest.(check bool) "apply" true (Wal.apply wal ~group ~upto:5 = Ok ());
+  Alcotest.(check bool) "compact" true (Wal.compact wal ~group ~upto:3 = Ok ());
+  Alcotest.(check int) "compacted watermark" 3 (Wal.compacted_position wal ~group);
+  Alcotest.(check bool) "entries gone" true (Wal.entry wal ~group ~pos:2 = None);
+  Alcotest.(check bool) "later entries kept" true (Wal.entry wal ~group ~pos:4 <> None);
+  (* Data reads still served from the versioned rows. *)
+  Alcotest.(check (option string)) "historic read" (Some "2")
+    (Wal.read_data wal ~group ~key:"x" ~at:2);
+  Alcotest.(check int) "last position unchanged" 5 (Wal.last_position wal ~group);
+  (* Apply after compaction starts past the compaction point. *)
+  Wal.append wal ~group ~pos:6 [ record "t6" ~writes:[ ("x", "6") ] ];
+  Alcotest.(check bool) "apply resumes" true (Wal.apply wal ~group ~upto:6 = Ok ());
+  Alcotest.(check (option string)) "new value" (Some "6")
+    (Wal.read_data wal ~group ~key:"x" ~at:6)
+
+let test_snapshot_roundtrip () =
+  let a = fresh () in
+  Wal.append a ~group ~pos:1 [ record "t1" ~writes:[ ("x", "1"); ("y", "1") ] ];
+  Wal.append a ~group ~pos:2 [ record "t2" ~rp:1 ~writes:[ ("x", "2") ] ];
+  Alcotest.(check bool) "apply" true (Wal.apply a ~group ~upto:2 = Ok ());
+  let applied, rows = Wal.snapshot a ~group in
+  Alcotest.(check int) "applied" 2 applied;
+  Alcotest.(check int) "two keys" 2 (List.length rows);
+  (* Install into an empty replica. *)
+  let b = fresh () in
+  Wal.install_snapshot b ~group ~applied rows;
+  Alcotest.(check int) "applied watermark" 2 (Wal.applied_position b ~group);
+  Alcotest.(check int) "compacted below snapshot" 2 (Wal.compacted_position b ~group);
+  Alcotest.(check (option string)) "x" (Some "2") (Wal.read_data b ~group ~key:"x" ~at:2);
+  Alcotest.(check (option string)) "y" (Some "1") (Wal.read_data b ~group ~key:"y" ~at:2);
+  (* Installing an older snapshot does not regress newer local data. *)
+  Wal.append b ~group ~pos:3 [ record "t3" ~rp:2 ~writes:[ ("x", "3") ] ];
+  Alcotest.(check bool) "apply 3" true (Wal.apply b ~group ~upto:3 = Ok ());
+  Wal.install_snapshot b ~group ~applied rows;
+  Alcotest.(check (option string)) "newer kept" (Some "3")
+    (Wal.read_data b ~group ~key:"x" ~at:3)
+
+let prop_apply_matches_sequential_replay =
+  (* Applying entries through the WAL gives the same final values as a
+     naive sequential replay into an association list. *)
+  let open QCheck in
+  let key_gen = Gen.oneofl [ "k1"; "k2"; "k3" ] in
+  let writes_gen = Gen.(list_size (1 -- 3) (pair key_gen (map string_of_int small_nat))) in
+  let entry_gen i =
+    Gen.map
+      (fun writes -> [ record (Printf.sprintf "t%d" i) ~writes ])
+      writes_gen
+  in
+  Test.make ~name:"apply equals sequential replay" ~count:100
+    (make
+       Gen.(sized (fun n -> flatten_l (List.init (max 1 (min n 10)) entry_gen))))
+    (fun entries ->
+      let wal = fresh () in
+      List.iteri (fun i e -> Wal.append wal ~group ~pos:(i + 1) e) entries;
+      let n = List.length entries in
+      (match Wal.apply wal ~group ~upto:n with Ok () -> () | Error _ -> assert false);
+      let expected =
+        List.fold_left
+          (fun acc entry ->
+            List.fold_left
+              (fun acc (r : Txn.record) ->
+                List.fold_left
+                  (fun acc (w : Txn.write) ->
+                    (w.key, w.value) :: List.remove_assoc w.key acc)
+                  acc r.writes)
+              acc entry)
+          [] entries
+      in
+      List.for_all
+        (fun (k, v) -> Wal.read_data wal ~group ~key:k ~at:n = Some v)
+        expected)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "append and read" `Quick test_append_and_read;
+          Alcotest.test_case "conflicting append fails" `Quick test_append_conflict_fails;
+          Alcotest.test_case "groups independent" `Quick test_groups_independent;
+          Alcotest.test_case "gaps" `Quick test_gaps;
+          Alcotest.test_case "dump sorted" `Quick test_dump_sorted;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "apply and read data" `Quick test_apply_and_read_data;
+          Alcotest.test_case "idempotent" `Quick test_apply_idempotent;
+          Alcotest.test_case "combined entry order" `Quick test_combined_entry_order;
+          Alcotest.test_case "compaction" `Quick test_compaction;
+          Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+          QCheck_alcotest.to_alcotest prop_apply_matches_sequential_replay;
+        ] );
+    ]

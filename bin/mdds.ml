@@ -2,7 +2,8 @@
 
    mdds run      — run one experiment with explicit parameters
    mdds figures  — reproduce figures from the paper's evaluation
-   mdds list     — list available figure reproductions *)
+   mdds list     — list available figure reproductions
+   mdds chaos    — randomized fault-injection runs with oracle checking *)
 
 module Config = Mdds_core.Config
 module Experiment = Mdds_harness.Experiment
@@ -131,6 +132,161 @@ let run_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* mdds chaos                                                          *)
+
+let chaos_cmd =
+  let module Schedule = Mdds_chaos.Schedule in
+  let module Runner = Mdds_chaos.Runner in
+  let module Shrink = Mdds_chaos.Shrink in
+  let seeds_conv =
+    let parse s =
+      let fail () =
+        Error (`Msg (Printf.sprintf "bad seed range %S (expected A..B with A <= B)" s))
+      in
+      match String.index_opt s '.' with
+      | Some i when i > 0 && i + 2 < String.length s && s.[i + 1] = '.' -> (
+          let a = String.sub s 0 i in
+          let b = String.sub s (i + 2) (String.length s - i - 2) in
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b when a <= b ->
+              Ok (List.init (b - a + 1) (fun k -> a + k))
+          | _ -> fail ())
+      | _ -> fail ()
+    in
+    let print ppf = function
+      | [] -> ()
+      | seeds ->
+          Format.fprintf ppf "%d..%d" (List.hd seeds)
+            (List.nth seeds (List.length seeds - 1))
+    in
+    Arg.conv (parse, print)
+  in
+  let seeds_arg =
+    let doc = "Run a seed range, e.g. '1..20' (overrides --seed)." in
+    Arg.(value & opt (some seeds_conv) None & info [ "seeds" ] ~docv:"A..B" ~doc)
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Fault-injection window (virtual seconds); healing starts here.")
+  in
+  let kinds_conv =
+    let parse s =
+      try
+        Ok
+          (String.split_on_char ',' s
+          |> List.map String.trim
+          |> List.filter (fun k -> k <> "")
+          |> List.map Schedule.kind_of_string)
+      with Invalid_argument m -> Error (`Msg m)
+    in
+    let print ppf ks =
+      Format.pp_print_string ppf
+        (String.concat "," (List.map Schedule.kind_to_string ks))
+    in
+    Arg.conv (parse, print)
+  in
+  let faults_arg =
+    let doc =
+      "Comma-separated fault kinds to draw from: crash, restart, partition, \
+       storm, compact (default: all)."
+    in
+    Arg.(
+      value & opt (some kinds_conv) None & info [ "faults" ] ~docv:"KINDS" ~doc)
+  in
+  let schedule_conv =
+    let parse s =
+      try Ok (Schedule.of_string s) with Invalid_argument m -> Error (`Msg m)
+    in
+    let print ppf t = Format.pp_print_string ppf (Schedule.to_string t) in
+    Arg.conv (parse, print)
+  in
+  let schedule_arg =
+    let doc =
+      "Replay this exact fault schedule (s-expression printed by a failing \
+       run) instead of generating one."
+    in
+    Arg.(
+      value
+      & opt (some schedule_conv) None
+      & info [ "schedule" ] ~docv:"SEXP" ~doc)
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"On an oracle violation, minimize the failing schedule and \
+                print a replayable repro.")
+  in
+  let trace_tail_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "trace-tail" ] ~docv:"N"
+          ~doc:"Trace events to print after a violation.")
+  in
+  let run topology protocol seed seeds duration faults explicit_schedule
+      shrink trace_tail =
+    let seeds = match seeds with None -> [ seed ] | Some s -> s in
+    let kinds = Option.value faults ~default:Schedule.all_kinds in
+    (match explicit_schedule with
+    | None -> ()
+    | Some sch -> (
+        match Schedule.validate ~dcs:(String.length topology) sch with
+        | Ok () -> ()
+        | Error m ->
+            Format.eprintf "mdds: --schedule: %s@." m;
+            exit 124));
+    let config = Runner.default_config protocol in
+    let failures = ref 0 in
+    List.iter
+      (fun seed ->
+        let spec = Runner.spec ~config ~duration ~kinds ~seed topology in
+        let report = Runner.run ?schedule:explicit_schedule spec in
+        Format.printf "%a@." Runner.pp_report report;
+        if Runner.failed report then (
+          incr failures;
+          Format.printf "  schedule: %s@." (Schedule.to_string report.schedule);
+          Format.printf "  repro:    %s@." (Runner.repro report);
+          List.iter (Format.printf "  trace  %s@.")
+            (let tail = report.trace_tail in
+             let n = List.length tail in
+             List.filteri (fun i _ -> i >= n - trace_tail) tail);
+          if shrink then (
+            Format.printf "  shrinking...@.";
+            let fails sch =
+              Runner.failed (Runner.run ~schedule:sch spec)
+            in
+            let minimal, runs =
+              Shrink.minimize ~fails report.schedule
+            in
+            let final = Runner.run ~schedule:minimal spec in
+            Format.printf
+              "  minimal schedule after %d re-runs (%d of %d events):@." runs
+              (List.length minimal)
+              (List.length report.schedule);
+            Format.printf "%a" Schedule.pp minimal;
+            Format.printf "  repro:    %s@." (Runner.repro final))))
+      seeds;
+    if !failures > 0 then (
+      Format.printf "%d of %d seeds FAILED@." !failures (List.length seeds);
+      exit 1)
+    else Format.printf "all %d seeds passed@." (List.length seeds)
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ protocol_arg $ seed_arg $ seeds_arg
+      $ duration_arg $ faults_arg $ schedule_arg $ shrink_arg $ trace_tail_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Randomized fault-schedule runs (crashes, partitions, restarts, \
+          storms, compactions) with full oracle checking and automatic \
+          schedule shrinking.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* mdds figures                                                        *)
 
 let figures_cmd =
@@ -162,4 +318,4 @@ let () =
      Patterson et al., VLDB 2012)."
   in
   let info = Cmd.info "mdds" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; figures_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; chaos_cmd; figures_cmd; list_cmd ]))

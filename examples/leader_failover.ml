@@ -66,7 +66,7 @@ let () =
   List.iter
     (fun e -> Format.printf "  %a@." Trace.pp_event e)
     (List.filter
-       (fun e -> List.mem e.Trace.category [ "decide"; "outage" ])
+       (fun e -> List.mem e.Trace.category [ "decide"; "fault" ])
        (Trace.events (Cluster.trace cluster)));
 
   (* The surviving majority must agree and the execution must be

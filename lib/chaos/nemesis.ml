@@ -1,0 +1,92 @@
+module Cluster = Mdds_core.Cluster
+module Service = Mdds_core.Service
+module Engine = Mdds_sim.Engine
+module Wal = Mdds_wal.Wal
+
+type t = {
+  archives : (string, (int, Mdds_types.Txn.entry) Hashtbl.t) Hashtbl.t;
+  mutable storms : int;  (** Active storms (overlaps nest). *)
+  mutable injected : int;
+}
+
+let create () = { archives = Hashtbl.create 4; storms = 0; injected = 0 }
+
+let archive_table t ~group =
+  match Hashtbl.find_opt t.archives group with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.replace t.archives group tbl;
+      tbl
+
+let archive t ~group =
+  match Hashtbl.find_opt t.archives group with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun pos entry acc -> (pos, entry) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let faults_injected t = t.injected
+
+(* Compact [dc]'s applied log prefix — but only the prefix every
+   datacenter that is currently up has itself applied, which is the sane
+   deployment policy (a further-behind replica would be forced onto the
+   snapshot path for entries its peers still hold; a *stale proposer*
+   would meet amnesiac acceptors without the Service's compaction
+   guard). Down datacenters are ignored: that is exactly what forces
+   install_snapshot catch-up when they return. *)
+let compact cluster t ~groups dc =
+  if not (Cluster.is_down cluster dc) then
+    let service = Cluster.service cluster dc in
+    List.iter
+      (fun group ->
+        let upto = ref max_int in
+        for peer = 0 to Cluster.size cluster - 1 do
+          if not (Cluster.is_down cluster peer) then
+            upto :=
+              min !upto
+                (Wal.applied_position (Service.wal (Cluster.service cluster peer)) ~group)
+        done;
+        let wal = Service.wal service in
+        if !upto > 0 && !upto < max_int && !upto > Wal.compacted_position wal ~group
+        then (
+          (* Preserve what compaction is about to discard for the oracle. *)
+          let tbl = archive_table t ~group in
+          List.iter
+            (fun (pos, entry) ->
+              if pos <= !upto && not (Hashtbl.mem tbl pos) then
+                Hashtbl.replace tbl pos entry)
+            (Wal.dump wal ~group);
+          match Service.compact service ~group ~upto:!upto with
+          | Ok () | Error `Not_applied -> ()))
+      groups
+
+let exec t ~cluster ~groups fault =
+  t.injected <- t.injected + 1;
+  match (fault : Schedule.fault) with
+  | Schedule.Crash dc -> Cluster.take_down cluster dc
+  | Schedule.Recover dc -> Cluster.bring_up cluster dc
+  | Schedule.Restart dc -> Cluster.restart cluster dc
+  | Schedule.Partition parts -> Cluster.partition cluster parts
+  | Schedule.Heal -> Cluster.heal cluster
+  | Schedule.Storm { loss; jitter; until } ->
+      t.storms <- t.storms + 1;
+      Cluster.storm cluster ~loss ~jitter;
+      Engine.schedule (Cluster.engine cluster) ~at:until (fun () ->
+          t.storms <- t.storms - 1;
+          if t.storms = 0 then Cluster.calm cluster)
+  | Schedule.Compact dc -> compact cluster t ~groups dc
+
+let apply t ~cluster ~groups schedule =
+  let engine = Cluster.engine cluster in
+  List.iter
+    (fun { Schedule.at; fault } ->
+      Engine.schedule engine ~at (fun () -> exec t ~cluster ~groups fault))
+    schedule
+
+let heal_all cluster =
+  for dc = 0 to Cluster.size cluster - 1 do
+    if Cluster.is_down cluster dc then Cluster.bring_up cluster dc
+  done;
+  Cluster.heal cluster;
+  Cluster.calm cluster

@@ -1,0 +1,30 @@
+(** Applies a fault {!Schedule} to a running cluster.
+
+    All events are registered on the simulation clock up front (the
+    schedule is data, not a process), so a run remains a pure function of
+    the cluster seed and the schedule. Storms clear themselves at their
+    [until] time; overlapping storms keep the weather bad until the last
+    one ends.
+
+    Compaction events discard log prefixes, which would blind the
+    {!Mdds_core.Verify} oracle: the nemesis therefore archives the target
+    datacenter's log entries just before every compaction. Feed
+    {!archive} to [Verify.check ~archive] after the run. *)
+
+type t
+
+val create : unit -> t
+
+val apply :
+  t -> cluster:Mdds_core.Cluster.t -> groups:string list -> Schedule.t -> unit
+(** Register every event of the schedule. [groups] are the transaction
+    groups the workload uses (compaction targets them). *)
+
+val heal_all : Mdds_core.Cluster.t -> unit
+(** End-of-run cleanup: bring every datacenter up, remove any partition,
+    clear link overrides. Idempotent. *)
+
+val archive : t -> group:string -> (int * Mdds_types.Txn.entry) list
+(** Entries discarded by injected compactions, sorted by position. *)
+
+val faults_injected : t -> int

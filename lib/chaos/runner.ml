@@ -1,0 +1,302 @@
+module Cluster = Mdds_core.Cluster
+module Client = Mdds_core.Client
+module Service = Mdds_core.Service
+module Config = Mdds_core.Config
+module Audit = Mdds_core.Audit
+module Verify = Mdds_core.Verify
+module Messages = Mdds_core.Messages
+module Topology = Mdds_net.Topology
+module Engine = Mdds_sim.Engine
+module Trace = Mdds_sim.Trace
+module Wal = Mdds_wal.Wal
+module Ycsb = Mdds_workload.Ycsb
+
+type spec = {
+  seed : int;
+  topology : string;
+  config : Config.t;
+  duration : float;
+  kinds : Schedule.kind list;
+  workload : Ycsb.config;
+  min_commits : int;
+}
+
+let default_config protocol =
+  { (Config.with_protocol protocol Config.default) with
+    rpc_timeout = 0.5;
+    max_rounds = 8;
+  }
+
+let default_workload ~dcs ~duration =
+  let threads = dcs in
+  let txns_per_thread = 6 in
+  { Ycsb.default with
+    total_txns = threads * txns_per_thread;
+    threads;
+    rate = float_of_int txns_per_thread /. duration;
+    ops_per_txn = 4;
+    attributes = 20;
+    client_dcs = List.init dcs Fun.id;
+  }
+
+let spec ?config ?(duration = 20.) ?(kinds = Schedule.all_kinds) ?workload
+    ?(min_commits = 1) ~seed topology =
+  let config = Option.value config ~default:(default_config Config.Cp) in
+  let dcs = Topology.size (Topology.ec2 topology) in
+  let workload =
+    Option.value workload ~default:(default_workload ~dcs ~duration)
+  in
+  { seed; topology; config; duration; kinds; workload; min_commits }
+
+type report = {
+  run_spec : spec;
+  schedule : Schedule.t;
+  commits : int;
+  aborts : int;
+  unknowns : int;
+  begin_failures : int;
+  faults : int;
+  violation : string option;
+  trace_tail : string list;
+}
+
+let failed r = r.violation <> None
+
+(* Post-heal availability: from every datacenter, a fresh client must be
+   able to commit a read-write probe. Retries tolerate transient
+   Lost_position races against stragglers still draining. Probing every
+   group also drives each group's log head past any "orphan" position
+   (decided while its Apply messages were being dropped) via the normal
+   promotion path, so the convergence pass below has a meaningful head
+   to catch up to. *)
+let run_probes cluster ~groups ~dcs =
+  let failures = ref [] in
+  Cluster.spawn cluster (fun () ->
+      List.iter
+        (fun group ->
+          for dc = 0 to dcs - 1 do
+            let client =
+              Cluster.client ~id:(Printf.sprintf "probe-%s-%d" group dc) cluster
+                ~dc
+            in
+            (* Each probe owns a private key: probes must not conflict
+               with each other (a datacenter still catching up serves
+               stale read positions, which would make a shared hot key
+               abort with Conflict forever). *)
+            let key = Printf.sprintf "chaos-probe-%d" dc in
+            let committed = ref false in
+            let attempts = ref 0 in
+            while (not !committed) && !attempts < 8 do
+              incr attempts;
+              try
+                let txn = Client.begin_ client ~group in
+                ignore (Client.read txn key);
+                Client.write txn key
+                  (Printf.sprintf "probe-%s-%d-%d" group dc !attempts);
+                match Client.commit txn with
+                | Audit.Committed _ -> committed := true
+                | _ -> ()
+              with Client.Unavailable _ -> ()
+            done;
+            if not !committed then failures := (dc, group) :: !failures
+          done)
+        groups);
+  Cluster.run cluster;
+  List.rev !failures
+
+(* Post-heal convergence: a Read pinned at the global head forces every
+   datacenter's learner (and, for compacted peers, snapshot
+   installation) to catch up; any non-Value reply means the datacenter
+   failed to converge. *)
+let run_convergence cluster ~groups ~dcs =
+  let heads =
+    List.map
+      (fun group ->
+        let head = ref 0 in
+        for dc = 0 to dcs - 1 do
+          head :=
+            max !head
+              (Wal.last_position (Service.wal (Cluster.service cluster dc)) ~group)
+        done;
+        (group, !head))
+      groups
+  in
+  let failures = ref [] in
+  Cluster.spawn cluster (fun () ->
+      List.iter
+        (fun (group, head) ->
+          for dc = 0 to dcs - 1 do
+            let service = Cluster.service cluster dc in
+            match
+              Service.handle service ~src:dc
+                (Messages.Read
+                   { group; key = Ycsb.attribute_key 0; position = head })
+            with
+            | Messages.Value _ -> ()
+            | resp ->
+                failures :=
+                  (dc, group, Format.asprintf "%a" Messages.pp_response resp)
+                  :: !failures
+          done)
+        heads);
+  Cluster.run cluster;
+  List.rev !failures
+
+let first_error checks =
+  List.fold_left
+    (fun acc check -> match acc with Some _ -> acc | None -> check ())
+    None checks
+
+let run ?schedule ?extra_oracle spec =
+  let topo = Topology.ec2 spec.topology in
+  let dcs = Topology.size topo in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None ->
+        Schedule.generate ~kinds:spec.kinds ~seed:spec.seed ~dcs
+          ~duration:spec.duration ()
+  in
+  let cluster = Cluster.create ~seed:spec.seed ~config:spec.config topo in
+  Trace.enable (Cluster.trace cluster);
+  let groups = Ycsb.group_keys spec.workload in
+  let handle = Ycsb.run cluster spec.workload in
+  let nemesis = Nemesis.create () in
+  Nemesis.apply nemesis ~cluster ~groups schedule;
+  Engine.schedule (Cluster.engine cluster) ~at:spec.duration (fun () ->
+      Nemesis.heal_all cluster);
+  (* A crash anywhere in the simulation (e.g. a learner hitting a log
+     conflict) is itself an oracle violation — capture it so a crashing
+     schedule can be shrunk like any other failure. *)
+  let crashed = ref None in
+  (try
+     Cluster.run cluster ~until:(spec.duration +. 600.);
+     (* Safety net: if the run hit the time bound mid-storm, heal before
+        the oracle phase (oracles judge the healed system). *)
+     Nemesis.heal_all cluster
+   with Failure msg -> crashed := Some (Printf.sprintf "crash: %s" msg));
+  let probe_failures =
+    if !crashed = None then
+      try run_probes cluster ~groups ~dcs
+      with Failure msg ->
+        crashed := Some (Printf.sprintf "crash: %s" msg);
+        []
+    else []
+  in
+  let convergence_failures =
+    if !crashed = None then
+      try run_convergence cluster ~groups ~dcs
+      with Failure msg ->
+        crashed := Some (Printf.sprintf "crash: %s" msg);
+        []
+    else []
+  in
+  let is_harness_txn (e : Audit.event) =
+    let id = e.record.txn_id in
+    String.starts_with ~prefix:"probe-" id
+    || String.starts_with ~prefix:Ycsb.preload_id id
+  in
+  let workload_events =
+    List.filter
+      (fun e -> not (is_harness_txn e))
+      (Audit.events (Cluster.audit cluster))
+  in
+  let count p = List.length (List.filter p workload_events) in
+  let commits =
+    count (fun (e : Audit.event) ->
+        match e.outcome with
+        | Audit.Committed _ | Audit.Read_only_committed -> true
+        | _ -> false)
+  in
+  let aborts =
+    count (fun (e : Audit.event) ->
+        match e.outcome with Audit.Aborted _ -> true | _ -> false)
+  in
+  let unknowns =
+    count (fun (e : Audit.event) ->
+        match e.outcome with Audit.Unknown -> true | _ -> false)
+  in
+  let violation =
+    first_error
+      [
+        (fun () -> !crashed);
+        (fun () ->
+          match convergence_failures with
+          | [] -> None
+          | (dc, group, resp) :: _ ->
+              Some
+                (Printf.sprintf
+                   "convergence: dc%d did not catch up to the head of group \
+                    %s after healing (read replied %s)"
+                   dc group resp));
+        (fun () ->
+          match probe_failures with
+          | [] -> None
+          | (dc, group) :: _ ->
+              Some
+                (Printf.sprintf
+                   "availability: probe client in dc%d could not commit to \
+                    group %s after healing"
+                   dc group));
+        (fun () ->
+          if commits >= spec.min_commits then None
+          else
+            Some
+              (Printf.sprintf
+                 "progress: only %d workload commits (expected >= %d; a \
+                  majority was connected throughout)"
+                 commits spec.min_commits));
+        (fun () ->
+          List.fold_left
+            (fun acc group ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  let archive = Nemesis.archive nemesis ~group in
+                  match Verify.check ~archive cluster ~group with
+                  | Ok () -> None
+                  | Error e -> Some (Printf.sprintf "group %s: %s" group e)))
+            None groups);
+        (fun () ->
+          match extra_oracle with
+          | None -> None
+          | Some oracle -> (
+              match oracle cluster with Ok () -> None | Error e -> Some e));
+      ]
+  in
+  let trace_tail =
+    List.map
+      (Format.asprintf "%a" Trace.pp_event)
+      (Trace.tail (Cluster.trace cluster) 40)
+  in
+  {
+    run_spec = spec;
+    schedule;
+    commits;
+    aborts;
+    unknowns;
+    begin_failures = handle.begin_failures;
+    faults = Nemesis.faults_injected nemesis;
+    violation;
+    trace_tail;
+  }
+
+let repro r =
+  Printf.sprintf
+    "mdds chaos --seed %d --topology %s --protocol %s --duration %g \
+     --schedule '%s'"
+    r.run_spec.seed r.run_spec.topology
+    (Config.protocol_name r.run_spec.config.protocol)
+    r.run_spec.duration
+    (Schedule.to_string r.schedule)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "seed %d  %s/%s  %d faults  %d commits  %d aborts  %d unknown  %d \
+     begin-failures  %s"
+    r.run_spec.seed r.run_spec.topology
+    (Config.protocol_name r.run_spec.config.protocol)
+    r.faults r.commits r.aborts r.unknowns r.begin_failures
+    (match r.violation with
+    | None -> "OK"
+    | Some v -> Printf.sprintf "VIOLATION: %s" v)

@@ -1,0 +1,79 @@
+(** One chaos run: randomized workload + fault schedule + oracle suite.
+
+    A run builds a cluster from [(seed, topology, protocol)], starts a
+    YCSB workload spread over every datacenter, injects a generated (or
+    supplied) {!Schedule}, heals everything at [duration], drains, and
+    then checks, in order:
+
+    + {b availability} — after healing, a client in every datacenter can
+      commit a probe transaction;
+    + {b convergence} — every datacenter catches up to the global log
+      head (snapshot installation included);
+    + {b progress} — the workload committed at least [min_commits]
+      transactions (the generator keeps a connected majority at all
+      times, so this must hold);
+    + {b safety} — the full {!Mdds_core.Verify} oracle suite per group
+      (logs agree, outcome honesty, unique transaction per slot, no
+      stale reads, value-level one-copy serializability), with entries
+      archived by the nemesis before compactions merged back in.
+
+    Everything is driven by the deterministic simulator: the same spec
+    (and optional explicit schedule) gives byte-identical results. *)
+
+type spec = {
+  seed : int;
+  topology : string;  (** {!Mdds_net.Topology.ec2} name, e.g. ["VVV"]. *)
+  config : Mdds_core.Config.t;
+  duration : float;  (** Fault window; healing starts here. *)
+  kinds : Schedule.kind list;
+  workload : Mdds_workload.Ycsb.config;
+  min_commits : int;
+}
+
+val spec :
+  ?config:Mdds_core.Config.t ->
+  ?duration:float ->
+  ?kinds:Schedule.kind list ->
+  ?workload:Mdds_workload.Ycsb.config ->
+  ?min_commits:int ->
+  seed:int ->
+  string ->
+  spec
+(** [spec ~seed topology]. Defaults: Paxos-CP with chaos-friendly
+    timeouts ([rpc_timeout = 0.5], [max_rounds = 8]), 20 s duration, all
+    fault kinds, a workload with one thread per datacenter spread across
+    all datacenters, [min_commits = 1]. *)
+
+val default_config : Mdds_core.Config.protocol -> Mdds_core.Config.t
+(** The chaos-friendly config for a protocol (shorter timeouts than
+    {!Mdds_core.Config.default} so runs drain quickly). *)
+
+type report = {
+  run_spec : spec;
+  schedule : Schedule.t;
+  commits : int;  (** Workload transactions committed (incl. read-only). *)
+  aborts : int;
+  unknowns : int;
+  begin_failures : int;
+  faults : int;  (** Fault events actually injected. *)
+  violation : string option;  (** [None] = every oracle passed. *)
+  trace_tail : string list;  (** Last trace events, for repros. *)
+}
+
+val run :
+  ?schedule:Schedule.t ->
+  ?extra_oracle:(Mdds_core.Cluster.t -> (unit, string) result) ->
+  spec ->
+  report
+(** Execute one chaos run. [?schedule] replays an explicit schedule
+    (repro/shrinking) instead of generating one; [?extra_oracle] runs
+    after the built-in suite (tests use it to inject failures for the
+    shrinker). *)
+
+val failed : report -> bool
+
+val repro : report -> string
+(** A copy-pastable [mdds chaos ...] command line replaying this exact
+    run, explicit schedule included. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,305 @@
+module Rng = Mdds_sim.Rng
+
+type fault =
+  | Crash of int
+  | Recover of int
+  | Restart of int
+  | Partition of int list list
+  | Heal
+  | Storm of { loss : float; jitter : float; until : float }
+  | Compact of int
+
+type event = { at : float; fault : fault }
+
+type t = event list
+
+(* ------------------------------------------------------------------ *)
+(* Generation.                                                         *)
+
+type kind = Crashes | Restarts | Partitions | Storms | Compactions
+
+let all_kinds = [ Crashes; Restarts; Partitions; Storms; Compactions ]
+
+let kind_to_string = function
+  | Crashes -> "crash"
+  | Restarts -> "restart"
+  | Partitions -> "partition"
+  | Storms -> "storm"
+  | Compactions -> "compact"
+
+let kind_of_string = function
+  | "crash" | "crashes" -> Crashes
+  | "restart" | "restarts" -> Restarts
+  | "partition" | "partitions" -> Partitions
+  | "storm" | "storms" -> Storms
+  | "compact" | "compactions" -> Compactions
+  | s ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown fault kind %S (expected crash, restart, partition, storm \
+            or compact)"
+           s)
+
+let round3 x = Float.round (x *. 1000.) /. 1000.
+
+let generate ?(kinds = all_kinds) ~seed ~dcs ~duration () =
+  if dcs < 1 then invalid_arg "Schedule.generate: dcs must be positive";
+  if kinds = [] then invalid_arg "Schedule.generate: no fault kinds";
+  (* Mix the seed so the schedule stream is distinct from the cluster's
+     engine stream for the same seed (Engine.create uses the seed raw). *)
+  let rng = Rng.create (seed lxor 0x5DEECE66D) in
+  let cap = (dcs - 1) / 2 in
+  let quorum = (dcs / 2) + 1 in
+  let down = Array.make dcs false in
+  let minority = ref [] in
+  let all = List.init dcs Fun.id in
+  let n_down () = Array.fold_left (fun a d -> if d then a + 1 else a) 0 down in
+  (* Up datacenters outside the partition minority, were [victim] to
+     crash: the connected-majority invariant. *)
+  let main_up_without victim =
+    List.length
+      (List.filter
+         (fun i -> (not down.(i)) && i <> victim && not (List.mem i !minority))
+         all)
+  in
+  let choose rng = function
+    | [] -> None
+    | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  in
+  let events = ref [] in
+  let emit at fault = events := { at; fault } :: !events in
+  let mean_gap = duration /. 12.0 in
+  let t = ref (1.0 +. Rng.float rng mean_gap) in
+  let kinds = Array.of_list kinds in
+  while !t < duration -. 1.0 do
+    let at = round3 !t in
+    (match Rng.pick rng kinds with
+    | Crashes ->
+        if n_down () > 0 && Rng.bool rng 0.4 then (
+          match choose rng (List.filter (fun i -> down.(i)) all) with
+          | Some v ->
+              down.(v) <- false;
+              emit at (Recover v)
+          | None -> ())
+        else if n_down () < cap then (
+          let candidates =
+            List.filter
+              (fun v -> (not down.(v)) && main_up_without v >= quorum)
+              all
+          in
+          match choose rng candidates with
+          | Some v ->
+              down.(v) <- true;
+              emit at (Crash v)
+          | None -> ())
+    | Restarts -> emit at (Restart (Rng.int rng dcs))
+    | Partitions ->
+        if !minority <> [] then (
+          minority := [];
+          emit at Heal)
+        else if cap >= 1 then (
+          (* Asymmetric split: the minority side absorbs every crashed
+             datacenter, so the majority side is fully up and quorate. *)
+          let downs = List.filter (fun i -> down.(i)) all in
+          let k = List.length downs + Rng.int rng (cap - List.length downs + 1) in
+          let k = max 1 k in
+          let ups = Array.of_list (List.filter (fun i -> not down.(i)) all) in
+          Rng.shuffle rng ups;
+          let fill = max 0 (k - List.length downs) in
+          let extra = Array.to_list (Array.sub ups 0 (min fill (Array.length ups))) in
+          let side = List.sort Int.compare (downs @ extra) in
+          let rest = List.filter (fun i -> not (List.mem i side)) all in
+          if side <> [] && List.length rest >= quorum then (
+            minority := side;
+            emit at (Partition [ side; rest ])))
+    | Storms ->
+        let loss = round3 (0.05 +. Rng.float rng 0.25) in
+        let jitter = round3 (0.2 +. Rng.float rng 0.6) in
+        let until = round3 (at +. 0.5 +. Rng.float rng 3.5) in
+        emit at (Storm { loss; jitter; until })
+    | Compactions -> emit at (Compact (Rng.int rng dcs)));
+    t := !t +. 0.15 +. Rng.exponential rng mean_gap
+  done;
+  List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* S-expression round-trip (hand-rolled; no parsing dependency).       *)
+
+type sx = A of string | L of sx list
+
+let fstr x = Printf.sprintf "%.12g" x
+
+let fault_to_sx = function
+  | Crash d -> L [ A "crash"; A (string_of_int d) ]
+  | Recover d -> L [ A "recover"; A (string_of_int d) ]
+  | Restart d -> L [ A "restart"; A (string_of_int d) ]
+  | Partition groups ->
+      L
+        (A "partition"
+        :: List.map (fun g -> L (List.map (fun d -> A (string_of_int d)) g)) groups)
+  | Heal -> A "heal"
+  | Storm { loss; jitter; until } ->
+      L [ A "storm"; A (fstr loss); A (fstr jitter); A (fstr until) ]
+  | Compact d -> L [ A "compact"; A (string_of_int d) ]
+
+let to_sx t =
+  L (List.map (fun { at; fault } -> L [ A (fstr at); fault_to_sx fault ]) t)
+
+let rec sx_to_buf b = function
+  | A s -> Buffer.add_string b s
+  | L xs ->
+      Buffer.add_char b '(';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ' ';
+          sx_to_buf b x)
+        xs;
+      Buffer.add_char b ')'
+
+let to_string t =
+  let b = Buffer.create 256 in
+  sx_to_buf b (to_sx t);
+  Buffer.contents b
+
+let validate ~dcs t =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let dc_ok d what =
+    if d >= 0 && d < dcs then Ok ()
+    else err "%s %d out of range for %d datacenters" what d dcs
+  in
+  List.fold_left
+    (fun acc { at; fault } ->
+      let* () = acc in
+      match fault with
+      | Crash d -> dc_ok d "crash"
+      | Recover d -> dc_ok d "recover"
+      | Restart d -> dc_ok d "restart"
+      | Compact d -> dc_ok d "compact"
+      | Heal -> Ok ()
+      | Storm { loss; jitter; until } ->
+          if loss < 0. || loss > 1. then err "storm loss %g not in [0,1]" loss
+          else if jitter < 0. then err "storm jitter %g negative" jitter
+          else if until <= at then err "storm at %g ends at %g" at until
+          else Ok ()
+      | Partition parts ->
+          let members = List.concat parts in
+          let* () =
+            List.fold_left
+              (fun acc d ->
+                let* () = acc in
+                dc_ok d "partition member")
+              (Ok ()) members
+          in
+          if List.length (List.sort_uniq compare members) <> dcs then
+            err "partition must cover each of %d datacenters exactly once" dcs
+          else if not (List.exists (fun p -> 2 * List.length p > dcs) parts)
+          then err "partition has no majority side"
+          else Ok ())
+    (Ok ()) t
+
+let bad fmt = Printf.ksprintf invalid_arg ("Schedule.of_string: " ^^ fmt)
+
+let tokenize s =
+  let tokens = ref [] in
+  let atom = Buffer.create 16 in
+  let flush () =
+    if Buffer.length atom > 0 then (
+      tokens := Buffer.contents atom :: !tokens;
+      Buffer.clear atom)
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | ')' ->
+          flush ();
+          tokens := String.make 1 c :: !tokens
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char atom c)
+    s;
+  flush ();
+  List.rev !tokens
+
+let parse_sx tokens =
+  let rec one = function
+    | [] -> bad "unexpected end of input"
+    | "(" :: rest ->
+        let xs, rest = many rest in
+        (L xs, rest)
+    | ")" :: _ -> bad "unexpected ')'"
+    | atom :: rest -> (A atom, rest)
+  and many = function
+    | [] -> bad "unclosed '('"
+    | ")" :: rest -> ([], rest)
+    | tokens ->
+        let x, rest = one tokens in
+        let xs, rest = many rest in
+        (x :: xs, rest)
+  in
+  match one tokens with
+  | x, [] -> x
+  | _, t :: _ -> bad "trailing input at %S" t
+
+let int_of_sx = function
+  | A s -> ( try int_of_string s with _ -> bad "expected an integer, got %S" s)
+  | L _ -> bad "expected an integer, got a list"
+
+let float_of_sx = function
+  | A s -> ( try float_of_string s with _ -> bad "expected a float, got %S" s)
+  | L _ -> bad "expected a float, got a list"
+
+let fault_of_sx = function
+  | A "heal" -> Heal
+  | L [ A "crash"; d ] -> Crash (int_of_sx d)
+  | L [ A "recover"; d ] -> Recover (int_of_sx d)
+  | L [ A "restart"; d ] -> Restart (int_of_sx d)
+  | L [ A "compact"; d ] -> Compact (int_of_sx d)
+  | L [ A "storm"; loss; jitter; until ] ->
+      Storm
+        {
+          loss = float_of_sx loss;
+          jitter = float_of_sx jitter;
+          until = float_of_sx until;
+        }
+  | L (A "partition" :: groups) ->
+      Partition
+        (List.map
+           (function
+             | L ds -> List.map int_of_sx ds
+             | A _ -> bad "partition groups must be lists")
+           groups)
+  | A s -> bad "unknown fault %S" s
+  | L (A s :: _) -> bad "malformed fault %S" s
+  | L _ -> bad "malformed fault"
+
+let of_string s =
+  match parse_sx (tokenize s) with
+  | A _ -> bad "expected a list of events"
+  | L events ->
+      List.map
+        (function
+          | L [ at; fault ] -> { at = float_of_sx at; fault = fault_of_sx fault }
+          | _ -> bad "expected (time fault) events")
+        events
+
+(* ------------------------------------------------------------------ *)
+
+let pp_fault ppf = function
+  | Crash d -> Format.fprintf ppf "crash dc%d" d
+  | Recover d -> Format.fprintf ppf "recover dc%d" d
+  | Restart d -> Format.fprintf ppf "restart dc%d" d
+  | Partition groups ->
+      Format.fprintf ppf "partition %s"
+        (String.concat "|"
+           (List.map
+              (fun g -> String.concat "," (List.map string_of_int g))
+              groups))
+  | Heal -> Format.fprintf ppf "heal"
+  | Storm { loss; jitter; until } ->
+      Format.fprintf ppf "storm loss=%g jitter=%g until %gs" loss jitter until
+  | Compact d -> Format.fprintf ppf "compact dc%d" d
+
+let pp ppf t =
+  List.iter
+    (fun { at; fault } -> Format.fprintf ppf "  %8.3fs  %a@." at pp_fault fault)
+    t

@@ -1,0 +1,79 @@
+(** Randomized, seed-reproducible fault schedules.
+
+    A schedule is a finite list of timed fault events to be injected into a
+    running cluster — the nemesis script of a chaos run. Generation is a
+    pure function of [(seed, dcs, duration, kinds)], and a schedule
+    round-trips through a printable s-expression, so every run (including a
+    shrunk counterexample) is replayable from one line of text.
+
+    The generator is adversarial but keeps one invariant: at every moment a
+    majority of datacenters is up and mutually connected (crashes are
+    bounded by the minority size, partition minorities absorb the currently
+    crashed datacenters). Safety must hold under *any* schedule; the
+    invariant is what lets the runner also assert availability. *)
+
+type fault =
+  | Crash of int  (** Datacenter outage ({!Mdds_core.Cluster.take_down}). *)
+  | Recover of int  (** {!Mdds_core.Cluster.bring_up}. *)
+  | Restart of int
+      (** Service-process restart: volatile state dropped, durable acceptor
+          state kept ({!Mdds_core.Service.restart}). *)
+  | Partition of int list list  (** Network partition into these groups. *)
+  | Heal  (** Remove any partition. *)
+  | Storm of { loss : float; jitter : float; until : float }
+      (** Degrade every link to this loss/jitter until virtual time
+          [until]. *)
+  | Compact of int
+      (** Checkpoint the datacenter's log prefix that every datacenter has
+          already applied (compaction under load; forces snapshot
+          catch-up paths). *)
+
+type event = { at : float; fault : fault }
+
+type t = event list
+(** Sorted by [at], ascending. *)
+
+(** {1 Generation} *)
+
+type kind = Crashes | Restarts | Partitions | Storms | Compactions
+
+val all_kinds : kind list
+
+val kind_of_string : string -> kind
+(** ["crash"], ["restart"], ["partition"], ["storm"], ["compact"]; raises
+    [Invalid_argument] otherwise. *)
+
+val kind_to_string : kind -> string
+
+val generate :
+  ?kinds:kind list -> seed:int -> dcs:int -> duration:float -> unit -> t
+(** Deterministic in every argument. Events land in (1, duration − 1) so a
+    run has a clean start and a heal/drain window at the end. The RNG
+    stream is independent of the cluster's (same seed, different stream),
+    so editing a schedule never perturbs the workload. *)
+
+val validate : dcs:int -> t -> (unit, string) result
+(** Check every event against a cluster of [dcs] datacenters: datacenter
+    indices in range, partitions a disjoint cover with a majority side,
+    storm windows well-formed. Hand-written schedules (repro lines) go
+    through this before being injected. *)
+
+(** {1 Round-tripping} *)
+
+val round3 : float -> float
+(** Round to the nearest millisecond. Every float in a generated schedule
+    is rounded so the textual form is exact ([of_string (to_string t) = t]);
+    anything that edits a schedule (the shrinker) must re-round. *)
+
+val to_string : t -> string
+(** One-line s-expression, e.g.
+    [((1.523 (crash 2)) (2.1 (partition (2) (0 1))) (4.0 heal))]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Invalid_argument] on malformed
+    input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable listing. *)
+
+val pp_fault : Format.formatter -> fault -> unit

@@ -1,0 +1,60 @@
+let remove_slice l i len =
+  List.filteri (fun j _ -> j < i || j >= i + len) l
+
+let minimize ?(max_runs = 250) ~fails schedule =
+  let runs = ref 0 in
+  let attempt candidate =
+    if !runs >= max_runs then false
+    else (
+      incr runs;
+      fails candidate)
+  in
+  (* Pass 1: chunked deletion. Try dropping [chunk] consecutive events at
+     every offset; adopt any candidate that still fails; halve the chunk
+     when a full sweep makes no progress. *)
+  let current = ref schedule in
+  let chunk = ref (max 1 (List.length schedule / 2)) in
+  while !chunk >= 1 && !runs < max_runs do
+    let progressed = ref false in
+    let i = ref 0 in
+    while !i + !chunk <= List.length !current && !runs < max_runs do
+      let candidate = remove_slice !current !i !chunk in
+      if candidate <> [] || !chunk < List.length !current then
+        if attempt candidate then (
+          current := candidate;
+          progressed := true
+          (* Same offset now holds the next chunk; do not advance. *))
+        else incr i
+      else incr i
+    done;
+    if not !progressed then chunk := !chunk / 2
+  done;
+  (* Pass 2: shorten surviving storms by halving their remaining window
+     while the schedule still fails. *)
+  let shorten_storm (ev : Schedule.event) =
+    match ev.fault with
+    | Schedule.Storm { loss; jitter; until } when until -. ev.at > 0.3 ->
+        let until' = Schedule.round3 (ev.at +. ((until -. ev.at) /. 2.)) in
+        Some { ev with fault = Schedule.Storm { loss; jitter; until = until' } }
+    | _ -> None
+  in
+  let rec shorten_pass () =
+    if !runs >= max_runs then ()
+    else
+      let progressed = ref false in
+      List.iteri
+        (fun i ev ->
+          match shorten_storm ev with
+          | None -> ()
+          | Some ev' ->
+              let candidate =
+                List.mapi (fun j e -> if j = i then ev' else e) !current
+              in
+              if attempt candidate then (
+                current := candidate;
+                progressed := true))
+        !current;
+      if !progressed then shorten_pass ()
+  in
+  shorten_pass ();
+  (!current, !runs)

@@ -1,0 +1,19 @@
+(** Greedy minimization of a failing fault schedule (ddmin-style).
+
+    Because a run is a pure function of [(spec, schedule)], any candidate
+    schedule can be re-run deterministically and judged by the same
+    oracle. The shrinker first deletes event chunks (halving the chunk
+    size down to single events), then shortens surviving storm windows,
+    keeping every candidate that still fails. The result is a locally
+    minimal failing schedule: removing any single remaining event makes
+    the failure disappear (up to the run budget). *)
+
+val minimize :
+  ?max_runs:int ->
+  fails:(Schedule.t -> bool) ->
+  Schedule.t ->
+  Schedule.t * int
+(** [minimize ~fails schedule] assumes [fails schedule = true] (the
+    caller has already observed the failure) and returns the minimized
+    schedule plus the number of re-runs spent. [max_runs] (default 250)
+    bounds the work. *)

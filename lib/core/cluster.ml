@@ -65,13 +65,50 @@ let now t = Engine.now t.engine
 
 let trace t = t.trace
 
-let take_down t dc =
+let fault t fmt =
   Mdds_sim.Trace.record t.trace ~level:Mdds_sim.Trace.Warn ~source:"fault"
-    ~category:"outage" "datacenter %s down" (Topology.name t.topo dc);
+    ~category:"fault" fmt
+
+let take_down t dc =
+  fault t "datacenter %s down" (Topology.name t.topo dc);
   Network.set_down t.net dc
-let bring_up t dc = Network.set_up t.net dc
-let partition t groups = Network.partition t.net groups
-let heal t = Network.heal t.net
+
+let bring_up t dc =
+  fault t "datacenter %s up" (Topology.name t.topo dc);
+  Network.set_up t.net dc
+
+let is_down t dc = Network.is_down t.net dc
+
+let partition t groups =
+  fault t "partition %s"
+    (String.concat "|"
+       (List.map
+          (fun g -> String.concat "," (List.map (Topology.name t.topo) g))
+          groups));
+  Network.partition t.net groups
+
+let heal t =
+  fault t "partition healed";
+  Network.heal t.net
+
+let restart t dc =
+  fault t "service %s restarted" (Topology.name t.topo dc);
+  Service.restart t.services.(dc)
+
+let storm t ~loss ~jitter =
+  fault t "storm: loss=%g jitter=%g on all links" loss jitter;
+  let n = size t in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then
+        let base = Topology.link t.topo src dst in
+        Network.override_link t.net ~src ~dst { base with loss; jitter }
+    done
+  done
+
+let calm t =
+  fault t "storm cleared";
+  Network.clear_overrides t.net
 
 let logs_agree t ~group =
   let logs = Array.map (fun s -> Wal.dump (Service.wal s) ~group) t.services in

@@ -47,12 +47,28 @@ val run : ?until:float -> t -> unit
 
 val now : t -> float
 
-(** {1 Fault injection} *)
+(** {1 Fault injection}
+
+    Every injector records a [fault]-category {!Mdds_sim.Trace} event, so a
+    traced run interleaves faults with the protocol activity they disturb
+    (the chaos engine's repro output relies on this). *)
 
 val take_down : t -> int -> unit
 val bring_up : t -> int -> unit
+val is_down : t -> int -> bool
 val partition : t -> int list list -> unit
 val heal : t -> unit
+
+val restart : t -> int -> unit
+(** {!Service.restart} the given datacenter's service: volatile state is
+    dropped, durable acceptor/log state survives. *)
+
+val storm : t -> loss:float -> jitter:float -> unit
+(** Degrade every inter-datacenter link to the given loss probability and
+    fractional jitter (base delays are kept). *)
+
+val calm : t -> unit
+(** End a storm: drop all link-quality overrides. *)
 
 (** {1 Checking (test oracles)} *)
 

@@ -13,7 +13,6 @@ type t = {
   store : Store.t;
   wal : Wal.t;
   env : Proposer.env;
-  claims : (string * int, string) Hashtbl.t;
   submit_locks : (string, Mdds_sim.Semaphore.t) Hashtbl.t;
   won : (string, int) Hashtbl.t;  (* last position this manager decided *)
   mutable learns : int;
@@ -141,12 +140,31 @@ let leader_of_position t ~group ~pos =
     | Some (first :: _) -> Some first.Txn.origin
     | Some [] | None -> None
 
+(* The claim registry is protocol-critical state, not a cache: the fast
+   path is only safe if at most one value is ever proposed at round 0 of
+   a position, and that uniqueness rests entirely on the registrar
+   granting [first] once. (The registrar's identity is view-consistent —
+   every claimant derives it from the decided entry at [pos - 1] — so a
+   durable first-wins register here is sufficient.) Keeping it in a
+   volatile table would let a service restart re-grant a claim and allow
+   two rival round-0 votes, which ballot order cannot arbitrate. *)
+let claim_key ~group ~pos = Printf.sprintf "claim/%s/%d" group pos
+
 let handle_claim t ~group ~pos ~claimant =
-  match Hashtbl.find_opt t.claims (group, pos) with
+  let owner () =
+    match Store.read t.store ~key:(claim_key ~group ~pos) () with
+    | Some (_, attrs) -> Row.attribute attrs "owner"
+    | None -> None
+  in
+  match owner () with
   | Some winner -> Messages.Claim_reply { first = String.equal winner claimant }
   | None ->
-      Hashtbl.replace t.claims (group, pos) claimant;
-      Messages.Claim_reply { first = true }
+      if
+        Store.check_and_write t.store ~key:(claim_key ~group ~pos)
+          ~test_attribute:"owner" ~test_value:None
+          [ ("owner", claimant) ]
+      then Messages.Claim_reply { first = true }
+      else Messages.Claim_reply { first = owner () = Some claimant }
 
 (* ------------------------------------------------------------------ *)
 (* Long-term-leader transaction manager (§7–§8 future work).            *)
@@ -231,6 +249,14 @@ let handle_submit t ~group (record : Txn.record) =
 
 (* ------------------------------------------------------------------ *)
 
+(* A compacted position is by definition decided and applied; its acceptor
+   state is gone. Answering Paxos messages for it from a blank state could
+   let a stale proposer get a *different* value accepted at a position the
+   rest of the system already executed — an (R1) violation. Such instances
+   are closed: the stale proposer is refused and gives up (its client
+   aborts or retries at a fresh position). *)
+let compacted t ~group ~pos = pos <= Wal.compacted_position t.wal ~group
+
 let handle t ~src:_ request =
   match request with
   | Messages.Get_read_position { group } ->
@@ -242,11 +268,17 @@ let handle t ~src:_ request =
       | Ok () -> Messages.Value { value = Wal.read_data t.wal ~group ~key ~at:position }
       | Error pos ->
           Messages.Failed (Printf.sprintf "cannot learn log position %d" pos))
+  | Messages.Prepare { group; pos; _ } when compacted t ~group ~pos ->
+      Messages.Failed (Printf.sprintf "position %d compacted" pos)
+  | Messages.Accept { group; pos; _ } when compacted t ~group ~pos ->
+      Messages.Failed (Printf.sprintf "position %d compacted" pos)
   | Messages.Prepare { group; pos; ballot } -> handle_prepare t ~group ~pos ~ballot
   | Messages.Accept { group; pos; ballot; entry } ->
       handle_accept t ~group ~pos ~ballot ~entry
   | Messages.Apply { group; pos; entry } ->
-      Wal.append t.wal ~group ~pos entry;
+      (* An apply at or below the compaction point is stale news: the
+         entry's effects are already part of the checkpoint. *)
+      if not (compacted t ~group ~pos) then Wal.append t.wal ~group ~pos entry;
       Messages.Applied
   | Messages.Claim_leadership { group; pos; claimant } ->
       handle_claim t ~group ~pos ~claimant
@@ -261,7 +293,6 @@ let handle t ~src:_ request =
    in particular Paxos promises and votes, which is why Algorithm 1 keeps
    them there. *)
 let restart t =
-  Hashtbl.reset t.claims;
   Hashtbl.reset t.won;
   Hashtbl.reset t.submit_locks
 
@@ -277,7 +308,8 @@ let compact t ~group ~upto =
   | Error `Not_applied -> Error `Not_applied
   | Ok () ->
       for pos = 1 to upto do
-        Store.delete t.store ~key:(paxos_key ~group ~pos)
+        Store.delete t.store ~key:(paxos_key ~group ~pos);
+        Store.delete t.store ~key:(claim_key ~group ~pos)
       done;
       Ok ()
 
@@ -300,7 +332,6 @@ let start ~rpc ~config ~dc ~dcs ~trace =
       store;
       wal = Wal.create store;
       env;
-      claims = Hashtbl.create 64;
       submit_locks = Hashtbl.create 8;
       won = Hashtbl.create 8;
       learns = 0;

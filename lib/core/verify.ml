@@ -1,13 +1,42 @@
 module Checker = Mdds_serial.Checker
+module Txn = Mdds_types.Txn
 
-let check cluster ~group =
+(* Merge an archived log (entries captured before compaction discarded
+   them) with the live union log. An archived entry must agree with any
+   surviving live entry at the same position — (R1) extended across
+   time. *)
+let merge_archive ~archive live =
+  let ( let* ) = Result.bind in
+  let by_pos = Hashtbl.create 64 in
+  List.iter (fun (pos, entry) -> Hashtbl.replace by_pos pos entry) live;
+  let* () =
+    List.fold_left
+      (fun acc (pos, entry) ->
+        let* () = acc in
+        match Hashtbl.find_opt by_pos pos with
+        | Some live_entry when not (Txn.equal_entry live_entry entry) ->
+            Error
+              (Printf.sprintf
+                 "R1: archived entry for position %d differs from the live log"
+                 pos)
+        | Some _ -> Ok ()
+        | None ->
+            Hashtbl.replace by_pos pos entry;
+            Ok ())
+      (Ok ()) archive
+  in
+  Ok
+    (Hashtbl.fold (fun pos entry acc -> (pos, entry) :: acc) by_pos []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+
+let check ?(archive = []) cluster ~group =
   let ( let* ) = Result.bind in
   let of_violation what = function
     | Ok () -> Ok ()
     | Error v -> Error (Format.asprintf "%s: %a" what Checker.pp_violation v)
   in
   let* () = Cluster.logs_agree cluster ~group in
-  let log = Cluster.committed_log cluster ~group in
+  let* log = merge_archive ~archive (Cluster.committed_log cluster ~group) in
   let* () = of_violation "L2" (Checker.unique_txn_ids log) in
   let events =
     List.filter
@@ -44,5 +73,5 @@ let check cluster ~group =
   in
   of_violation "read-only" (Checker.check_read_only log ~readers)
 
-let check_exn cluster ~group =
-  match check cluster ~group with Ok () -> () | Error msg -> failwith msg
+let check_exn ?archive cluster ~group =
+  match check ?archive cluster ~group with Ok () -> () | Error msg -> failwith msg

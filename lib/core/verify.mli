@@ -15,7 +15,15 @@
     Tests and examples call this after every run; a protocol bug that
     breaks one-copy serializability cannot pass silently. *)
 
-val check : Cluster.t -> group:string -> (unit, string) result
+val check :
+  ?archive:(int * Mdds_types.Txn.entry) list ->
+  Cluster.t -> group:string -> (unit, string) result
+(** [archive] holds log entries captured *before* a compaction discarded
+    them from every replica (the chaos engine archives a datacenter's log
+    prefix whenever it injects a compaction). They are merged with the
+    live union log — and must agree with it — so the oracles still see the
+    complete history. Verification of uncompacted runs needs no archive. *)
 
-val check_exn : Cluster.t -> group:string -> unit
+val check_exn :
+  ?archive:(int * Mdds_types.Txn.entry) list -> Cluster.t -> group:string -> unit
 (** Raises [Failure] with the violation description. *)

@@ -16,6 +16,7 @@ type 'msg t = {
   rng : Rng.t;
   boxes : (int * string, 'msg Mailbox.t) Hashtbl.t;
   down : bool array;
+  overrides : (int * int, Topology.link) Hashtbl.t;
   mutable group_of : int array option; (* partition group per node, if any *)
   mutable sent : int;
   mutable delivered : int;
@@ -33,6 +34,7 @@ let create engine topo =
     rng = Rng.split (Engine.rng engine);
     boxes = Hashtbl.create 64;
     down = Array.make (Topology.size topo) false;
+    overrides = Hashtbl.create 16;
     sent_by = Array.make (Topology.size topo) 0;
     delivered_to = Array.make (Topology.size topo) 0;
     group_of = None;
@@ -60,13 +62,24 @@ let cut t src dst =
   | None -> false
   | Some groups -> groups.(src) <> groups.(dst)
 
+let link t ~src ~dst =
+  match Hashtbl.find_opt t.overrides (src, dst) with
+  | Some link -> link
+  | None -> Topology.link t.topo src dst
+
+let override_link t ~src ~dst link = Hashtbl.replace t.overrides (src, dst) link
+
+let clear_link_override t ~src ~dst = Hashtbl.remove t.overrides (src, dst)
+
+let clear_overrides t = Hashtbl.reset t.overrides
+
 let send t ~src ~dst ~port msg =
   t.sent <- t.sent + 1;
   t.sent_by.(src) <- t.sent_by.(src) + 1;
   if t.down.(src) || t.down.(dst) then t.dropped_down <- t.dropped_down + 1
   else if cut t src dst then t.dropped_cut <- t.dropped_cut + 1
   else
-    let link = Topology.link t.topo src dst in
+    let link = link t ~src ~dst in
     if Rng.bool t.rng link.loss then t.dropped_loss <- t.dropped_loss + 1
     else begin
       let jitter = Rng.uniform t.rng (1.0 -. link.jitter) (1.0 +. link.jitter) in

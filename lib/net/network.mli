@@ -48,6 +48,22 @@ val partition : 'msg t -> int list list -> unit
 val heal : 'msg t -> unit
 (** Remove any partition. *)
 
+(** {2 Link-quality overrides (loss/jitter storms)}
+
+    A degraded-weather knob for chaos testing: an override replaces the
+    topology's delay/jitter/loss for one directed link until cleared.
+    Overrides compose with outages and partitions (those still drop
+    first). *)
+
+val link : 'msg t -> src:int -> dst:int -> Topology.link
+(** The link parameters currently in effect for [src → dst]. *)
+
+val override_link : 'msg t -> src:int -> dst:int -> Topology.link -> unit
+val clear_link_override : 'msg t -> src:int -> dst:int -> unit
+
+val clear_overrides : 'msg t -> unit
+(** Drop every link override (end of a storm). *)
+
 val stats : 'msg t -> stats
 
 val sent_by : 'msg t -> int -> int

@@ -14,9 +14,18 @@ let on_prepare state ballot =
     ({ state with next_bal = ballot }, Promise state.vote)
   else (state, Reject state.next_bal)
 
+(* Round-0 (fast-path) accepts skipped prepare, so ballot order alone
+   cannot arbitrate between them: two proposers with divergent views of
+   who leads the position may both send round-0 accepts for different
+   values, and letting {0,q} displace a vote cast at {0,p} would give
+   both a chance at a quorum. Rule (Fast Paxos's any-value round): an
+   acceptor casts at most one round-0 vote per instance; any later
+   proposal must go through prepare, where the earlier vote is visible. *)
 let on_accept state ballot value =
-  if Ballot.(ballot >= state.next_bal) then
-    ({ next_bal = ballot; vote = Some (ballot, value) }, true)
+  if
+    Ballot.(ballot >= state.next_bal)
+    && not (Ballot.is_fast ballot && state.vote <> None)
+  then ({ next_bal = ballot; vote = Some (ballot, value) }, true)
   else (state, false)
 
 let pp pp_v ppf state =

@@ -12,7 +12,12 @@
     equality test of line 18. Equality assumes every accept is preceded by
     that proposer's prepare at the same ballot, which the leader fast path
     (§4.1) deliberately skips; [≥] admits the fast round-0 accept and is
-    the classical, provably safe condition. *)
+    the classical, provably safe condition — with one extra guard: an
+    acceptor casts at most {e one} round-0 vote per instance. Round-0
+    accepts skipped prepare, so ballot order cannot arbitrate between two
+    of them; without the guard, rival fast-path proposers with divergent
+    views of the position's leader (possible after an outage) could each
+    assemble a quorum for a different value. *)
 
 type 'v state = {
   next_bal : Ballot.t;  (** Highest prepare answered ([nextBal]). *)

@@ -24,6 +24,7 @@ let next ~after ~proposer =
   else { round = after.round + 1; proposer }
 
 let is_bottom t = equal t bottom
+let is_fast t = t.round = 0
 
 let pp ppf t = Format.fprintf ppf "%d.%d" t.round t.proposer
 let to_string t = Printf.sprintf "%d.%d" t.round t.proposer

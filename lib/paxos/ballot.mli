@@ -31,6 +31,9 @@ val next : after:t -> proposer:int -> t
 
 val is_bottom : t -> bool
 
+val is_fast : t -> bool
+(** Round-0 ballot (a fast-path accept that skipped prepare). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val of_string : string -> t

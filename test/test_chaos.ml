@@ -1,0 +1,190 @@
+(* Chaos engine: soak battery, determinism, schedule round-trip, the
+   generator's connected-majority invariant, and the shrinker. *)
+
+module Schedule = Mdds_chaos.Schedule
+module Runner = Mdds_chaos.Runner
+module Shrink = Mdds_chaos.Shrink
+module Config = Mdds_core.Config
+module Cluster = Mdds_core.Cluster
+module Network = Mdds_net.Network
+
+(* ------------------------------------------------------------------ *)
+(* Soak: every protocol on two topologies, several seeds each, full
+   fault mix, full oracle suite. Any violation prints its repro line. *)
+
+let protocols = [ Config.Basic; Config.Cp; Config.Leader ]
+
+let battery_combos =
+  List.concat_map
+    (fun proto ->
+      List.concat_map
+        (fun (topo, seeds) -> List.map (fun seed -> (proto, topo, seed)) seeds)
+        [ ("VVV", [ 1; 2; 3; 4 ]); ("VVVOC", [ 1; 2; 3 ]) ])
+    protocols
+
+let test_battery () =
+  Alcotest.(check bool)
+    "at least 20 combos" true
+    (List.length battery_combos >= 20);
+  List.iter
+    (fun (proto, topo, seed) ->
+      let spec =
+        Runner.spec ~config:(Runner.default_config proto) ~seed topo
+      in
+      let report = Runner.run spec in
+      (match report.Runner.violation with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "%s/%s seed %d: %s@.repro: %s" topo
+            (Config.protocol_name proto) seed v (Runner.repro report));
+      Alcotest.(check bool)
+        "made progress" true
+        (report.Runner.commits >= spec.Runner.min_commits))
+    battery_combos
+
+(* ------------------------------------------------------------------ *)
+(* Reproducibility: the same spec twice gives byte-identical schedules,
+   outcome counts and repro line. *)
+
+let test_determinism () =
+  let spec = Runner.spec ~seed:11 "VVV" in
+  let a = Runner.run spec in
+  let b = Runner.run spec in
+  Alcotest.(check string)
+    "schedules identical"
+    (Schedule.to_string a.Runner.schedule)
+    (Schedule.to_string b.Runner.schedule);
+  Alcotest.(check (list string)) "repro identical" [ Runner.repro a ] [ Runner.repro b ];
+  Alcotest.(check int) "commits identical" a.Runner.commits b.Runner.commits;
+  Alcotest.(check int) "aborts identical" a.Runner.aborts b.Runner.aborts;
+  Alcotest.(check int) "faults identical" a.Runner.faults b.Runner.faults
+
+(* ------------------------------------------------------------------ *)
+(* Schedule text form is exact: parse (print s) = s for generated
+   schedules across seeds, datacenter counts and durations. *)
+
+let test_roundtrip () =
+  for seed = 1 to 20 do
+    let dcs = if seed mod 2 = 0 then 3 else 5 in
+    let s = Schedule.generate ~seed ~dcs ~duration:25.0 () in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d generates events" seed)
+      true (s <> []);
+    let s' = Schedule.of_string (Schedule.to_string s) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d round-trips" seed)
+      true (s = s')
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Generator invariant: replaying any generated schedule against a model
+   of the fault state never disconnects a majority — at every step the
+   datacenters that are up and outside the partition minority form a
+   quorum. This is what entitles the runner to assert availability. *)
+
+let test_connected_majority () =
+  for seed = 1 to 30 do
+    let dcs = 3 + (seed mod 3) in
+    let quorum = (dcs / 2) + 1 in
+    let s = Schedule.generate ~seed ~dcs ~duration:30.0 () in
+    let down = Array.make dcs false in
+    let minority = ref [] in
+    let check () =
+      let main =
+        List.length
+          (List.filter
+             (fun i -> (not down.(i)) && not (List.mem i !minority))
+             (List.init dcs Fun.id))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d (dcs=%d): connected majority" seed dcs)
+        true (main >= quorum)
+    in
+    check ();
+    List.iter
+      (fun { Schedule.fault; _ } ->
+        (match fault with
+        | Schedule.Crash d -> down.(d) <- true
+        | Schedule.Recover d -> down.(d) <- false
+        | Schedule.Partition parts ->
+            (* The generator emits [minority; majority]. *)
+            minority := List.hd parts
+        | Schedule.Heal -> minority := []
+        | Schedule.Restart _ | Schedule.Storm _ | Schedule.Compact _ -> ());
+        check ())
+      s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker: inject an artificial oracle violation (fails iff any
+   message was dropped at a downed datacenter, i.e. iff the run had an
+   effective crash window) and check the minimized schedule is strictly
+   smaller, still failing, and replayable from its printed form. *)
+
+let test_shrinker () =
+  let spec = Runner.spec ~seed:7 "VVV" in
+  let oracle cluster =
+    if (Network.stats (Cluster.network cluster)).Network.dropped_down > 0 then
+      Error "injected: a message was dropped at a downed datacenter"
+    else Ok ()
+  in
+  let report = Runner.run ~extra_oracle:oracle spec in
+  Alcotest.(check bool) "original run fails" true (Runner.failed report);
+  Alcotest.(check bool)
+    "original schedule is not already minimal" true
+    (List.length report.Runner.schedule > 1);
+  let fails sch =
+    Runner.failed (Runner.run ~schedule:sch ~extra_oracle:oracle spec)
+  in
+  let minimal, runs = Shrink.minimize ~fails report.Runner.schedule in
+  Alcotest.(check bool)
+    "strictly smaller" true
+    (List.length minimal < List.length report.Runner.schedule);
+  Alcotest.(check bool) "spent re-runs" true (runs > 0);
+  Alcotest.(check bool) "minimal still fails" true (fails minimal);
+  (* The minimal counterexample for "some crash window had traffic" is a
+     single crash event. *)
+  Alcotest.(check int) "minimal is one event" 1 (List.length minimal);
+  (match minimal with
+  | [ { Schedule.fault = Schedule.Crash _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a lone crash event");
+  (* Replayable: the printed schedule reproduces the failure verbatim. *)
+  let replayed = Schedule.of_string (Schedule.to_string minimal) in
+  Alcotest.(check bool) "replay equals minimal" true (replayed = minimal);
+  Alcotest.(check bool) "replay still fails" true (fails replayed)
+
+(* ------------------------------------------------------------------ *)
+(* An explicitly supplied schedule is used verbatim (repro path). *)
+
+let test_explicit_schedule () =
+  let spec = Runner.spec ~seed:13 "VVV" in
+  let schedule =
+    Schedule.of_string "((2.5 (crash 2)) (6.0 (recover 2)) (8.0 (compact 0)))"
+  in
+  let report = Runner.run ~schedule spec in
+  Alcotest.(check string)
+    "schedule taken verbatim"
+    (Schedule.to_string schedule)
+    (Schedule.to_string report.Runner.schedule);
+  match report.Runner.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "explicit schedule run failed: %s" v
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "schedules round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "connected majority invariant" `Quick
+            test_connected_majority;
+          Alcotest.test_case "deterministic runs" `Quick test_determinism;
+          Alcotest.test_case "explicit schedule replay" `Quick
+            test_explicit_schedule;
+          Alcotest.test_case "shrinker minimizes to one crash" `Quick
+            test_shrinker;
+        ] );
+      ( "soak",
+        [ Alcotest.test_case "battery: 21 seed/topology/protocol combos" `Slow
+            test_battery ] );
+    ]

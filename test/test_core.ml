@@ -194,13 +194,22 @@ let test_service_restart_keeps_promises () =
       | Messages.Promise { vote = Some (bv, _) } ->
           Alcotest.(check bool) "vote survived restart" true (Ballot.equal bv (b 5 1))
       | _ -> Alcotest.fail "vote lost across restart");
-      (* Volatile: leadership claims reset — a new claimant is first. *)
+      (* Durable: leadership claims survive too. The fast path is only
+         safe if at most one round-0 value ever exists per position, so a
+         restart must not let a second claimant be "first" — a rival
+         round-0 vote is exactly the split the chaos tests surface. *)
+      (match
+         Service.handle service ~src:1
+           (Messages.Claim_leadership { group; pos = 2; claimant = "b" })
+       with
+      | Messages.Claim_reply { first = false } -> ()
+      | _ -> Alcotest.fail "claims must be durable across restart");
       match
-        Service.handle service ~src:1
-          (Messages.Claim_leadership { group; pos = 2; claimant = "b" })
+        Service.handle service ~src:0
+          (Messages.Claim_leadership { group; pos = 2; claimant = "a" })
       with
       | Messages.Claim_reply { first = true } -> ()
-      | _ -> Alcotest.fail "claims should be volatile")
+      | _ -> Alcotest.fail "original claimant still first after restart")
 
 (* ------------------------------------------------------------------ *)
 (* Combination search.                                                  *)

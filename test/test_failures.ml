@@ -322,6 +322,123 @@ let chaos_prop =
       Cluster.heal cluster;
       Verify.check cluster ~group = Ok ())
 
+let test_restart_racing_inflight () =
+  (* Service restarts fired while commits are mid-flight: the restart
+     drops volatile state only, so promises and votes made before it are
+     honoured and every transaction still reaches a correct outcome.
+     (With a volatile claim registry this exact scenario can re-grant a
+     position's fast-path claim and decide two values for one position —
+     the chaos engine found it; see the acceptor's round-0 rule.) *)
+  let cluster = Cluster.create ~seed:9 (Topology.ec2 "VVV") in
+  let results = seq_writer cluster ~dc:0 ~txns:8 ~gap:0.4 in
+  List.iter
+    (fun (at, dc) ->
+      Engine.schedule (Cluster.engine cluster) ~at (fun () ->
+          Cluster.restart cluster dc))
+    [ (0.25, 1); (0.8, 2); (1.3, 1); (2.1, 2); (2.7, 0) ];
+  Cluster.run cluster;
+  let commits = List.length (List.filter committed !results) in
+  Alcotest.(check int) "all commit through restarts" 8 commits;
+  Verify.check_exn cluster ~group
+
+let test_restart_preserves_promises_under_race () =
+  (* A prepared ballot must survive a restart even with no commit in
+     between: promise at (2,0), restart, then a lower ballot's prepare is
+     rejected and an accept at the promised ballot still succeeds. *)
+  let cluster = Cluster.create ~seed:5 (Topology.ec2 "VVV") in
+  let service = Cluster.service cluster 1 in
+  let b ~round ~proposer = Mdds_paxos.Ballot.make ~round ~proposer in
+  let entry =
+    [
+      Mdds_types.Txn.make_record ~txn_id:"t-race" ~origin:0 ~read_position:0
+        ~reads:[]
+        ~writes:[ { Mdds_types.Txn.key = "x"; value = "1" } ];
+    ]
+  in
+  Cluster.spawn cluster (fun () ->
+      (match
+         Service.handle service ~src:0
+           (Mdds_core.Messages.Prepare { group; pos = 1; ballot = b ~round:2 ~proposer:0 })
+       with
+      | Mdds_core.Messages.Promise _ -> ()
+      | _ -> Alcotest.fail "initial prepare not promised");
+      Service.restart service;
+      (match
+         Service.handle service ~src:2
+           (Mdds_core.Messages.Prepare { group; pos = 1; ballot = b ~round:1 ~proposer:2 })
+       with
+      | Mdds_core.Messages.Prepare_reject { next_bal } ->
+          Alcotest.(check bool) "reject carries surviving promise" true
+            (Mdds_paxos.Ballot.equal next_bal (b ~round:2 ~proposer:0))
+      | _ -> Alcotest.fail "promise lost across restart");
+      match
+        Service.handle service ~src:0
+          (Mdds_core.Messages.Accept
+             { group; pos = 1; ballot = b ~round:2 ~proposer:0; entry })
+      with
+      | Mdds_core.Messages.Accept_reply { ok = true; _ } -> ()
+      | _ -> Alcotest.fail "promised ballot's accept refused after restart");
+  Cluster.run cluster
+
+let test_compact_while_down_then_catchup () =
+  (* The satellite scenario of the chaos engine's Compact fault: the
+     majority compacts while one datacenter is down, the laggard returns
+     and must catch up through install_snapshot; afterwards every log
+     agrees and the full oracle suite passes with the archived prefix. *)
+  let cluster = Cluster.create ~seed:23 (Topology.ec2 "VVV") in
+  let results = seq_writer cluster ~dc:0 ~txns:8 ~gap:0.4 in
+  Engine.schedule (Cluster.engine cluster) ~at:0.6 (fun () ->
+      Cluster.take_down cluster 1);
+  Cluster.run cluster;
+  Alcotest.(check int) "majority committed" 8
+    (List.length (List.filter committed !results));
+  (* Archive what compaction will discard, then compact the majority. *)
+  let archive = Cluster.committed_log cluster ~group in
+  let head = Wal.last_position (Service.wal (Cluster.service cluster 0)) ~group in
+  List.iter
+    (fun dc ->
+      let s = Cluster.service cluster dc in
+      (match
+         Service.handle s ~src:dc
+           (Mdds_core.Messages.Read { group; key = "k0-1"; position = head })
+       with
+      | Mdds_core.Messages.Value _ -> ()
+      | _ -> Alcotest.fail "priming read failed");
+      match Service.compact s ~group ~upto:head with
+      | Ok () -> ()
+      | Error `Not_applied -> Alcotest.fail "compact refused")
+    [ 0; 2 ];
+  Cluster.run cluster;
+  Cluster.bring_up cluster 1;
+  (* A post-recovery commit advances the head past the compacted window;
+     reading it through the laggard forces snapshot catch-up. *)
+  let writer = Cluster.client cluster ~dc:0 in
+  Cluster.spawn cluster (fun () ->
+      let txn = Client.begin_ writer ~group in
+      Client.write txn "post" "v";
+      assert (committed (Client.commit txn)));
+  Cluster.run cluster;
+  let reader = Cluster.client cluster ~dc:1 in
+  let seen = ref None in
+  Cluster.spawn cluster (fun () ->
+      let txn = Client.begin_ reader ~group in
+      seen := Client.read txn "post";
+      ignore (Client.commit txn));
+  Cluster.run cluster;
+  Alcotest.(check (option string)) "laggard reads converged state" (Some "v") !seen;
+  let dc1 = Cluster.service cluster 1 in
+  Alcotest.(check bool) "caught up via snapshot" true (Service.snapshots dc1 > 0);
+  Alcotest.(check bool) "watermark advanced" true
+    (Wal.applied_position (Service.wal dc1) ~group >= head);
+  (match Cluster.logs_agree cluster ~group with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* The live logs lost the compacted prefix; the archive restores the
+     oracle's full view. *)
+  match Verify.check ~archive cluster ~group with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
 let test_multiple_groups_independent () =
   (* Transaction groups have independent logs and no cross-group
      serializability (by design, §2.1): workloads on two groups proceed
@@ -378,5 +495,14 @@ let () =
           Alcotest.test_case "multiple groups independent" `Quick
             test_multiple_groups_independent;
           QCheck_alcotest.to_alcotest chaos_prop;
+        ] );
+      ( "restart-compact",
+        [
+          Alcotest.test_case "restarts racing in-flight commits" `Quick
+            test_restart_racing_inflight;
+          Alcotest.test_case "promises survive restart race" `Quick
+            test_restart_preserves_promises_under_race;
+          Alcotest.test_case "compact while down, archive-verified catch-up"
+            `Quick test_compact_while_down_then_catchup;
         ] );
     ]

@@ -6,10 +6,19 @@
 
      dune exec bench/main.exe -- fig4a fig6
      dune exec bench/main.exe -- micro
+     dune exec bench/main.exe -- --jobs 4 fig6
+     dune exec bench/main.exe -- --json fig4a fig6
 
-   Figure ids: fig4a fig4b fig5a fig5b fig6 fig7 fig8 text-cp. *)
+   Figure ids: fig4a fig4b fig5a fig5b fig6 fig7 fig8 text-cp.
+
+   --jobs N (or MDDS_JOBS) sizes the domain pool the figure trials run on;
+   figure output is byte-identical whatever the value. --json times every
+   selected figure sequentially and on the pool and writes the machine-
+   readable trajectory to BENCH_harness.json (wall seconds per figure,
+   speedup, Bechamel micro results) so perf can be tracked across PRs. *)
 
 module Figures = Mdds_harness.Figures
+module Pool = Mdds_parallel.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks for the hot paths.                         *)
@@ -80,6 +89,65 @@ let bench_commit name spec_topo config =
              ignore (Mdds_core.Client.commit txn));
          Mdds_core.Cluster.run cluster))
 
+let bench_row_normalize =
+  (* Duplicate-heavy attribute list: the old List.mem-based dedup walk was
+     quadratic in exactly this shape. *)
+  let value =
+    List.init 200 (fun i -> (Printf.sprintf "attr%03d" (i mod 100), string_of_int i))
+  in
+  Test.make ~name:"kvstore/normalize-200"
+    (Staged.stage (fun () -> ignore (Mdds_kvstore.Row.normalize value)))
+
+let bench_audit_stats =
+  (* Record a realistic outcome mix and read the full statistic set the
+     experiment runner consumes (counts, per-reason aborts, per-round
+     commits and latencies): previously one full event-list pass per
+     statistic, now incremental counters. *)
+  let module Audit = Mdds_core.Audit in
+  let record_of i =
+    Mdds_types.Txn.make_record
+      ~txn_id:(Printf.sprintf "audit-bench/%d" i)
+      ~origin:(i mod 3) ~read_position:i ~reads:[ "a001" ] ~writes:[]
+  in
+  let event i =
+    let outcome =
+      match i mod 5 with
+      | 0 | 1 | 2 ->
+          Audit.Committed { position = i; promotions = i mod 4; combined = i mod 7 = 0 }
+      | 3 -> Audit.Aborted { reason = Audit.Conflict; promotions = i mod 3 }
+      | _ -> Audit.Read_only_committed
+    in
+    {
+      Audit.group = "bench";
+      record = record_of i;
+      observed = [];
+      outcome;
+      began_at = float_of_int i;
+      committed_at = float_of_int i +. 0.25;
+      commit_started_at = float_of_int i +. 0.05;
+      client_dc = i mod 3;
+      stats = Audit.no_stats;
+    }
+  in
+  let events = List.init 1000 event in
+  Test.make ~name:"audit/stats-1000"
+    (Staged.stage (fun () ->
+         let audit = Audit.create () in
+         List.iter (Audit.record audit) events;
+         let rounds = Audit.max_promotions_seen audit in
+         ignore (Audit.commits audit);
+         ignore (Audit.aborts audit);
+         ignore (Audit.unknowns audit);
+         ignore (Audit.abort_count audit Audit.Conflict);
+         ignore (Audit.abort_count audit Audit.Lost_position);
+         ignore (Audit.abort_count audit Audit.Unavailable);
+         ignore (Audit.txn_latencies audit);
+         ignore (Audit.commit_latencies audit ~promotions:None);
+         for r = 0 to rounds do
+           ignore (Audit.commits_with_promotions audit r);
+           ignore (Audit.commit_latencies audit ~promotions:(Some r))
+         done))
+
 let bench_engine =
   Test.make ~name:"sim/spawn-sleep-1000"
     (Staged.stage (fun () ->
@@ -95,6 +163,8 @@ let micro_tests =
     [
       bench_codec;
       bench_store_read;
+      bench_row_normalize;
+      bench_audit_stats;
       bench_tally;
       bench_combine;
       bench_engine;
@@ -103,6 +173,7 @@ let micro_tests =
       bench_commit "e2e/one-commit-VVVOC" "VVVOC" Mdds_core.Config.default;
     ]
 
+(* Returns [(name, ns_per_run option)] sorted by name, printing as it goes. *)
 let run_micro () =
   print_endline "\n== Micro-benchmarks (Bechamel) ==";
   let ols =
@@ -117,35 +188,136 @@ let run_micro () =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
+  let collected = ref [] in
   Hashtbl.iter
     (fun _measure tbl ->
       let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
       List.iter
         (fun (name, ols) ->
           match Analyze.OLS.estimates ols with
-          | Some [ ns ] -> Printf.printf "  %-32s %12.1f ns/run\n" name ns
-          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+          | Some [ ns ] ->
+              Printf.printf "  %-32s %12.1f ns/run\n" name ns;
+              collected := (name, Some ns) :: !collected
+          | _ ->
+              Printf.printf "  %-32s (no estimate)\n" name;
+              collected := (name, None) :: !collected)
         (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
-    merged
+    merged;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !collected
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable bench trajectory (BENCH_harness.json).              *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let emit_json ~path ~jobs ~figures ~micro =
+  let out = open_out path in
+  let p fmt = Printf.fprintf out fmt in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"domains_recommended\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"figures\": [\n";
+  List.iteri
+    (fun i (id, seq_s, par_s) ->
+      p "    {\"id\": \"%s\", \"seconds_sequential\": %.3f, \
+         \"seconds_parallel\": %.3f, \"speedup\": %.2f}%s\n"
+        (json_escape id) seq_s par_s
+        (if par_s > 0. then seq_s /. par_s else 0.)
+        (if i = List.length figures - 1 then "" else ","))
+    figures;
+  p "  ],\n";
+  p "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (match ns with Some v -> Printf.sprintf "%.1f" v | None -> "null")
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  p "  ]\n";
+  p "}\n";
+  close_out out;
+  Printf.printf "\nwrote %s\n" path
+
+(* Time each figure twice — pinned to one domain, then on the pool — and
+   record both; the parallel pass double-checks output identity is not our
+   problem here (CI diffs the actual tables), only wall clock. *)
+let run_json ~jobs ids =
+  let ids = if ids = [] then List.map (fun (id, _, _) -> id) Figures.all else ids in
+  let figures =
+    List.map
+      (fun id ->
+        Printf.printf "\n-- timing %s (sequential) --\n%!" id;
+        Pool.set_jobs (Some 1);
+        let seq_s = time_run (fun () -> Figures.run_ids [ id ]) in
+        Printf.printf "\n-- timing %s (%d domains) --\n%!" id jobs;
+        Pool.set_jobs (Some jobs);
+        let par_s = time_run (fun () -> Figures.run_ids [ id ]) in
+        Pool.set_jobs None;
+        (id, seq_s, par_s))
+      ids
+  in
+  let micro = run_micro () in
+  emit_json ~path:"BENCH_harness.json" ~jobs ~figures ~micro
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let known_figures = List.map (fun (id, _, _) -> id) Figures.all in
-  match args with
-  | [] ->
-      print_endline "Reproducing every figure of the evaluation (three seeds each).";
-      Figures.run_ids [];
-      run_micro ()
-  | [ "micro" ] -> run_micro ()
-  | ids ->
-      let bad = List.filter (fun id -> not (List.mem id known_figures)) ids in
-      if bad <> [] && bad <> [ "micro" ] then begin
-        Printf.eprintf "unknown benchmark ids: %s\nknown: %s micro\n"
-          (String.concat ", " bad)
-          (String.concat " " known_figures);
+  (* Hand-rolled flag parsing: [--jobs N | -j N] [--json] [ids...]. *)
+  let rec parse (json, jobs, ids) = function
+    | [] -> (json, jobs, List.rev ids)
+    | "--json" :: rest -> parse (true, jobs, ids) rest
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> parse (json, Some n, ids) rest
+        | _ ->
+            Printf.eprintf "bad --jobs value %S (expected a positive integer)\n" n;
+            exit 2)
+    | ("--jobs" | "-j") :: [] ->
+        Printf.eprintf "--jobs needs a value\n";
         exit 2
-      end;
-      Figures.run_ids (List.filter (fun id -> id <> "micro") ids);
-      if List.mem "micro" ids then run_micro ()
+    | id :: rest -> parse (json, jobs, id :: ids) rest
+  in
+  let json, jobs, ids = parse (false, None, []) args in
+  Pool.set_jobs jobs;
+  let effective_jobs = Pool.get_jobs () in
+  let known_figures = List.map (fun (id, _, _) -> id) Figures.all in
+  let bad =
+    List.filter (fun id -> not (List.mem id known_figures || id = "micro")) ids
+  in
+  if bad <> [] then begin
+    Printf.eprintf "unknown benchmark ids: %s\nknown: %s micro\n"
+      (String.concat ", " bad)
+      (String.concat " " known_figures);
+    exit 2
+  end;
+  if json then run_json ~jobs:effective_jobs (List.filter (fun id -> id <> "micro") ids)
+  else
+    match ids with
+    | [] ->
+        Printf.printf
+          "Reproducing every figure of the evaluation (three seeds each, %d domains).\n"
+          effective_jobs;
+        Figures.run_ids [];
+        ignore (run_micro ())
+    | ids ->
+        Figures.run_ids (List.filter (fun id -> id <> "micro") ids);
+        if List.mem "micro" ids then ignore (run_micro ())

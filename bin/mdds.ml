@@ -16,6 +16,17 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* mdds run                                                            *)
 
+let jobs_arg =
+  let doc =
+    "Run independent trials (figure cells, chaos seeds) on $(docv) domains. \
+     Defaults to $(b,MDDS_JOBS) if set, else the machine's recommended \
+     domain count. Output is byte-identical whatever the value."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "MDDS_JOBS") ~doc)
+
 let topology_arg =
   let doc =
     "Datacenter spec: one character per datacenter, V = Virginia AZ, O = \
@@ -226,7 +237,8 @@ let chaos_cmd =
           ~doc:"Trace events to print after a violation.")
   in
   let run topology protocol seed seeds duration faults explicit_schedule
-      shrink trace_tail =
+      shrink trace_tail jobs =
+    Mdds_parallel.Pool.set_jobs jobs;
     let seeds = match seeds with None -> [ seed ] | Some s -> s in
     let kinds = Option.value faults ~default:Schedule.all_kinds in
     (match explicit_schedule with
@@ -239,10 +251,15 @@ let chaos_cmd =
             exit 124));
     let config = Runner.default_config protocol in
     let failures = ref 0 in
-    List.iter
-      (fun seed ->
-        let spec = Runner.spec ~config ~duration ~kinds ~seed topology in
-        let report = Runner.run ?schedule:explicit_schedule spec in
+    (* Independent seeds fan out over the domain pool; reporting (and any
+       shrinking, which is sequential by nature) happens afterwards in
+       seed order, so the output is identical to a sequential run. *)
+    let specs =
+      List.map (fun seed -> Runner.spec ~config ~duration ~kinds ~seed topology) seeds
+    in
+    let reports = Runner.run_many ?schedule:explicit_schedule specs in
+    List.iter2
+      (fun spec report ->
         Format.printf "%a@." Runner.pp_report report;
         if Runner.failed report then (
           incr failures;
@@ -267,7 +284,7 @@ let chaos_cmd =
               (List.length report.schedule);
             Format.printf "%a" Schedule.pp minimal;
             Format.printf "  repro:    %s@." (Runner.repro final))))
-      seeds;
+      specs reports;
     if !failures > 0 then (
       Format.printf "%d of %d seeds FAILED@." !failures (List.length seeds);
       exit 1)
@@ -276,7 +293,8 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ topology_arg $ protocol_arg $ seed_arg $ seeds_arg
-      $ duration_arg $ faults_arg $ schedule_arg $ shrink_arg $ trace_tail_arg)
+      $ duration_arg $ faults_arg $ schedule_arg $ shrink_arg $ trace_tail_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -294,7 +312,8 @@ let figures_cmd =
     let doc = "Figure ids (default: all). See 'mdds list'." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run ids =
+  let run ids jobs =
+    Mdds_parallel.Pool.set_jobs jobs;
     try Figures.run_ids ids
     with Invalid_argument msg ->
       prerr_endline msg;
@@ -302,7 +321,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce figures from the paper's evaluation (§6).")
-    Term.(const run $ ids_arg)
+    Term.(const run $ ids_arg $ jobs_arg)
 
 let list_cmd =
   let run () =

@@ -281,6 +281,13 @@ let run ?schedule ?extra_oracle spec =
     trace_tail;
   }
 
+(* Chaos seeds are independent trials like experiment cells: each run owns
+   its cluster and engine, so a seed battery fans out across the domain
+   pool. Shrinking stays sequential (each ddmin step depends on the last),
+   so callers shrink from the returned reports afterwards. *)
+let run_many ?schedule ?extra_oracle specs =
+  Mdds_parallel.Pool.map (fun spec -> run ?schedule ?extra_oracle spec) specs
+
 let repro r =
   Printf.sprintf
     "mdds chaos --seed %d --topology %s --protocol %s --duration %g \

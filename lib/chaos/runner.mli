@@ -70,6 +70,17 @@ val run :
     after the built-in suite (tests use it to inject failures for the
     shrinker). *)
 
+val run_many :
+  ?schedule:Schedule.t ->
+  ?extra_oracle:(Mdds_core.Cluster.t -> (unit, string) result) ->
+  spec list ->
+  report list
+(** Run independent specs (typically a seed battery) on the
+    {!Mdds_parallel.Pool} domain pool, reports in input order. Results are
+    identical to mapping {!run} sequentially — every run is deterministic
+    in its spec. Shrinking is inherently sequential; do it on the returned
+    failing reports. *)
+
 val failed : report -> bool
 
 val repro : report -> string

@@ -29,70 +29,104 @@ type event = {
   stats : protocol_stats;
 }
 
-type t = { mutable events : event list; mutable count : int }
+(* All statistics are maintained incrementally by [record]: the harness
+   reads each of them once per experiment (and the latency ones once per
+   promotion round), which used to cost one full pass over the event list
+   per statistic. Lists accumulate newest-first and are reversed on read so
+   accessors return the exact (chronological) order the fold-based
+   implementation did — float sums depend on order, so this keeps outputs
+   bit-identical. *)
+type t = {
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+  mutable commits : int; (* Committed + Read_only_committed *)
+  mutable aborts : int;
+  mutable unknowns : int;
+  mutable max_promotions : int; (* over Committed and Aborted *)
+  commits_by_promotions : (int, int) Hashtbl.t;
+  aborts_by_reason : (abort_reason, int) Hashtbl.t;
+  mutable commit_lats : float list; (* Committed only, newest first *)
+  commit_lats_by_promotions : (int, float list) Hashtbl.t;
+  mutable txn_lats : float list; (* all events, newest first *)
+  mutable rounds_total : int; (* prepare+accept over Committed *)
+  mutable committed_rw : int; (* Committed only (not read-only) *)
+  mutable fast_paths : int; (* Committed with fast_path *)
+}
 
-let create () = { events = []; count = 0 }
+let create () =
+  {
+    events = [];
+    count = 0;
+    commits = 0;
+    aborts = 0;
+    unknowns = 0;
+    max_promotions = 0;
+    commits_by_promotions = Hashtbl.create 8;
+    aborts_by_reason = Hashtbl.create 4;
+    commit_lats = [];
+    commit_lats_by_promotions = Hashtbl.create 8;
+    txn_lats = [];
+    rounds_total = 0;
+    committed_rw = 0;
+    fast_paths = 0;
+  }
+
+let bump tbl key by =
+  Hashtbl.replace tbl key (by + Option.value (Hashtbl.find_opt tbl key) ~default:0)
 
 let record t e =
   t.events <- e :: t.events;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  t.txn_lats <- (e.committed_at -. e.began_at) :: t.txn_lats;
+  match e.outcome with
+  | Committed { promotions; _ } ->
+      t.commits <- t.commits + 1;
+      t.committed_rw <- t.committed_rw + 1;
+      t.max_promotions <- max t.max_promotions promotions;
+      bump t.commits_by_promotions promotions 1;
+      let lat = e.committed_at -. e.commit_started_at in
+      t.commit_lats <- lat :: t.commit_lats;
+      Hashtbl.replace t.commit_lats_by_promotions promotions
+        (lat
+        :: Option.value
+             (Hashtbl.find_opt t.commit_lats_by_promotions promotions)
+             ~default:[]);
+      t.rounds_total <-
+        t.rounds_total + e.stats.prepare_rounds + e.stats.accept_rounds;
+      if e.stats.fast_path then t.fast_paths <- t.fast_paths + 1
+  | Read_only_committed -> t.commits <- t.commits + 1
+  | Aborted { reason; promotions } ->
+      t.aborts <- t.aborts + 1;
+      t.max_promotions <- max t.max_promotions promotions;
+      bump t.aborts_by_reason reason 1
+  | Unknown -> t.unknowns <- t.unknowns + 1
 
 let events t = List.rev t.events
 
 let total t = t.count
 
-let fold f init t = List.fold_left f init t.events
+let commits t = t.commits
 
-let commits t =
-  fold
-    (fun n e ->
-      match e.outcome with
-      | Committed _ | Read_only_committed -> n + 1
-      | Aborted _ | Unknown -> n)
-    0 t
+let unknowns t = t.unknowns
 
-let unknowns t =
-  fold (fun n e -> match e.outcome with Unknown -> n + 1 | _ -> n) 0 t
-
-let aborts t =
-  fold (fun n e -> match e.outcome with Aborted _ -> n + 1 | _ -> n) 0 t
+let aborts t = t.aborts
 
 let commits_with_promotions t n =
-  fold
-    (fun acc e ->
-      match e.outcome with
-      | Committed { promotions; _ } when promotions = n -> acc + 1
-      | _ -> acc)
-    0 t
+  Option.value (Hashtbl.find_opt t.commits_by_promotions n) ~default:0
 
-let max_promotions_seen t =
-  fold
-    (fun acc e ->
-      match e.outcome with
-      | Committed { promotions; _ } | Aborted { promotions; _ } ->
-          max acc promotions
-      | Read_only_committed | Unknown -> acc)
-    0 t
+let max_promotions_seen t = t.max_promotions
 
 let abort_count t reason =
-  fold
-    (fun acc e ->
-      match e.outcome with
-      | Aborted { reason = r; _ } when r = reason -> acc + 1
-      | _ -> acc)
-    0 t
+  Option.value (Hashtbl.find_opt t.aborts_by_reason reason) ~default:0
 
 let commit_latencies t ~promotions =
-  fold
-    (fun acc e ->
-      match e.outcome with
-      | Committed { promotions = p; _ }
-        when promotions = None || promotions = Some p ->
-          (e.committed_at -. e.commit_started_at) :: acc
-      | _ -> acc)
-    [] t
+  match promotions with
+  | None -> List.rev t.commit_lats
+  | Some p ->
+      List.rev
+        (Option.value (Hashtbl.find_opt t.commit_lats_by_promotions p) ~default:[])
 
-let txn_latencies t = fold (fun acc e -> (e.committed_at -. e.began_at) :: acc) [] t
+let txn_latencies t = List.rev t.txn_lats
 
 let pp_reason ppf r =
   Format.pp_print_string ppf
@@ -103,24 +137,9 @@ let pp_reason ppf r =
     | Unavailable -> "unavailable")
 
 let mean_rounds t =
-  let total, n =
-    fold
-      (fun (total, n) e ->
-        match e.outcome with
-        | Committed _ ->
-            (total + e.stats.prepare_rounds + e.stats.accept_rounds, n + 1)
-        | _ -> (total, n))
-      (0, 0) t
-  in
-  if n = 0 then 0.0 else float_of_int total /. float_of_int n
+  if t.committed_rw = 0 then 0.0
+  else float_of_int t.rounds_total /. float_of_int t.committed_rw
 
 let fast_path_rate t =
-  let fast, n =
-    fold
-      (fun (fast, n) e ->
-        match e.outcome with
-        | Committed _ -> ((if e.stats.fast_path then fast + 1 else fast), n + 1)
-        | _ -> (fast, n))
-      (0, 0) t
-  in
-  if n = 0 then 0.0 else float_of_int fast /. float_of_int n
+  if t.committed_rw = 0 then 0.0
+  else float_of_int t.fast_paths /. float_of_int t.committed_rw

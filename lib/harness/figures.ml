@@ -1,8 +1,16 @@
 module Config = Mdds_core.Config
 module Audit = Mdds_core.Audit
 module Ycsb = Mdds_workload.Ycsb
+module Pool = Mdds_parallel.Pool
 
 let default_seeds = [ 11; 22; 33 ]
+
+(* Every trial (one Experiment.run) owns its engine, cluster and RNG, so
+   independent cells of a figure's (config × seed) grid run in parallel on
+   the domain pool; Pool.map preserves input order and each trial is a pure
+   function of its spec, so figures are byte-identical to a sequential run
+   whatever the domain count. *)
+let run_trials specs = Pool.map Experiment.run specs
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation over seeds.                                              *)
@@ -47,27 +55,28 @@ let aggregate runs =
             else 0.)
           runs)
   in
-  let pooled_latencies ~round =
-    List.concat_map
-      (fun (r : Experiment.result) ->
-        List.filter_map
-          (fun (e : Audit.event) ->
-            match e.outcome with
-            | Audit.Committed { promotions; _ }
-              when round = None || round = Some promotions ->
-                Some (e.committed_at -. e.commit_started_at)
-            | _ -> None)
-          r.events)
-      runs
-  in
-  let pooled_txn_latencies =
-    List.concat_map
-      (fun (r : Experiment.result) ->
-        List.map
-          (fun (e : Audit.event) -> e.committed_at -. e.began_at)
-          r.events)
-      runs
-  in
+  (* One pass over all events builds the pooled all-rounds, per-round and
+     transaction latency lists together (the per-round rescan was
+     O(rounds × events)). Accumulate newest-first, reverse at the end: the
+     lists come out in the exact order the old per-round scans produced,
+     which keeps float summations — and hence printed tables — identical. *)
+  let lat_all = ref [] in
+  let lat_round = Array.make rounds [] in
+  let txn_lats = ref [] in
+  List.iter
+    (fun (r : Experiment.result) ->
+      List.iter
+        (fun (e : Audit.event) ->
+          (match e.outcome with
+          | Audit.Committed { promotions; _ } ->
+              let l = e.committed_at -. e.commit_started_at in
+              lat_all := l :: !lat_all;
+              if promotions < rounds then
+                lat_round.(promotions) <- l :: lat_round.(promotions)
+          | _ -> ());
+          txn_lats := (e.committed_at -. e.began_at) :: !txn_lats)
+        r.events)
+    runs;
   {
     runs;
     commits = mean_of (fun r -> float_of_int r.Experiment.commits) runs;
@@ -80,20 +89,22 @@ let aggregate runs =
       List.fold_left (fun m (r : Experiment.result) -> max m r.combined_entries) 0 runs;
     max_promotions =
       List.fold_left (fun m (r : Experiment.result) -> max m r.max_promotions) 0 runs;
-    lat_all = Stats.summarize (pooled_latencies ~round:None);
+    lat_all = Stats.summarize (List.rev !lat_all);
     lat_by_round =
-      Array.init rounds (fun i -> Stats.summarize (pooled_latencies ~round:(Some i)));
-    txn_lat = Stats.summarize pooled_txn_latencies;
+      Array.init rounds (fun i -> Stats.summarize (List.rev lat_round.(i)));
+    txn_lat = Stats.summarize (List.rev !txn_lats);
   }
 
 let run_pair ?(seeds = default_seeds) ~topology ~workload () =
-  let run config =
-    aggregate
-      (List.map
-         (fun seed -> Experiment.run (Experiment.spec ~seed ~config ~workload topology))
-         seeds)
+  (* Both protocols' (config, seed) cells go to the pool in one batch. *)
+  let cp = { Config.default with protocol = Config.Cp } in
+  let specs config =
+    List.map (fun seed -> Experiment.spec ~seed ~config ~workload topology) seeds
   in
-  (run Config.basic, run { Config.default with protocol = Config.Cp })
+  let results = run_trials (specs Config.basic @ specs cp) in
+  let n = List.length seeds in
+  ( aggregate (List.filteri (fun i _ -> i < n) results),
+    aggregate (List.filteri (fun i _ -> i >= n) results) )
 
 (* Commits with >= 3 promotions, for compact "r3+" columns. *)
 let late_commits agg =
@@ -295,13 +306,13 @@ let fig8 ?(seeds = default_seeds) () =
       client_dcs = [ 0; 1; 2 ];
     }
   in
-  let run config =
-    List.map
-      (fun seed -> Experiment.run (Experiment.spec ~seed ~config ~workload "VOC"))
-      seeds
+  let specs config =
+    List.map (fun seed -> Experiment.spec ~seed ~config ~workload "VOC") seeds
   in
-  let basic_runs = run Config.basic in
-  let cp_runs = run Config.default in
+  let results = run_trials (specs Config.basic @ specs Config.default) in
+  let n = List.length seeds in
+  let basic_runs = List.filteri (fun i _ -> i < n) results in
+  let cp_runs = List.filteri (fun i _ -> i >= n) results in
   List.iter
     (fun (r : Experiment.result) ->
       match r.verified with
@@ -363,11 +374,11 @@ let fig8 ?(seeds = default_seeds) () =
 let text_stats ?(seeds = default_seeds) () =
   heading "Text (§6)" "Paxos-CP combination and promotion profile, VVV, 100 attributes";
   let runs =
-    List.map
-      (fun seed ->
-        Experiment.run
-          (Experiment.spec ~seed ~config:Config.default ~workload:Ycsb.default "VVV"))
-      seeds
+    run_trials
+      (List.map
+         (fun seed ->
+           Experiment.spec ~seed ~config:Config.default ~workload:Ycsb.default "VVV")
+         seeds)
   in
   let agg = aggregate runs in
   Printf.printf "combined log entries per experiment: mean %.1f, max %d (paper: 6.8, 24)\n"
@@ -391,10 +402,10 @@ let text_messages ?(seeds = default_seeds) () =
   heading "Text (§5)"
     "message complexity: Paxos-CP requires no extra messages per log position";
   let run config =
-    List.map
-      (fun seed ->
-        Experiment.run (Experiment.spec ~seed ~config ~workload:Ycsb.default "VVV"))
-      seeds
+    run_trials
+      (List.map
+         (fun seed -> Experiment.spec ~seed ~config ~workload:Ycsb.default "VVV")
+         seeds)
   in
   let per_position runs =
     (* Messages per decided log position: total datagrams divided by log
@@ -443,11 +454,10 @@ let ext_leader ?(seeds = default_seeds) () =
         List.map
           (fun (name, config) ->
             let runs =
-              List.map
-                (fun seed ->
-                  Experiment.run
-                    (Experiment.spec ~seed ~config ~workload topology))
-                seeds
+              run_trials
+                (List.map
+                   (fun seed -> Experiment.spec ~seed ~config ~workload topology)
+                   seeds)
             in
             let agg = aggregate runs in
             let msgs_per_commit =
@@ -491,10 +501,11 @@ let ext_ablation ?(seeds = default_seeds) () =
     List.map
       (fun (name, config) ->
         let runs =
-          List.map
-            (fun seed ->
-              Experiment.run (Experiment.spec ~seed ~config ~workload:Ycsb.default "VVV"))
-            seeds
+          run_trials
+            (List.map
+               (fun seed ->
+                 Experiment.spec ~seed ~config ~workload:Ycsb.default "VVV")
+               seeds)
         in
         let agg = aggregate runs in
         [
@@ -530,11 +541,11 @@ let ext_loss ?(seeds = default_seeds) () =
       (fun loss ->
         let run config =
           aggregate
-            (List.map
-               (fun seed ->
-                 Experiment.run
-                   (Experiment.spec ~seed ~config ~workload:Ycsb.default ~loss "VVV"))
-               seeds)
+            (run_trials
+               (List.map
+                  (fun seed ->
+                    Experiment.spec ~seed ~config ~workload:Ycsb.default ~loss "VVV")
+                  seeds))
         in
         let basic = run Config.basic and cp = run Config.default in
         [
@@ -609,7 +620,7 @@ let ext_retry ?(seeds = default_seeds) () =
   let rows =
     List.map
       (fun (name, config) ->
-        let runs = List.map (run_one config) seeds in
+        let runs = Pool.map (run_one config) seeds in
         let avg f = Stats.mean (List.map f runs) in
         [
           name;

@@ -7,14 +7,18 @@ type t = { mutable versions : (int * value) list }
 let create () = { versions = [] }
 
 let normalize value =
-  (* Later bindings win: keep the last occurrence of each attribute. *)
-  let rec keep_last seen = function
-    | [] -> []
-    | (k, v) :: rest ->
-        if List.mem k seen then keep_last seen rest
-        else (k, v) :: keep_last (k :: seen) rest
-  in
-  List.sort (fun (a, _) (b, _) -> String.compare a b) (keep_last [] (List.rev value))
+  (* Later bindings win: keep the last occurrence of each attribute.
+     [Hashtbl.replace] in list order leaves exactly the last binding per
+     key, and the final sort fixes the order, so this is O(n log n) where
+     the old [List.mem]-over-a-growing-seen-list walk was O(n²). *)
+  match value with
+  | [] -> []
+  | [ (_, _) ] as v -> v
+  | value ->
+      let tbl = Hashtbl.create (List.length value) in
+      List.iter (fun (k, v) -> Hashtbl.replace tbl k v) value;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let latest t = match t.versions with [] -> None | v :: _ -> Some v
 

@@ -1,0 +1,88 @@
+(* True when the current domain is a pool worker (or a caller participating
+   in its own pool): nested [map] calls then run sequentially instead of
+   spawning domains recursively. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let jobs_override : int option ref = ref None
+
+let set_jobs j = jobs_override := Option.map (max 1) j
+
+let env_jobs () =
+  match Sys.getenv_opt "MDDS_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_domains () =
+  match !jobs_override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+let get_jobs = default_domains
+
+let map ?domains f xs =
+  let n = List.length xs in
+  let domains = min n (match domains with Some d -> d | None -> default_domains ()) in
+  if domains <= 1 || n < 2 || Domain.DLS.get in_worker then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* (index, exn, backtrace) of the smallest-index failure so far. The
+       counter dispenses indices in order, so when index [j] fails every
+       index below [j] has already been dispensed and will run to
+       completion; keeping the minimum therefore yields the exception a
+       sequential map would have raised. *)
+    let failure = Atomic.make None in
+    let record_failure i e bt =
+      let rec retry () =
+        match Atomic.get failure with
+        | Some (j, _, _) when j <= i -> ()
+        | cur ->
+            if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then
+              retry ()
+      in
+      retry ()
+    in
+    let work () =
+      let rec loop () =
+        match Atomic.get failure with
+        | Some _ -> () (* stop dispensing; someone already failed *)
+        | None ->
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (* A dispensed index is always processed, even if a failure
+                 lands concurrently — see the invariant above. *)
+              (try results.(i) <- Some (f input.(i))
+               with e -> record_failure i e (Printexc.get_raw_backtrace ()));
+              loop ()
+            end
+      in
+      loop ()
+    in
+    let worker () =
+      Domain.DLS.set in_worker true;
+      work ()
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    (* The caller participates too, flagged as a worker so [f] cannot
+       recursively spawn. *)
+    Domain.DLS.set in_worker true;
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set in_worker false;
+        Array.iter Domain.join spawned)
+      work;
+    match Atomic.get failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.to_list
+          (Array.map
+             (function Some v -> v | None -> assert false (* all dispensed *))
+             results)
+  end

@@ -15,8 +15,11 @@ type _ Effect.t +=
 
 (* The engine the currently-executing process belongs to. Processes only
    run from inside [run], which maintains this; effects need it to schedule
-   their continuations. *)
-let current : t option ref = ref None
+   their continuations. Domain-local so that independent engines can run
+   concurrently on separate domains (one trial per domain): each domain has
+   its own "currently running engine" slot and engines never migrate
+   between domains mid-run. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let create ?(seed = 42) () =
   { clock = 0.0; seq = 0; events = Heap.create (); random = Rng.create seed; executed = 0 }
@@ -40,7 +43,7 @@ let after t d f =
 let cancel tm = tm.cancelled <- true
 
 let engine_of_process () =
-  match !current with
+  match Domain.DLS.get current with
   | Some t -> t
   | None -> failwith "Engine: blocking operation outside a running process"
 
@@ -81,10 +84,10 @@ let suspend register =
 let yield () = sleep 0.0
 
 let run ?(until = infinity) t =
-  let saved = !current in
-  current := Some t;
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some t);
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> Domain.DLS.set current saved)
     (fun () ->
       let rec loop () =
         match Heap.peek t.events with

@@ -8,7 +8,13 @@
 
     Determinism: events fire in (time, insertion-order) order and all
     randomness comes from the engine's {!Rng.t}, so a run is a pure function
-    of the seed. *)
+    of the seed.
+
+    Domain safety: the "engine of the currently-running process" registry is
+    domain-local, so independent engines may run concurrently on separate
+    domains (the parallel trial runner does exactly that). A single engine
+    must not be shared across domains: all interaction with one engine —
+    [spawn], [run], processes — must happen on the domain that runs it. *)
 
 type t
 

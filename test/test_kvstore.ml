@@ -49,7 +49,35 @@ let test_row_stale_write () =
 let test_row_normalize () =
   let v = Row.normalize [ ("b", "1"); ("a", "2"); ("b", "3") ] in
   Alcotest.(check (list (pair string string))) "sorted, last wins"
-    [ ("a", "2"); ("b", "3") ] v
+    [ ("a", "2"); ("b", "3") ] v;
+  (* Pin the full contract: sorted by attribute name, exactly one binding
+     per name, and that binding is the textually last one in the input. *)
+  Alcotest.(check (list (pair string string))) "empty" [] (Row.normalize []);
+  Alcotest.(check (list (pair string string))) "singleton"
+    [ ("x", "1") ] (Row.normalize [ ("x", "1") ]);
+  Alcotest.(check (list (pair string string))) "all duplicates keep last"
+    [ ("k", "4") ]
+    (Row.normalize [ ("k", "1"); ("k", "2"); ("k", "3"); ("k", "4") ]);
+  Alcotest.(check (list (pair string string))) "interleaved"
+    [ ("a", "5"); ("b", "4"); ("c", "3") ]
+    (Row.normalize [ ("a", "1"); ("b", "2"); ("c", "3"); ("b", "4"); ("a", "5") ])
+
+(* Reference implementation of the normalize contract (the original
+   quadratic walk); the optimized version must agree on any input. *)
+let reference_normalize value =
+  let rec keep_last seen = function
+    | [] -> []
+    | (k, v) :: rest ->
+        if List.mem k seen then keep_last seen rest
+        else (k, v) :: keep_last (k :: seen) rest
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (keep_last [] (List.rev value))
+
+let prop_normalize_matches_reference =
+  QCheck.Test.make ~name:"normalize agrees with the reference dedup" ~count:500
+    QCheck.(
+      list (pair (string_of_size Gen.(1 -- 4)) (string_of_size Gen.(0 -- 3))))
+    (fun value -> Row.normalize value = reference_normalize value)
 
 (* ------------------------------------------------------------------ *)
 (* Store.                                                               *)
@@ -173,5 +201,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_monotonic_read;
           QCheck_alcotest.to_alcotest prop_check_and_write_atomic;
+          QCheck_alcotest.to_alcotest prop_normalize_matches_reference;
         ] );
     ]

@@ -148,6 +148,71 @@ let bench_audit_stats =
            ignore (Audit.commit_latencies audit ~promotions:(Some r))
          done))
 
+let bench_wal_entry_cached =
+  (* Re-reading a decided log entry: the write-through decoded cache turns
+     the old sprintf-key + store-read + codec-decode round trip into one
+     small-hashtable probe. *)
+  let wal = Mdds_wal.Wal.create (Mdds_kvstore.Store.create ()) in
+  let entry = entry_of_size 3 in
+  for pos = 1 to 50 do
+    Mdds_wal.Wal.append wal ~group:"bench" ~pos entry
+  done;
+  Test.make ~name:"wal/entry-read-cached"
+    (Staged.stage (fun () ->
+         ignore (Mdds_wal.Wal.entry wal ~group:"bench" ~pos:25)))
+
+let bench_wal_snapshot =
+  (* Snapshot of a 100-row group: the per-group data index replaces the
+     full-store key scan + prefix filter. *)
+  let wal = Mdds_wal.Wal.create (Mdds_kvstore.Store.create ()) in
+  for pos = 1 to 20 do
+    let writes =
+      List.init 5 (fun j ->
+          {
+            Mdds_types.Txn.key = Printf.sprintf "row%03d" (((pos - 1) * 5) + j);
+            value = "snapshot-benchmark-value";
+          })
+    in
+    Mdds_wal.Wal.append wal ~group:"bench" ~pos
+      [
+        Mdds_types.Txn.make_record
+          ~txn_id:(Printf.sprintf "snap/%d" pos)
+          ~origin:0 ~read_position:(pos - 1) ~reads:[] ~writes;
+      ]
+  done;
+  (match Mdds_wal.Wal.apply wal ~group:"bench" ~upto:20 with
+  | Ok () -> ()
+  | Error (`Gap _) -> assert false);
+  Test.make ~name:"wal/snapshot-100-rows"
+    (Staged.stage (fun () -> ignore (Mdds_wal.Wal.snapshot wal ~group:"bench")))
+
+let bench_acceptor_load =
+  (* Loading decoded acceptor state for a decided position: cached decode
+     instead of store read + ballot parse + vote decode per message. *)
+  let topo = Mdds_net.Topology.ec2 "VVV" in
+  let cluster =
+    Mdds_core.Cluster.create ~seed:7 ~config:Mdds_core.Config.default topo
+  in
+  let client = Mdds_core.Cluster.client cluster ~dc:0 in
+  Mdds_core.Cluster.spawn cluster (fun () ->
+      let txn = Mdds_core.Client.begin_ client ~group:"bench" in
+      Mdds_core.Client.write txn "k" "v";
+      ignore (Mdds_core.Client.commit txn));
+  Mdds_core.Cluster.run cluster;
+  let service = Mdds_core.Cluster.service cluster 0 in
+  Test.make ~name:"service/acceptor-load"
+    (Staged.stage (fun () ->
+         ignore (Mdds_core.Service.acceptor_state service ~group:"bench" ~pos:1)))
+
+let bench_trace_disabled =
+  (* Disabled tracing must cost one branch, not a Printf.ksprintf render. *)
+  let engine = Mdds_sim.Engine.create ~seed:1 () in
+  let trace = Mdds_sim.Trace.create engine in
+  Test.make ~name:"trace/record-disabled"
+    (Staged.stage (fun () ->
+         Mdds_sim.Trace.record trace ~source:"bench" ~category:"noop"
+           "formatting %d should not run %s" 42 "at all"))
+
 let bench_engine =
   Test.make ~name:"sim/spawn-sleep-1000"
     (Staged.stage (fun () ->
@@ -167,21 +232,30 @@ let micro_tests =
       bench_audit_stats;
       bench_tally;
       bench_combine;
+      bench_wal_entry_cached;
+      bench_wal_snapshot;
+      bench_acceptor_load;
+      bench_trace_disabled;
       bench_engine;
       bench_commit "e2e/one-commit-VVV" "VVV" Mdds_core.Config.default;
       bench_commit "e2e/one-commit-VVV-basic" "VVV" Mdds_core.Config.basic;
       bench_commit "e2e/one-commit-VVVOC" "VVVOC" Mdds_core.Config.default;
     ]
 
-(* Returns [(name, ns_per_run option)] sorted by name, printing as it goes. *)
-let run_micro () =
+(* Returns [(name, ns_per_run option)] sorted by name, printing as it goes.
+   [quick] trims the per-test quota for CI smoke runs: estimates are
+   noisier but regressions of the order the fast path targets (x1.5+)
+   still show, at a fraction of the wall time. *)
+let run_micro ?(quick = false) () =
   print_endline "\n== Micro-benchmarks (Bechamel) ==";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.05 else 0.5))
+      ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances micro_tests in
   let results =
@@ -259,7 +333,7 @@ let emit_json ~path ~jobs ~figures ~micro =
 (* Time each figure twice — pinned to one domain, then on the pool — and
    record both; the parallel pass double-checks output identity is not our
    problem here (CI diffs the actual tables), only wall clock. *)
-let run_json ~jobs ids =
+let run_json ~jobs ~quick ids =
   let ids = if ids = [] then List.map (fun (id, _, _) -> id) Figures.all else ids in
   let figures =
     List.map
@@ -274,29 +348,30 @@ let run_json ~jobs ids =
         (id, seq_s, par_s))
       ids
   in
-  let micro = run_micro () in
+  let micro = run_micro ~quick () in
   emit_json ~path:"BENCH_harness.json" ~jobs ~figures ~micro
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Hand-rolled flag parsing: [--jobs N | -j N] [--json] [ids...]. *)
-  let rec parse (json, jobs, ids) = function
-    | [] -> (json, jobs, List.rev ids)
-    | "--json" :: rest -> parse (true, jobs, ids) rest
+  (* Hand-rolled flag parsing: [--jobs N | -j N] [--json] [--quick] [ids...]. *)
+  let rec parse (json, quick, jobs, ids) = function
+    | [] -> (json, quick, jobs, List.rev ids)
+    | "--json" :: rest -> parse (true, quick, jobs, ids) rest
+    | "--quick" :: rest -> parse (json, true, jobs, ids) rest
     | ("--jobs" | "-j") :: n :: rest -> (
         match int_of_string_opt n with
-        | Some n when n >= 1 -> parse (json, Some n, ids) rest
+        | Some n when n >= 1 -> parse (json, quick, Some n, ids) rest
         | _ ->
             Printf.eprintf "bad --jobs value %S (expected a positive integer)\n" n;
             exit 2)
     | ("--jobs" | "-j") :: [] ->
         Printf.eprintf "--jobs needs a value\n";
         exit 2
-    | id :: rest -> parse (json, jobs, id :: ids) rest
+    | id :: rest -> parse (json, quick, jobs, id :: ids) rest
   in
-  let json, jobs, ids = parse (false, None, []) args in
+  let json, quick, jobs, ids = parse (false, false, None, []) args in
   Pool.set_jobs jobs;
   let effective_jobs = Pool.get_jobs () in
   let known_figures = List.map (fun (id, _, _) -> id) Figures.all in
@@ -309,7 +384,9 @@ let () =
       (String.concat " " known_figures);
     exit 2
   end;
-  if json then run_json ~jobs:effective_jobs (List.filter (fun id -> id <> "micro") ids)
+  if json then
+    run_json ~jobs:effective_jobs ~quick
+      (List.filter (fun id -> id <> "micro") ids)
   else
     match ids with
     | [] ->
@@ -317,7 +394,7 @@ let () =
           "Reproducing every figure of the evaluation (three seeds each, %d domains).\n"
           effective_jobs;
         Figures.run_ids [];
-        ignore (run_micro ())
+        ignore (run_micro ~quick ())
     | ids ->
         Figures.run_ids (List.filter (fun id -> id <> "micro") ids);
-        if List.mem "micro" ids then ignore (run_micro ())
+        if List.mem "micro" ids then ignore (run_micro ~quick ())

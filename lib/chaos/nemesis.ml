@@ -5,11 +5,13 @@ module Wal = Mdds_wal.Wal
 
 type t = {
   archives : (string, (int, Mdds_types.Txn.entry) Hashtbl.t) Hashtbl.t;
+  on_fault : (Schedule.fault -> unit) option;
   mutable storms : int;  (** Active storms (overlaps nest). *)
   mutable injected : int;
 }
 
-let create () = { archives = Hashtbl.create 4; storms = 0; injected = 0 }
+let create ?on_fault () =
+  { archives = Hashtbl.create 4; on_fault; storms = 0; injected = 0 }
 
 let archive_table t ~group =
   match Hashtbl.find_opt t.archives group with
@@ -61,8 +63,7 @@ let compact cluster t ~groups dc =
           | Ok () | Error `Not_applied -> ()))
       groups
 
-let exec t ~cluster ~groups fault =
-  t.injected <- t.injected + 1;
+let inject t ~cluster ~groups fault =
   match (fault : Schedule.fault) with
   | Schedule.Crash dc -> Cluster.take_down cluster dc
   | Schedule.Recover dc -> Cluster.bring_up cluster dc
@@ -76,6 +77,14 @@ let exec t ~cluster ~groups fault =
           t.storms <- t.storms - 1;
           if t.storms = 0 then Cluster.calm cluster)
   | Schedule.Compact dc -> compact cluster t ~groups dc
+
+let exec t ~cluster ~groups fault =
+  t.injected <- t.injected + 1;
+  inject t ~cluster ~groups fault;
+  (* Fault boundaries are where volatile caches are most likely to drift
+     from durable state (restart drops them, compact prunes them): give the
+     runner's coherence oracle a hook right after each injection. *)
+  match t.on_fault with None -> () | Some check -> check fault
 
 let apply t ~cluster ~groups schedule =
   let engine = Cluster.engine cluster in

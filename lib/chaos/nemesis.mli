@@ -13,7 +13,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?on_fault:(Schedule.fault -> unit) -> unit -> t
+(** [on_fault] runs synchronously right after each fault is injected (on
+    the simulation clock, at the fault's instant). The chaos runner uses
+    it to check the services' cache-coherence oracle at every fault
+    boundary; the callback must not mutate cluster state. *)
 
 val apply :
   t -> cluster:Mdds_core.Cluster.t -> groups:string list -> Schedule.t -> unit

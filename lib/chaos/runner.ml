@@ -161,7 +161,35 @@ let run ?schedule ?extra_oracle spec =
   Trace.enable (Cluster.trace cluster);
   let groups = Ycsb.group_keys spec.workload in
   let handle = Ycsb.run cluster spec.workload in
-  let nemesis = Nemesis.create () in
+  (* Cache-coherence oracle: after every fault event (and once more after
+     the run drains) every service's decoded WAL/acceptor view must equal
+     a fresh decode of its durable store. Checked at fault boundaries
+     because those are the moments that drop or prune the caches. *)
+  let incoherence = ref None in
+  let check_coherence context =
+    if !incoherence = None then
+      for dc = 0 to dcs - 1 do
+        List.iter
+          (fun group ->
+            if !incoherence = None then
+              match
+                Service.cache_coherent (Cluster.service cluster dc) ~group
+              with
+              | Ok () -> ()
+              | Error e ->
+                  incoherence :=
+                    Some
+                      (Printf.sprintf "cache coherence (%s) at dc%d: %s"
+                         context dc e))
+          groups
+      done
+  in
+  let nemesis =
+    Nemesis.create
+      ~on_fault:(fun fault ->
+        check_coherence (Format.asprintf "after %a" Schedule.pp_fault fault))
+      ()
+  in
   Nemesis.apply nemesis ~cluster ~groups schedule;
   Engine.schedule (Cluster.engine cluster) ~at:spec.duration (fun () ->
       Nemesis.heal_all cluster);
@@ -216,10 +244,12 @@ let run ?schedule ?extra_oracle spec =
     count (fun (e : Audit.event) ->
         match e.outcome with Audit.Unknown -> true | _ -> false)
   in
+  if !crashed = None then check_coherence "after drain";
   let violation =
     first_error
       [
         (fun () -> !crashed);
+        (fun () -> !incoherence);
         (fun () ->
           match convergence_failures with
           | [] -> None

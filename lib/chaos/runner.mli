@@ -17,6 +17,13 @@
       stale reads, value-level one-copy serializability), with entries
       archived by the nemesis before compactions merged back in.
 
+    In addition, a {b cache-coherence} oracle
+    ({!Mdds_core.Service.cache_coherent}) runs after {e every} injected
+    fault and once more after the drain: each service's decoded WAL and
+    acceptor-state caches must equal a fresh decode of its durable store,
+    proving the storage fast path is rebuildable from durable state across
+    crash/restart/partition/compaction schedules.
+
     Everything is driven by the deterministic simulator: the same spec
     (and optional explicit schedule) gives byte-identical results. *)
 

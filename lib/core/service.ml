@@ -7,14 +7,30 @@ module Acceptor = Mdds_paxos.Acceptor
 module Rpc = Mdds_net.Rpc
 module Codec = Mdds_codec.Codec
 
+(* Decoded acceptor state as cached per position: the durable row's
+   attributes are the truth; [nb] keeps the raw nextBal attribute so the
+   next conditional save tests against exactly what the store holds. *)
+type acceptor_cached = {
+  acc_state : Txn.entry Acceptor.state;
+  acc_nb : string option;
+}
+
+(* Interned row-key prefixes per group (replaces per-message sprintf). *)
+type group_keys = { paxos_prefix : string; claim_prefix : string }
+
 type t = {
   dc : int;
+  source : string;  (* "svc.dc<N>", interned for trace calls *)
   config : Config.t;
   store : Store.t;
   wal : Wal.t;
   env : Proposer.env;
   submit_locks : (string, Mdds_sim.Semaphore.t) Hashtbl.t;
   won : (string, int) Hashtbl.t;  (* last position this manager decided *)
+  acceptors : (string, (int, acceptor_cached) Hashtbl.t) Hashtbl.t;
+      (* Write-through decoded view of the paxos/ rows, per group; dropped
+         on restart (volatile) and pruned with compaction. *)
+  group_keys : (string, group_keys) Hashtbl.t;
   mutable learns : int;
   mutable snapshots : int;
 }
@@ -24,43 +40,79 @@ let store t = t.store
 let wal t = t.wal
 let learns t = t.learns
 
+let keys_of t ~group =
+  match Hashtbl.find_opt t.group_keys group with
+  | Some k -> k
+  | None ->
+      let k =
+        {
+          paxos_prefix = "paxos/" ^ group ^ "/";
+          claim_prefix = "claim/" ^ group ^ "/";
+        }
+      in
+      Hashtbl.replace t.group_keys group k;
+      k
+
+let paxos_key t ~group ~pos = (keys_of t ~group).paxos_prefix ^ string_of_int pos
+let claim_key t ~group ~pos = (keys_of t ~group).claim_prefix ^ string_of_int pos
+
 (* ------------------------------------------------------------------ *)
 (* Acceptor state persistence (Algorithm 1's datastore state).         *)
 
-let paxos_key ~group ~pos = Printf.sprintf "paxos/%s/%d" group pos
-
 let vote_codec = Codec.(option (pair Ballot.codec Txn.entry_codec))
 
+let acceptor_table t ~group =
+  match Hashtbl.find_opt t.acceptors group with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.replace t.acceptors group tbl;
+      tbl
+
+let decode_acceptor attrs =
+  let next_bal =
+    match Row.attribute attrs "nb" with
+    | None -> Ballot.bottom
+    | Some s -> Ballot.of_string s
+  in
+  let vote =
+    match Row.attribute attrs "vote" with
+    | None -> None
+    | Some s -> Codec.decode_exn vote_codec s
+  in
+  { acc_state = { Acceptor.next_bal; vote }; acc_nb = Row.attribute attrs "nb" }
+
+let load_acceptor_fresh t ~group ~pos =
+  match Store.read t.store ~key:(paxos_key t ~group ~pos) () with
+  | None -> { acc_state = Acceptor.initial; acc_nb = None }
+  | Some (_, attrs) -> decode_acceptor attrs
+
 let load_acceptor t ~group ~pos =
-  let key = paxos_key ~group ~pos in
-  match Store.read t.store ~key () with
-  | None -> (Acceptor.initial, None)
-  | Some (_, attrs) ->
-      let next_bal =
-        match Row.attribute attrs "nb" with
-        | None -> Ballot.bottom
-        | Some s -> Ballot.of_string s
-      in
-      let vote =
-        match Row.attribute attrs "vote" with
-        | None -> None
-        | Some s -> Codec.decode_exn vote_codec s
-      in
-      ({ Acceptor.next_bal; vote }, Row.attribute attrs "nb")
+  let tbl = acceptor_table t ~group in
+  match Hashtbl.find_opt tbl pos with
+  | Some cached -> (cached.acc_state, cached.acc_nb)
+  | None ->
+      let cached = load_acceptor_fresh t ~group ~pos in
+      Hashtbl.replace tbl pos cached;
+      (cached.acc_state, cached.acc_nb)
 
 (* Conditional save keyed on the nextBal attribute, mirroring Algorithm 1
    lines 9 and 18: the write goes through only if nextBal has not changed
-   since we read the state. *)
+   since we read the state. The cache follows the store: updated only when
+   the conditional write lands, dropped when it does not (someone else owns
+   the row's current value). *)
 let save_acceptor t ~group ~pos ~expected_nb (state : Txn.entry Acceptor.state) =
-  let key = paxos_key ~group ~pos in
-  let attrs =
-    [
-      ("nb", Ballot.to_string state.next_bal);
-      ("vote", Codec.encode vote_codec state.vote);
-    ]
+  let nb = Ballot.to_string state.next_bal in
+  let attrs = [ ("nb", nb); ("vote", Codec.encode vote_codec state.vote) ] in
+  let ok =
+    Store.check_and_write t.store ~key:(paxos_key t ~group ~pos)
+      ~test_attribute:"nb" ~test_value:expected_nb attrs
   in
-  Store.check_and_write t.store ~key ~test_attribute:"nb" ~test_value:expected_nb
-    attrs
+  let tbl = acceptor_table t ~group in
+  if ok then
+    Hashtbl.replace tbl pos { acc_state = state; acc_nb = Some nb }
+  else Hashtbl.remove tbl pos;
+  ok
 
 let rec handle_prepare t ~group ~pos ~ballot =
   let state, nb = load_acceptor t ~group ~pos in
@@ -99,8 +151,8 @@ let fetch_snapshot t ~group ~at_least =
         | Some (Messages.Snapshot_reply { applied; rows }) when applied >= at_least ->
             Wal.install_snapshot t.wal ~group ~applied rows;
             t.snapshots <- t.snapshots + 1;
-            Mdds_sim.Trace.record t.env.Proposer.trace
-              ~source:(Printf.sprintf "svc.dc%d" t.dc) ~category:"snapshot"
+            Mdds_sim.Trace.record t.env.Proposer.trace ~source:t.source
+              ~category:"snapshot"
               "installed snapshot from dc%d (applied=%d, %d rows)" peer applied
               (List.length rows);
             true
@@ -118,9 +170,8 @@ let ensure_applied t ~group ~upto =
           match Proposer.learn t.env ~group ~pos with
           | Some entry ->
               t.learns <- t.learns + 1;
-              Mdds_sim.Trace.record t.env.Proposer.trace
-                ~source:(Printf.sprintf "svc.dc%d" t.dc) ~category:"learn"
-                "learned entry for pos %d" pos;
+              Mdds_sim.Trace.record t.env.Proposer.trace ~source:t.source
+                ~category:"learn" "learned entry for pos %d" pos;
               Wal.append t.wal ~group ~pos entry;
               go attempts
           | None ->
@@ -148,11 +199,10 @@ let leader_of_position t ~group ~pos =
    durable first-wins register here is sufficient.) Keeping it in a
    volatile table would let a service restart re-grant a claim and allow
    two rival round-0 votes, which ballot order cannot arbitrate. *)
-let claim_key ~group ~pos = Printf.sprintf "claim/%s/%d" group pos
-
 let handle_claim t ~group ~pos ~claimant =
+  let key = claim_key t ~group ~pos in
   let owner () =
-    match Store.read t.store ~key:(claim_key ~group ~pos) () with
+    match Store.read t.store ~key () with
     | Some (_, attrs) -> Row.attribute attrs "owner"
     | None -> None
   in
@@ -160,8 +210,8 @@ let handle_claim t ~group ~pos ~claimant =
   | Some winner -> Messages.Claim_reply { first = String.equal winner claimant }
   | None ->
       if
-        Store.check_and_write t.store ~key:(claim_key ~group ~pos)
-          ~test_attribute:"owner" ~test_value:None
+        Store.check_and_write t.store ~key ~test_attribute:"owner"
+          ~test_value:None
           [ ("owner", claimant) ]
       then Messages.Claim_reply { first = true }
       else Messages.Claim_reply { first = owner () = Some claimant }
@@ -288,13 +338,17 @@ let handle t ~src:_ request =
       Messages.Snapshot_reply { applied; rows }
 
 (* Restart the service processes of this datacenter: volatile state (the
-   leadership-claim table, the manager's winning streak, submission locks)
-   is lost; everything durable lives in the key-value store and survives —
-   in particular Paxos promises and votes, which is why Algorithm 1 keeps
-   them there. *)
+   leadership-claim table, the manager's winning streak, submission locks,
+   and the decoded WAL/acceptor caches) is lost; everything durable lives
+   in the key-value store and survives — in particular Paxos promises and
+   votes, which is why Algorithm 1 keeps them there. The caches are
+   rebuilt lazily from the durable rows, which the chaos coherence oracle
+   exercises. *)
 let restart t =
   Hashtbl.reset t.won;
-  Hashtbl.reset t.submit_locks
+  Hashtbl.reset t.submit_locks;
+  Hashtbl.reset t.acceptors;
+  Wal.invalidate t.wal
 
 let acceptor_state t ~group ~pos = fst (load_acceptor t ~group ~pos)
 
@@ -302,16 +356,64 @@ let snapshots t = t.snapshots
 
 (* Checkpoint: discard the applied log prefix together with its Paxos
    acceptor state (a compacted position can never be proposed again, so
-   the state is dead weight). *)
+   the state is dead weight). The decoded acceptor cache is pruned with
+   the rows it mirrors. *)
 let compact t ~group ~upto =
   match Wal.compact t.wal ~group ~upto with
   | Error `Not_applied -> Error `Not_applied
   | Ok () ->
+      let acceptors = acceptor_table t ~group in
       for pos = 1 to upto do
-        Store.delete t.store ~key:(paxos_key ~group ~pos);
-        Store.delete t.store ~key:(claim_key ~group ~pos)
+        Store.delete t.store ~key:(paxos_key t ~group ~pos);
+        Store.delete t.store ~key:(claim_key t ~group ~pos);
+        Hashtbl.remove acceptors pos
       done;
       Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Cache-coherence oracle: every decoded view this service keeps equals
+   a fresh decode of its durable rows. Mutates nothing (checked by the
+   chaos engine after each fault event). *)
+
+let equal_vote a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (ba, va), Some (bb, vb) -> Ballot.equal ba bb && Txn.equal_entry va vb
+  | _ -> false
+
+let equal_acceptor_state (a : Txn.entry Acceptor.state)
+    (b : Txn.entry Acceptor.state) =
+  Ballot.equal a.next_bal b.next_bal && equal_vote a.vote b.vote
+
+let cache_coherent t ~group =
+  match Wal.coherence t.wal ~group with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Hashtbl.find_opt t.acceptors group with
+      | None -> Ok ()
+      | Some tbl ->
+          Hashtbl.fold
+            (fun pos (cached : acceptor_cached) acc ->
+              match acc with
+              | Error _ -> acc
+              | Ok () ->
+                  let fresh = load_acceptor_fresh t ~group ~pos in
+                  if not (equal_acceptor_state cached.acc_state fresh.acc_state)
+                  then
+                    Error
+                      (Printf.sprintf
+                         "acceptor/%s/%d: cached state differs from durable \
+                          decode"
+                         group pos)
+                  else if cached.acc_nb <> fresh.acc_nb then
+                    Error
+                      (Printf.sprintf
+                         "acceptor/%s/%d: cached nextBal attribute %s, store %s"
+                         group pos
+                         (Option.value cached.acc_nb ~default:"<absent>")
+                         (Option.value fresh.acc_nb ~default:"<absent>"))
+                  else Ok ())
+            tbl (Ok ()))
 
 let start ~rpc ~config ~dc ~dcs ~trace =
   let store = Store.create () in
@@ -328,12 +430,15 @@ let start ~rpc ~config ~dc ~dcs ~trace =
   let t =
     {
       dc;
+      source = Printf.sprintf "svc.dc%d" dc;
       config;
       store;
       wal = Wal.create store;
       env;
       submit_locks = Hashtbl.create 8;
       won = Hashtbl.create 8;
+      acceptors = Hashtbl.create 4;
+      group_keys = Hashtbl.create 4;
       learns = 0;
       snapshots = 0;
     }

@@ -43,16 +43,25 @@ val compact : t -> group:string -> upto:int -> (unit, [ `Not_applied ]) result
 
 val restart : t -> unit
 (** Simulate a service-process restart: volatile state (leadership claims,
-    the manager's fast-path streak, submission locks) is dropped; durable
-    state — the log and the Paxos acceptor state in the key-value store —
-    survives, so promises made before the restart are still honoured. *)
+    the manager's fast-path streak, submission locks, and the decoded
+    WAL/acceptor caches) is dropped; durable state — the log and the Paxos
+    acceptor state in the key-value store — survives, so promises made
+    before the restart are still honoured. The caches rebuild lazily from
+    the durable rows. *)
 
 (** {1 Direct (in-process) access for tests and checkers} *)
 
 val acceptor_state :
   t -> group:string -> pos:int ->
   Mdds_types.Txn.entry Mdds_paxos.Acceptor.state
-(** Decode the acceptor state currently persisted for a position. *)
+(** The acceptor state currently persisted for a position (served from the
+    write-through decoded cache; the durable row is the truth). *)
+
+val cache_coherent : t -> group:string -> (unit, string) result
+(** Cache-coherence oracle: the decoded WAL view ({!Mdds_wal.Wal.coherence})
+    and the decoded acceptor-state cache both equal a fresh decode of the
+    durable store. Mutates nothing; the chaos engine checks it after every
+    fault event. *)
 
 val handle : t -> src:int -> Messages.request -> Messages.response
 (** Process a request synchronously, bypassing the network (used by unit

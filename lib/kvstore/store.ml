@@ -14,6 +14,10 @@ let find_or_create_row t key =
       Hashtbl.replace t.rows key row;
       row
 
+let row_handle t ~key = find_row t key
+
+let row t ~key = find_or_create_row t key
+
 let read t ~key ?timestamp () =
   match find_row t key with
   | None -> None

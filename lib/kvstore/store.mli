@@ -39,6 +39,23 @@ val check_and_write :
 val attribute : t -> key:string -> string -> string option
 (** Latest version's attribute, if any. *)
 
+(** {1 Row handles (fast path)}
+
+    A row handle is a stable reference to a row's version chain: reads and
+    writes through it are the same per-row atomic operations as
+    {!read}/{!write}, minus the key hash on every access. The write-through
+    caches of the transaction tier ({!Mdds_wal.Wal}'s data index) hold
+    handles so hot-path reads skip both key construction and the store
+    lookup. A handle stays valid until the row is {!delete}d or the store
+    is {!reset}; holders that cache handles must invalidate with the same
+    events that delete rows. *)
+
+val row_handle : t -> key:string -> Row.t option
+(** The row's handle, if the row exists. *)
+
+val row : t -> key:string -> Row.t
+(** The row's handle, creating an empty row (no versions) if absent. *)
+
 val delete : t -> key:string -> unit
 (** Drop a row and all its versions (used by log compaction). *)
 

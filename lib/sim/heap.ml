@@ -1,11 +1,20 @@
 type 'a entry = { time : float; seq : int; item : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+(* Slots past [size] must not retain popped entries (their items are
+   executed-event closures that would otherwise live until the end of the
+   run), so the array holds an explicit [Empty] that vacated slots are
+   reset to. *)
+type 'a slot = Empty | Slot of 'a entry
+
+type 'a t = { mutable data : 'a slot array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
 let is_empty t = t.size = 0
 let length t = t.size
+
+let get t i =
+  match t.data.(i) with Slot e -> e | Empty -> assert false
 
 let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -13,16 +22,15 @@ let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = max 16 (cap * 2) in
-    let nd = Array.make ncap t.data.(0) in
+    let nd = Array.make ncap Empty in
     Array.blit t.data 0 nd 0 t.size;
     t.data <- nd
   end
 
 let push t ~time ~seq item =
   let e = { time; seq; item } in
-  if Array.length t.data = 0 then t.data <- Array.make 16 e;
   grow t;
-  t.data.(t.size) <- e;
+  t.data.(t.size) <- Slot e;
   t.size <- t.size + 1;
   (* Sift up. *)
   let i = ref (t.size - 1) in
@@ -30,7 +38,7 @@ let push t ~time ~seq item =
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    less t.data.(!i) t.data.(parent)
+    less (get t !i) (get t parent)
   do
     let parent = (!i - 1) / 2 in
     let tmp = t.data.(!i) in
@@ -42,24 +50,25 @@ let push t ~time ~seq item =
 let peek t =
   if t.size = 0 then None
   else
-    let e = t.data.(0) in
+    let e = get t 0 in
     Some (e.time, e.seq, e.item)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- Empty;
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if l < t.size && less (get t l) (get t !smallest) then smallest := l;
+        if r < t.size && less (get t r) (get t !smallest) then smallest := r;
         if !smallest <> !i then begin
           let tmp = t.data.(!i) in
           t.data.(!i) <- t.data.(!smallest);
@@ -68,8 +77,11 @@ let pop t =
         end
         else continue := false
       done
-    end;
+    end
+    else t.data.(0) <- Empty;
     Some (top.time, top.seq, top.item)
   end
 
-let clear t = t.size <- 0
+let clear t =
+  Array.fill t.data 0 t.size Empty;
+  t.size <- 0

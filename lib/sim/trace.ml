@@ -30,11 +30,15 @@ let push t event =
   if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
 
 let record t ?(level = Info) ~source ~category fmt =
-  Printf.ksprintf
-    (fun message ->
-      if t.on then
+  (* Disabled tracing must not pay for formatting: [ifprintf] consumes the
+     format arguments without ever building the message string, so the hot
+     paths only pay one branch when the trace is off. *)
+  if t.on then
+    Printf.ksprintf
+      (fun message ->
         push t { time = Engine.now t.engine; level; source; category; message })
-    fmt
+      fmt
+  else Printf.ifprintf () fmt
 
 let events t = List.of_seq (Queue.to_seq t.buffer)
 

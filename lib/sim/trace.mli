@@ -32,9 +32,10 @@ val enabled : t -> bool
 val record :
   t -> ?level:level -> source:string -> category:string ->
   ('a, unit, string, unit) format4 -> 'a
-(** [record t ~source ~category fmt …] appends an event (no-op when
-    disabled; the format arguments are still evaluated, so keep them
-    cheap). *)
+(** [record t ~source ~category fmt …] appends an event. When tracing is
+    disabled this is a no-op that skips the [Printf] formatting entirely
+    (the arguments themselves are still evaluated, so avoid computing
+    expensive values inline at call sites on hot paths). *)
 
 val events : t -> event list
 (** Retained events, oldest first. *)

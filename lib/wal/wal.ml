@@ -1,38 +1,116 @@
 module Store = Mdds_kvstore.Store
+module Row = Mdds_kvstore.Row
 module Txn = Mdds_types.Txn
 module Codec = Mdds_codec.Codec
 
-type t = { store : Store.t }
+(* The durable representation — encoded rows in the key-value store — is
+   the sole source of truth; everything in [group_cache] is a volatile,
+   write-through decoded view of it. Every mutation writes the store first
+   and then updates the cache, so at any instant the cache equals a fresh
+   decode of the store ([coherence] below checks exactly that, and the
+   chaos engine checks it after every fault event). [invalidate] drops the
+   whole view (a process restart); it is rebuilt lazily from the store. *)
+type group_cache = {
+  log_prefix : string;  (* "log/<group>/" *)
+  data_prefix : string;  (* "data/<group>/" *)
+  meta_key : string;  (* "logmeta/<group>" *)
+  entries : (int, Txn.entry) Hashtbl.t;  (* decoded log entries by position *)
+  mutable contiguous : int;
+      (* Watermark: every position in [compacted+1 .. contiguous] is known
+         present (decoded in [entries]), so gap scans start after it
+         instead of re-probing from position 1. Always >= [compacted]. *)
+  mutable last : int;
+  mutable applied : int;
+  mutable compacted : int;
+  mutable meta_loaded : bool;  (* the three ints mirror the store *)
+  data_rows : (string, Row.t) Hashtbl.t;  (* data key -> store row handle *)
+  mutable data_indexed : bool;
+      (* [data_rows] holds *every* data key of the group, so snapshots and
+         negative lookups need not scan [Store.keys]. *)
+}
 
-let create store = { store }
+type t = { store : Store.t; groups : (string, group_cache) Hashtbl.t }
+
+let create store = { store; groups = Hashtbl.create 4 }
 let store t = t.store
 
-let log_key ~group ~pos = Printf.sprintf "log/%s/%d" group pos
-let meta_key ~group = "logmeta/" ^ group
-let data_key ~group ~key = Printf.sprintf "data/%s/%s" group key
+let cache t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          log_prefix = "log/" ^ group ^ "/";
+          data_prefix = "data/" ^ group ^ "/";
+          meta_key = "logmeta/" ^ group;
+          entries = Hashtbl.create 64;
+          contiguous = 0;
+          last = 0;
+          applied = 0;
+          compacted = 0;
+          meta_loaded = false;
+          data_rows = Hashtbl.create 64;
+          data_indexed = false;
+        }
+      in
+      Hashtbl.replace t.groups group c;
+      c
 
-let meta_int t ~group name =
-  match Store.attribute t.store ~key:(meta_key ~group) name with
+let invalidate t = Hashtbl.reset t.groups
+
+let log_key c pos = c.log_prefix ^ string_of_int pos
+
+let meta_attr t c name =
+  match Store.attribute t.store ~key:c.meta_key name with
   | None -> 0
   | Some s -> int_of_string s
 
-let set_meta t ~group name v =
-  let key = meta_key ~group in
-  let current =
-    match Store.read t.store ~key () with None -> [] | Some (_, attrs) -> attrs
-  in
-  let attrs = (name, string_of_int v) :: List.remove_assoc name current in
-  match Store.write t.store ~key attrs with
+let load_meta t c =
+  if not c.meta_loaded then begin
+    c.last <- meta_attr t c "last";
+    c.applied <- meta_attr t c "applied";
+    c.compacted <- meta_attr t c "compacted";
+    if c.contiguous < c.compacted then c.contiguous <- c.compacted;
+    c.meta_loaded <- true
+  end
+
+let flush_meta t c =
+  match
+    Store.write t.store ~key:c.meta_key
+      [
+        ("last", string_of_int c.last);
+        ("applied", string_of_int c.applied);
+        ("compacted", string_of_int c.compacted);
+      ]
+  with
   | Ok _ -> ()
   | Error `Stale -> assert false (* auto-stamped writes cannot be stale *)
 
-let entry t ~group ~pos =
-  match Store.attribute t.store ~key:(log_key ~group ~pos) "entry" with
-  | None -> None
-  | Some encoded -> Some (Codec.decode_exn Txn.entry_codec encoded)
+(* Presence discovered through the cache advances the gap-scan watermark. *)
+let rec advance c =
+  if Hashtbl.mem c.entries (c.contiguous + 1) then begin
+    c.contiguous <- c.contiguous + 1;
+    advance c
+  end
+
+let entry_in t c pos =
+  match Hashtbl.find_opt c.entries pos with
+  | Some _ as hit -> hit
+  | None -> (
+      match Store.attribute t.store ~key:(log_key c pos) "entry" with
+      | None -> None
+      | Some encoded ->
+          let e = Codec.decode_exn Txn.entry_codec encoded in
+          Hashtbl.replace c.entries pos e;
+          advance c;
+          Some e)
+
+let entry t ~group ~pos = entry_in t (cache t ~group) pos
 
 let append t ~group ~pos e =
-  (match entry t ~group ~pos with
+  let c = cache t ~group in
+  load_meta t c;
+  (match entry_in t c pos with
   | Some existing when not (Txn.equal_entry existing e) ->
       failwith
         (Printf.sprintf
@@ -41,36 +119,93 @@ let append t ~group ~pos e =
   | Some _ -> () (* duplicate apply: idempotent *)
   | None -> (
       let encoded = Codec.encode Txn.entry_codec e in
-      match Store.write t.store ~key:(log_key ~group ~pos) [ ("entry", encoded) ] with
-      | Ok _ -> ()
+      match Store.write t.store ~key:(log_key c pos) [ ("entry", encoded) ] with
+      | Ok _ ->
+          Hashtbl.replace c.entries pos e;
+          advance c
       | Error `Stale -> assert false));
-  if pos > meta_int t ~group "last" then set_meta t ~group "last" pos
+  if pos > c.last then begin
+    c.last <- pos;
+    flush_meta t c
+  end
 
-let last_position t ~group = meta_int t ~group "last"
+let last_position t ~group =
+  let c = cache t ~group in
+  load_meta t c;
+  c.last
 
 let first_gap t ~group ~upto =
+  let c = cache t ~group in
+  load_meta t c;
   let rec go pos =
     if pos > upto then None
+    else if pos > c.compacted && pos <= c.contiguous then
+      (* Known-present prefix: skip to the first unknown position. *)
+      go (c.contiguous + 1)
     else
-      match entry t ~group ~pos with
-      | None -> Some pos
-      | Some _ -> go (pos + 1)
+      match entry_in t c pos with None -> Some pos | Some _ -> go (pos + 1)
   in
   go 1
 
-let applied_position t ~group = meta_int t ~group "applied"
+let applied_position t ~group =
+  let c = cache t ~group in
+  load_meta t c;
+  c.applied
 
-let compacted_position t ~group = meta_int t ~group "compacted"
+let compacted_position t ~group =
+  let c = cache t ~group in
+  load_meta t c;
+  c.compacted
 
-let apply_entry t ~group ~pos e =
+(* Write path for data rows: resolves (and indexes) the row handle, so the
+   per-write cost is one small-hashtable probe instead of key sprintf +
+   store lookup. *)
+let data_row t c key =
+  match Hashtbl.find_opt c.data_rows key with
+  | Some row -> row
+  | None ->
+      let row = Store.row t.store ~key:(c.data_prefix ^ key) in
+      Hashtbl.replace c.data_rows key row;
+      row
+
+(* Read path: must not create rows for absent keys. Once the group is
+   fully indexed, negative lookups are answered from the index alone. *)
+let find_data_row t c key =
+  match Hashtbl.find_opt c.data_rows key with
+  | Some _ as hit -> hit
+  | None ->
+      if c.data_indexed then None
+      else (
+        match Store.row_handle t.store ~key:(c.data_prefix ^ key) with
+        | Some row ->
+            Hashtbl.replace c.data_rows key row;
+            Some row
+        | None -> None)
+
+let ensure_data_index t c =
+  if not c.data_indexed then begin
+    List.iter
+      (fun key ->
+        if String.starts_with ~prefix:c.data_prefix key then
+          let data_key =
+            String.sub key
+              (String.length c.data_prefix)
+              (String.length key - String.length c.data_prefix)
+          in
+          if not (Hashtbl.mem c.data_rows data_key) then
+            match Store.row_handle t.store ~key with
+            | Some row -> Hashtbl.replace c.data_rows data_key row
+            | None -> ())
+      (Store.keys t.store);
+    c.data_indexed <- true
+  end
+
+let apply_entry t c ~pos e =
   List.iter
     (fun (record : Txn.record) ->
       List.iter
         (fun (w : Txn.write) ->
-          match
-            Store.write t.store ~key:(data_key ~group ~key:w.key) ~timestamp:pos
-              [ ("v", w.value) ]
-          with
+          match Row.write (data_row t c w.key) ~timestamp:pos [ ("v", w.value) ] with
           | Ok _ -> ()
           | Error `Stale ->
               (* A higher-versioned write exists: this entry was already
@@ -82,80 +217,169 @@ let apply_entry t ~group ~pos e =
     e
 
 let apply t ~group ~upto =
+  let c = cache t ~group in
+  load_meta t c;
   let rec go pos =
     if pos > upto then Ok ()
     else
-      match entry t ~group ~pos with
+      match entry_in t c pos with
       | None -> Error (`Gap pos)
       | Some e ->
-          apply_entry t ~group ~pos e;
-          set_meta t ~group "applied" pos;
+          apply_entry t c ~pos e;
+          c.applied <- pos;
           go (pos + 1)
   in
-  go (max (applied_position t ~group) (compacted_position t ~group) + 1)
+  let from = max c.applied c.compacted + 1 in
+  let result = go from in
+  if c.applied >= from then flush_meta t c;
+  result
 
 let compact t ~group ~upto =
-  if upto > applied_position t ~group then Error `Not_applied
+  let c = cache t ~group in
+  load_meta t c;
+  if upto > c.applied then Error `Not_applied
   else begin
-    for pos = compacted_position t ~group + 1 to upto do
-      Store.delete t.store ~key:(log_key ~group ~pos)
+    for pos = c.compacted + 1 to upto do
+      Store.delete t.store ~key:(log_key c pos);
+      Hashtbl.remove c.entries pos
     done;
-    if upto > compacted_position t ~group then set_meta t ~group "compacted" upto;
+    if upto > c.compacted then begin
+      c.compacted <- upto;
+      if c.contiguous < c.compacted then c.contiguous <- c.compacted;
+      flush_meta t c
+    end;
     Ok ()
   end
 
 let snapshot t ~group =
-  let prefix = "data/" ^ group ^ "/" in
+  let c = cache t ~group in
+  load_meta t c;
+  ensure_data_index t c;
   let rows =
-    List.filter_map
-      (fun key ->
-        if String.starts_with ~prefix key then
-          match Store.read t.store ~key () with
-          | Some (version, attrs) -> (
-              match Mdds_kvstore.Row.attribute attrs "v" with
-              | Some value ->
-                  let data_key =
-                    String.sub key (String.length prefix)
-                      (String.length key - String.length prefix)
-                  in
-                  Some (data_key, version, value)
-              | None -> None)
-          | None -> None
-        else None)
-      (Store.keys t.store)
+    Hashtbl.fold
+      (fun data_key row acc ->
+        match Row.latest row with
+        | Some (version, attrs) -> (
+            match Row.attribute attrs "v" with
+            | Some value -> (data_key, version, value) :: acc
+            | None -> acc)
+        | None -> acc)
+      c.data_rows []
   in
-  (applied_position t ~group, rows)
+  (c.applied, rows)
 
 let install_snapshot t ~group ~applied rows =
+  let c = cache t ~group in
+  load_meta t c;
   List.iter
     (fun (key, version, value) ->
-      match
-        Store.write t.store ~key:(data_key ~group ~key) ~timestamp:version
-          [ ("v", value) ]
-      with
+      match Row.write (data_row t c key) ~timestamp:version [ ("v", value) ] with
       | Ok _ | Error `Stale -> () (* local state already newer: keep it *))
     rows;
-  if applied > applied_position t ~group then set_meta t ~group "applied" applied;
-  if applied > compacted_position t ~group then set_meta t ~group "compacted" applied;
-  if applied > meta_int t ~group "last" then set_meta t ~group "last" applied
+  if applied > c.applied || applied > c.compacted || applied > c.last then begin
+    if applied > c.applied then c.applied <- applied;
+    if applied > c.compacted then begin
+      c.compacted <- applied;
+      if c.contiguous < c.compacted then c.contiguous <- c.compacted
+    end;
+    if applied > c.last then c.last <- applied;
+    flush_meta t c
+  end
 
 let read_data t ~group ~key ~at =
-  match Store.read t.store ~key:(data_key ~group ~key) ~timestamp:at () with
+  let c = cache t ~group in
+  match find_data_row t c key with
   | None -> None
-  | Some (_, attrs) -> Mdds_kvstore.Row.attribute attrs "v"
+  | Some row -> (
+      match Row.read row ~timestamp:at () with
+      | None -> None
+      | Some (_, attrs) -> Row.attribute attrs "v")
 
 let data_version t ~group ~key ~at =
-  match Store.read t.store ~key:(data_key ~group ~key) ~timestamp:at () with
+  let c = cache t ~group in
+  match find_data_row t c key with
   | None -> None
-  | Some (ts, _) -> Some ts
+  | Some row -> (
+      match Row.read row ~timestamp:at () with
+      | None -> None
+      | Some (ts, _) -> Some ts)
 
 let dump t ~group =
-  let last = last_position t ~group in
+  let c = cache t ~group in
+  load_meta t c;
   let rec go pos acc =
     if pos < 1 then acc
     else
-      match entry t ~group ~pos with
+      match entry_in t c pos with
       | None -> go (pos - 1) acc
       | Some e -> go (pos - 1) ((pos, e) :: acc)
   in
-  go last []
+  go c.last []
+
+(* ------------------------------------------------------------------ *)
+(* Cache-coherence oracle: cache = decode(durable store).               *)
+
+exception Incoherent of string
+
+let coherence t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | None -> Ok () (* no cached view: trivially coherent *)
+  | Some c -> (
+      let fail fmt =
+        Printf.ksprintf (fun m -> raise (Incoherent ("wal/" ^ group ^ ": " ^ m))) fmt
+      in
+      try
+        if c.meta_loaded then begin
+          let check name cached =
+            let stored = meta_attr t c name in
+            if stored <> cached then
+              fail "meta %s: cached %d, store %d" name cached stored
+          in
+          check "last" c.last;
+          check "applied" c.applied;
+          check "compacted" c.compacted
+        end;
+        if c.contiguous < c.compacted then
+          fail "contiguous %d below compacted %d" c.contiguous c.compacted;
+        for pos = c.compacted + 1 to c.contiguous do
+          if not (Hashtbl.mem c.entries pos) then
+            fail "position %d inside the contiguous watermark is not cached" pos
+        done;
+        Hashtbl.iter
+          (fun pos cached ->
+            match Store.attribute t.store ~key:(log_key c pos) "entry" with
+            | None -> fail "cached entry at %d has no durable row" pos
+            | Some encoded ->
+                if
+                  not
+                    (Txn.equal_entry cached
+                       (Codec.decode_exn Txn.entry_codec encoded))
+                then fail "cached entry at %d differs from durable decode" pos)
+          c.entries;
+        Hashtbl.iter
+          (fun data_key row ->
+            match Store.row_handle t.store ~key:(c.data_prefix ^ data_key) with
+            | Some stored when stored == row -> ()
+            | Some _ -> fail "data index for %s aliases a replaced row" data_key
+            | None -> fail "data index for %s has no durable row" data_key)
+          c.data_rows;
+        if c.data_indexed then
+          List.iter
+            (fun key ->
+              if String.starts_with ~prefix:c.data_prefix key then
+                let data_key =
+                  String.sub key
+                    (String.length c.data_prefix)
+                    (String.length key - String.length c.data_prefix)
+                in
+                if not (Hashtbl.mem c.data_rows data_key) then
+                  fail "durable data row %s missing from the index" data_key)
+            (Store.keys t.store);
+        Ok ()
+      with Incoherent msg -> Error msg)
+
+let coherent t =
+  Hashtbl.fold
+    (fun group _ acc ->
+      match acc with Ok () -> coherence t ~group | Error _ -> acc)
+    t.groups (Ok ())

@@ -14,13 +14,32 @@
 
     Row layout (one store, many groups):
     - ["log/<group>/<pos>"]: attribute ["entry"] = encoded {!Mdds_types.Txn.entry};
-    - ["logmeta/<group>"]: attributes ["last"], ["applied"];
-    - ["data/<group>/<key>"]: attribute ["v"], versioned by log position. *)
+    - ["logmeta/<group>"]: attributes ["last"], ["applied"], ["compacted"];
+    - ["data/<group>/<key>"]: attribute ["v"], versioned by log position.
+
+    {b Decoded view vs durable truth.} The encoded rows are the sole source
+    of truth; on top of them the WAL keeps a volatile, write-through decoded
+    view per group — log entries decoded once and cached by position, the
+    [last]/[applied]/[compacted] watermarks as plain ints, a
+    contiguous-prefix watermark that lets gap scans skip the known-present
+    prefix, and an index of the group's data rows (store row handles) so
+    snapshots and stale-read checks never scan the full store key set.
+    Every mutation writes the store first, so the view always equals a
+    fresh decode of the store; {!coherence} checks that invariant and the
+    chaos engine asserts it after every fault event. {!invalidate} models a
+    process restart: the view is dropped and rebuilt lazily from the
+    store. *)
 
 type t
 
 val create : Mdds_kvstore.Store.t -> t
 val store : t -> Mdds_kvstore.Store.t
+
+val invalidate : t -> unit
+(** Drop the decoded view (all groups): what a service-process restart does
+    to volatile memory. The next access rebuilds it from the durable rows.
+    Must also be called if the underlying store is mutated behind the WAL's
+    back (tests forging corruption do this; the protocol never does). *)
 
 (** {1 The log} *)
 
@@ -87,3 +106,14 @@ val install_snapshot :
 
 val dump : t -> group:string -> (int * Mdds_types.Txn.entry) list
 (** All locally known entries, sorted by position (for checkers/tests). *)
+
+val coherence : t -> group:string -> (unit, string) result
+(** Cache-coherence oracle: check that the group's decoded view equals a
+    fresh decode of the durable rows — cached watermarks match the meta
+    row, every cached entry decodes identically from its log row, the
+    contiguous watermark only covers cached positions, and the data index
+    holds exactly the group's live row handles. Reads the store directly
+    (never through the cache) and mutates nothing. *)
+
+val coherent : t -> (unit, string) result
+(** {!coherence} over every group with a cached view. *)

@@ -170,6 +170,33 @@ let test_explicit_schedule () =
   | None -> ()
   | Some v -> Alcotest.failf "explicit schedule run failed: %s" v
 
+(* ------------------------------------------------------------------ *)
+(* Regression: restart with a warm cache. Each service builds up decoded
+   WAL/acceptor caches under traffic, then restarts (dropping the
+   volatile view), keeps serving, is compacted (pruning the view) and
+   restarts again. The runner's cache-coherence oracle fires after every
+   one of these events; any decoded state that survived a restart without
+   matching the durable store — or went stale after compaction — fails
+   the run. *)
+
+let test_restart_warm_cache () =
+  let spec = Runner.spec ~seed:42 "VVV" in
+  let schedule =
+    Schedule.of_string
+      "((3.0 (restart 0)) (5.0 (restart 1)) (7.0 (compact 2)) (9.0 (restart \
+       2)) (11.0 (compact 0)) (13.0 (restart 0)) (15.0 (restart 2)))"
+  in
+  let report = Runner.run ~schedule spec in
+  Alcotest.(check int)
+    "all scheduled faults injected"
+    (List.length schedule)
+    report.Runner.faults;
+  match report.Runner.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "restart-with-warm-cache regression: %s@.repro: %s" v
+        (Runner.repro report)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -183,6 +210,8 @@ let () =
             test_explicit_schedule;
           Alcotest.test_case "shrinker minimizes to one crash" `Quick
             test_shrinker;
+          Alcotest.test_case "restart with warm cache stays coherent" `Quick
+            test_restart_warm_cache;
         ] );
       ( "soak",
         [ Alcotest.test_case "battery: 21 seed/topology/protocol combos" `Slow

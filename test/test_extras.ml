@@ -238,6 +238,9 @@ let test_oracle_catches_log_divergence () =
   let wal = Service.wal (Cluster.service cluster 1) in
   let store = Service.store (Cluster.service cluster 1) in
   Mdds_kvstore.Store.delete store ~key:(Printf.sprintf "log/%s/2" group);
+  (* The raw delete went behind the WAL's decoded cache: drop it so the
+     forged append below sees the corrupted durable state. *)
+  Wal.invalidate wal;
   Wal.append wal ~group ~pos:2
     [
       Txn.make_record ~txn_id:"forged" ~origin:1 ~read_position:1 ~reads:[]

@@ -55,6 +55,58 @@ let heap_sorted_prop =
       in
       drain None)
 
+let heap_interleaved_prop =
+  (* Interleaved push/pop: the popped sequence is exactly the sorted
+     permutation of everything pushed — nothing lost, nothing duplicated,
+     nothing resurrected from a vacated slot. Pops mid-stream exercise the
+     slot-clearing path (a popped slot must not retain its old entry). *)
+  QCheck.Test.make ~name:"heap interleaved push/pop is a sorted permutation"
+    ~count:200
+    QCheck.(list (option (float_bound_inclusive 1000.0)))
+    (fun script ->
+      let h = Heap.create () in
+      let seq = ref 0 in
+      let pushed = ref [] in
+      let popped = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Some t ->
+              incr seq;
+              Heap.push h ~time:t ~seq:!seq !seq;
+              pushed := (t, !seq) :: !pushed
+          | None -> (
+              match Heap.pop h with
+              | Some (t, s, v) ->
+                  popped := (t, s) :: !popped;
+                  if v <> s then QCheck.Test.fail_report "payload mismatch"
+              | None -> ()))
+        script;
+      let rec drain () =
+        match Heap.pop h with
+        | Some (t, s, _) ->
+            popped := (t, s) :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      let sorted =
+        List.sort
+          (fun (t, s) (t', s') ->
+            match Float.compare t t' with 0 -> Int.compare s s' | c -> c)
+          !pushed
+      in
+      (* Each pop run emits a nondecreasing subsequence; the multiset of
+         all pops must equal the multiset pushed. Sorting the pops and
+         comparing to the sorted pushes checks exactly that. *)
+      List.equal
+        (fun (t, s) (t', s') -> Float.equal t t' && s = s')
+        sorted
+        (List.sort
+           (fun (t, s) (t', s') ->
+             match Float.compare t t' with 0 -> Int.compare s s' | c -> c)
+           !popped))
+
 (* ------------------------------------------------------------------ *)
 (* RNG.                                                                 *)
 
@@ -337,6 +389,7 @@ let () =
           Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           QCheck_alcotest.to_alcotest heap_sorted_prop;
+          QCheck_alcotest.to_alcotest heap_interleaved_prop;
         ] );
       ( "rng",
         [

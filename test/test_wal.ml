@@ -171,6 +171,110 @@ let prop_apply_matches_sequential_replay =
         (fun (k, v) -> Wal.read_data wal ~group ~key:k ~at:n = Some v)
         expected)
 
+let prop_cache_coherent_under_interleavings =
+  (* The storage fast-path invariant: after any interleaving of WAL
+     operations — including [invalidate], which models a process restart
+     dropping the volatile caches — the decoded view equals a fresh decode
+     of the durable store ([Wal.coherent]), and a cold WAL opened over the
+     same store answers every accessor identically. Snapshots taken
+     mid-stream are installed into a second replica whose caches must stay
+     coherent too. *)
+  let open QCheck in
+  let op_gen =
+    Gen.frequency
+      [
+        (5, Gen.return `Append);
+        (1, Gen.return `Append_gap);
+        (3, Gen.return `Apply);
+        (2, Gen.return `Compact);
+        (1, Gen.return `Snapshot);
+        (2, Gen.return `Invalidate);
+        (2, Gen.return `Read);
+      ]
+  in
+  Test.make ~name:"caches coherent under random op interleavings" ~count:150
+    (make
+       ~print:(Print.list (function
+         | `Append -> "append"
+         | `Append_gap -> "append-gap"
+         | `Apply -> "apply"
+         | `Compact -> "compact"
+         | `Snapshot -> "snapshot"
+         | `Invalidate -> "invalidate"
+         | `Read -> "read"))
+       Gen.(list_size (1 -- 30) op_gen))
+    (fun ops ->
+      let store = Store.create () in
+      let wal = Wal.create store in
+      let replica = fresh () in
+      let i = ref 0 in
+      let append offset =
+        let pos = Wal.last_position wal ~group + offset in
+        Wal.append wal ~group ~pos
+          [
+            record
+              (Printf.sprintf "t%d" !i)
+              ~writes:[ ("k" ^ string_of_int (!i mod 3), string_of_int !i) ];
+          ]
+      in
+      List.iter
+        (fun op ->
+          incr i;
+          (match op with
+          | `Append -> append 1
+          | `Append_gap -> append 2
+          | `Apply -> ignore (Wal.apply wal ~group ~upto:(Wal.last_position wal ~group))
+          | `Compact ->
+              ignore (Wal.compact wal ~group ~upto:(Wal.applied_position wal ~group))
+          | `Snapshot ->
+              let applied, rows = Wal.snapshot wal ~group in
+              Wal.install_snapshot replica ~group ~applied rows
+          | `Invalidate -> Wal.invalidate wal
+          | `Read ->
+              ignore
+                (Wal.read_data wal ~group
+                   ~key:("k" ^ string_of_int (!i mod 3))
+                   ~at:(Wal.applied_position wal ~group)));
+          match (Wal.coherent wal, Wal.coherent replica) with
+          | Ok (), Ok () -> ()
+          | Error e, _ | _, Error e ->
+              Test.fail_reportf "incoherent after op %d: %s" !i e)
+        ops;
+      (* A cold WAL over the same durable store answers identically —
+         nothing observable lives only in the caches. *)
+      let cold = Wal.create store in
+      let at = Wal.applied_position wal ~group in
+      Wal.last_position cold ~group = Wal.last_position wal ~group
+      && Wal.applied_position cold ~group = at
+      && Wal.compacted_position cold ~group = Wal.compacted_position wal ~group
+      && List.equal
+           (fun (p, e) (p', e') -> p = p' && Txn.equal_entry e e')
+           (Wal.dump cold ~group) (Wal.dump wal ~group)
+      && List.for_all
+           (fun k ->
+             Wal.read_data cold ~group ~key:k ~at
+             = Wal.read_data wal ~group ~key:k ~at)
+           [ "k0"; "k1"; "k2" ])
+
+let test_invalidate_rebuilds () =
+  let store = Store.create () in
+  let wal = Wal.create store in
+  Wal.append wal ~group ~pos:1 [ record "t1" ~writes:[ ("x", "a") ] ];
+  Wal.append wal ~group ~pos:2 [ record "t2" ~writes:[ ("x", "b") ] ];
+  Alcotest.(check bool) "apply" true (Wal.apply wal ~group ~upto:2 = Ok ());
+  Wal.invalidate wal;
+  (* Everything is rebuilt lazily from the durable rows. *)
+  Alcotest.(check int) "last survives" 2 (Wal.last_position wal ~group);
+  Alcotest.(check int) "applied survives" 2 (Wal.applied_position wal ~group);
+  Alcotest.(check (option string)) "data survives" (Some "b")
+    (Wal.read_data wal ~group ~key:"x" ~at:2);
+  (match Wal.entry wal ~group ~pos:1 with
+  | Some e ->
+      Alcotest.(check bool) "entry decodes" true
+        (Txn.equal_entry e [ record "t1" ~writes:[ ("x", "a") ] ])
+  | None -> Alcotest.fail "entry lost across invalidate");
+  Alcotest.(check bool) "coherent" true (Wal.coherent wal = Ok ())
+
 let () =
   Alcotest.run "wal"
     [
@@ -190,5 +294,11 @@ let () =
           Alcotest.test_case "compaction" `Quick test_compaction;
           Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
           QCheck_alcotest.to_alcotest prop_apply_matches_sequential_replay;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "invalidate rebuilds from store" `Quick
+            test_invalidate_rebuilds;
+          QCheck_alcotest.to_alcotest prop_cache_coherent_under_interleavings;
         ] );
     ]

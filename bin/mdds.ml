@@ -43,6 +43,9 @@ let protocol_arg =
         ("basic", Config.Basic);
         ("cp", Config.Cp);
         ("leader", Config.Leader);
+        (* Display names, so printed repro commands paste back verbatim. *)
+        ("paxos-basic", Config.Basic);
+        ("paxos-cp", Config.Cp);
       ]
   in
   Arg.(value & opt proto Config.Cp & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
@@ -200,8 +203,8 @@ let chaos_cmd =
   in
   let faults_arg =
     let doc =
-      "Comma-separated fault kinds to draw from: crash, restart, partition, \
-       storm, compact (default: all)."
+      "Comma-separated fault kinds to draw from: crash, restart, \
+       dirty-crash, torn-write, partition, storm, compact (default: all)."
     in
     Arg.(
       value & opt (some kinds_conv) None & info [ "faults" ] ~docv:"KINDS" ~doc)
@@ -299,9 +302,9 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Randomized fault-schedule runs (crashes, partitions, restarts, \
-          storms, compactions) with full oracle checking and automatic \
-          schedule shrinking.")
+         "Randomized fault-schedule runs (crashes, dirty/torn storage \
+          crashes, partitions, restarts, storms, compactions) with full \
+          oracle checking and automatic schedule shrinking.")
     term
 
 (* ------------------------------------------------------------------ *)

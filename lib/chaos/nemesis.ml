@@ -68,6 +68,8 @@ let inject t ~cluster ~groups fault =
   | Schedule.Crash dc -> Cluster.take_down cluster dc
   | Schedule.Recover dc -> Cluster.bring_up cluster dc
   | Schedule.Restart dc -> Cluster.restart cluster dc
+  | Schedule.Dirty_crash dc -> Cluster.dirty_restart cluster dc
+  | Schedule.Torn_write dc -> Cluster.torn_restart cluster dc
   | Schedule.Partition parts -> Cluster.partition cluster parts
   | Schedule.Heal -> Cluster.heal cluster
   | Schedule.Storm { loss; jitter; until } ->

@@ -56,6 +56,8 @@ type report = {
   unknowns : int;
   begin_failures : int;
   faults : int;
+  net_stats : Mdds_net.Network.stats;
+  recovery : Service.recovery_stats;
   violation : string option;
   trace_tail : string list;
 }
@@ -157,7 +159,13 @@ let run ?schedule ?extra_oracle spec =
         Schedule.generate ~kinds:spec.kinds ~seed:spec.seed ~dcs
           ~duration:spec.duration ()
   in
-  let cluster = Cluster.create ~seed:spec.seed ~config:spec.config topo in
+  (* Explicit sync points so dirty/torn crashes have unsynced state to
+     lose: every chaos run exercises the durability layer, even when the
+     schedule draws no storage fault. *)
+  let cluster =
+    Cluster.create ~seed:spec.seed ~config:spec.config
+      ~storage:Mdds_kvstore.Store.Sync_explicit topo
+  in
   Trace.enable (Cluster.trace cluster);
   let groups = Ycsb.group_keys spec.workload in
   let handle = Ycsb.run cluster spec.workload in
@@ -299,6 +307,19 @@ let run ?schedule ?extra_oracle spec =
       (Format.asprintf "%a" Trace.pp_event)
       (Trace.tail (Cluster.trace cluster) 40)
   in
+  let recovery =
+    let zero = { Service.recoveries = 0; scrubbed = 0; relearned = 0 } in
+    List.fold_left
+      (fun (acc : Service.recovery_stats) service ->
+        let s = Service.recovery_stats service in
+        {
+          Service.recoveries = acc.recoveries + s.Service.recoveries;
+          scrubbed = acc.scrubbed + s.Service.scrubbed;
+          relearned = acc.relearned + s.Service.relearned;
+        })
+      zero
+      (Cluster.services cluster)
+  in
   {
     run_spec = spec;
     schedule;
@@ -307,6 +328,8 @@ let run ?schedule ?extra_oracle spec =
     unknowns;
     begin_failures = handle.begin_failures;
     faults = Nemesis.faults_injected nemesis;
+    net_stats = Mdds_net.Network.stats (Cluster.network cluster);
+    recovery;
     violation;
     trace_tail;
   }
@@ -330,10 +353,15 @@ let repro r =
 let pp_report ppf r =
   Format.fprintf ppf
     "seed %d  %s/%s  %d faults  %d commits  %d aborts  %d unknown  %d \
-     begin-failures  %s"
+     begin-failures  drops %d/%d/%d  recoveries %d (%d scrubbed, %d \
+     relearned)  %s"
     r.run_spec.seed r.run_spec.topology
     (Config.protocol_name r.run_spec.config.protocol)
     r.faults r.commits r.aborts r.unknowns r.begin_failures
+    r.net_stats.Mdds_net.Network.dropped_loss
+    r.net_stats.Mdds_net.Network.dropped_down
+    r.net_stats.Mdds_net.Network.dropped_cut r.recovery.Service.recoveries
+    r.recovery.Service.scrubbed r.recovery.Service.relearned
     (match r.violation with
     | None -> "OK"
     | Some v -> Printf.sprintf "VIOLATION: %s" v)

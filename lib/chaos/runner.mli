@@ -21,8 +21,14 @@
     ({!Mdds_core.Service.cache_coherent}) runs after {e every} injected
     fault and once more after the drain: each service's decoded WAL and
     acceptor-state caches must equal a fresh decode of its durable store,
-    proving the storage fast path is rebuildable from durable state across
-    crash/restart/partition/compaction schedules.
+    and the decoded view must never claim an entry the durable store
+    could not re-produce after a dirty crash
+    ({!Mdds_wal.Wal.durable_coherent}), proving the storage fast path is
+    rebuildable from durable state across
+    crash/restart/dirty-crash/torn-write/partition/compaction schedules.
+    Clusters are created with {!Mdds_kvstore.Store.Sync_explicit} storage,
+    so every run exercises the write-buffer/checksum layer even when the
+    schedule draws no storage fault.
 
     Everything is driven by the deterministic simulator: the same spec
     (and optional explicit schedule) gives byte-identical results. *)
@@ -63,6 +69,13 @@ type report = {
   unknowns : int;
   begin_failures : int;
   faults : int;  (** Fault events actually injected. *)
+  net_stats : Mdds_net.Network.stats;
+      (** Transport counters, including messages dropped to loss, outages
+          and partitions. *)
+  recovery : Mdds_core.Service.recovery_stats;
+      (** Crash-recovery counters summed over all services: recovery scans
+          that found damage, torn versions scrubbed, quarantined positions
+          re-learned. *)
   violation : string option;  (** [None] = every oracle passed. *)
   trace_tail : string list;  (** Last trace events, for repros. *)
 }

@@ -4,6 +4,8 @@ type fault =
   | Crash of int
   | Recover of int
   | Restart of int
+  | Dirty_crash of int
+  | Torn_write of int
   | Partition of int list list
   | Heal
   | Storm of { loss : float; jitter : float; until : float }
@@ -16,13 +18,24 @@ type t = event list
 (* ------------------------------------------------------------------ *)
 (* Generation.                                                         *)
 
-type kind = Crashes | Restarts | Partitions | Storms | Compactions
+type kind =
+  | Crashes
+  | Restarts
+  | Dirty_crashes
+  | Torn_writes
+  | Partitions
+  | Storms
+  | Compactions
 
-let all_kinds = [ Crashes; Restarts; Partitions; Storms; Compactions ]
+let all_kinds =
+  [ Crashes; Restarts; Dirty_crashes; Torn_writes; Partitions; Storms;
+    Compactions ]
 
 let kind_to_string = function
   | Crashes -> "crash"
   | Restarts -> "restart"
+  | Dirty_crashes -> "dirty-crash"
+  | Torn_writes -> "torn-write"
   | Partitions -> "partition"
   | Storms -> "storm"
   | Compactions -> "compact"
@@ -30,14 +43,16 @@ let kind_to_string = function
 let kind_of_string = function
   | "crash" | "crashes" -> Crashes
   | "restart" | "restarts" -> Restarts
+  | "dirty-crash" | "dirty-crashes" -> Dirty_crashes
+  | "torn-write" | "torn-writes" -> Torn_writes
   | "partition" | "partitions" -> Partitions
   | "storm" | "storms" -> Storms
   | "compact" | "compactions" -> Compactions
   | s ->
       invalid_arg
         (Printf.sprintf
-           "unknown fault kind %S (expected crash, restart, partition, storm \
-            or compact)"
+           "unknown fault kind %S (expected crash, restart, dirty-crash, \
+            torn-write, partition, storm or compact)"
            s)
 
 let round3 x = Float.round (x *. 1000.) /. 1000.
@@ -93,6 +108,8 @@ let generate ?(kinds = all_kinds) ~seed ~dcs ~duration () =
               emit at (Crash v)
           | None -> ())
     | Restarts -> emit at (Restart (Rng.int rng dcs))
+    | Dirty_crashes -> emit at (Dirty_crash (Rng.int rng dcs))
+    | Torn_writes -> emit at (Torn_write (Rng.int rng dcs))
     | Partitions ->
         if !minority <> [] then (
           minority := [];
@@ -133,6 +150,8 @@ let fault_to_sx = function
   | Crash d -> L [ A "crash"; A (string_of_int d) ]
   | Recover d -> L [ A "recover"; A (string_of_int d) ]
   | Restart d -> L [ A "restart"; A (string_of_int d) ]
+  | Dirty_crash d -> L [ A "dirty-crash"; A (string_of_int d) ]
+  | Torn_write d -> L [ A "torn-write"; A (string_of_int d) ]
   | Partition groups ->
       L
         (A "partition"
@@ -175,6 +194,8 @@ let validate ~dcs t =
       | Crash d -> dc_ok d "crash"
       | Recover d -> dc_ok d "recover"
       | Restart d -> dc_ok d "restart"
+      | Dirty_crash d -> dc_ok d "dirty-crash"
+      | Torn_write d -> dc_ok d "torn-write"
       | Compact d -> dc_ok d "compact"
       | Heal -> Ok ()
       | Storm { loss; jitter; until } ->
@@ -253,6 +274,8 @@ let fault_of_sx = function
   | L [ A "crash"; d ] -> Crash (int_of_sx d)
   | L [ A "recover"; d ] -> Recover (int_of_sx d)
   | L [ A "restart"; d ] -> Restart (int_of_sx d)
+  | L [ A "dirty-crash"; d ] -> Dirty_crash (int_of_sx d)
+  | L [ A "torn-write"; d ] -> Torn_write (int_of_sx d)
   | L [ A "compact"; d ] -> Compact (int_of_sx d)
   | L [ A "storm"; loss; jitter; until ] ->
       Storm
@@ -288,6 +311,8 @@ let pp_fault ppf = function
   | Crash d -> Format.fprintf ppf "crash dc%d" d
   | Recover d -> Format.fprintf ppf "recover dc%d" d
   | Restart d -> Format.fprintf ppf "restart dc%d" d
+  | Dirty_crash d -> Format.fprintf ppf "dirty-crash dc%d" d
+  | Torn_write d -> Format.fprintf ppf "torn-write dc%d" d
   | Partition groups ->
       Format.fprintf ppf "partition %s"
         (String.concat "|"

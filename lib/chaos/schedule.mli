@@ -18,6 +18,14 @@ type fault =
   | Restart of int
       (** Service-process restart: volatile state dropped, durable acceptor
           state kept ({!Mdds_core.Service.restart}). *)
+  | Dirty_crash of int
+      (** Storage-level power loss: the datacenter's unsynced write buffer
+          is discarded before the service restarts and runs its recovery
+          scan ({!Mdds_core.Cluster.dirty_restart}). *)
+  | Torn_write of int
+      (** Like {!Dirty_crash}, but the in-flight row write persists only a
+          prefix of its attributes — a torn write the recovery scan must
+          detect by checksum ({!Mdds_core.Cluster.torn_restart}). *)
   | Partition of int list list  (** Network partition into these groups. *)
   | Heal  (** Remove any partition. *)
   | Storm of { loss : float; jitter : float; until : float }
@@ -35,13 +43,21 @@ type t = event list
 
 (** {1 Generation} *)
 
-type kind = Crashes | Restarts | Partitions | Storms | Compactions
+type kind =
+  | Crashes
+  | Restarts
+  | Dirty_crashes
+  | Torn_writes
+  | Partitions
+  | Storms
+  | Compactions
 
 val all_kinds : kind list
 
 val kind_of_string : string -> kind
-(** ["crash"], ["restart"], ["partition"], ["storm"], ["compact"]; raises
-    [Invalid_argument] otherwise. *)
+(** ["crash"], ["restart"], ["dirty-crash"], ["torn-write"],
+    ["partition"], ["storm"], ["compact"]; raises [Invalid_argument]
+    otherwise. *)
 
 val kind_to_string : kind -> string
 

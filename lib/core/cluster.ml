@@ -17,7 +17,7 @@ type t = {
   mutable client_counter : int;
 }
 
-let create ?(seed = 42) ?(config = Config.default) topo =
+let create ?(seed = 42) ?(config = Config.default) ?storage topo =
   let engine = Engine.create ~seed () in
   let net = Network.create engine topo in
   let rpc = Rpc.create net in
@@ -25,7 +25,7 @@ let create ?(seed = 42) ?(config = Config.default) topo =
   let trace = Mdds_sim.Trace.create engine in
   let services =
     Array.init (Topology.size topo) (fun dc ->
-        Service.start ~rpc ~config ~dc ~dcs ~trace)
+        Service.start ?storage ~rpc ~config ~dc ~dcs ~trace ())
   in
   {
     engine;
@@ -93,6 +93,24 @@ let heal t =
 
 let restart t dc =
   fault t "service %s restarted" (Topology.name t.topo dc);
+  Service.restart t.services.(dc)
+
+(* Storage-level power loss: the write buffer is discarded (the store
+   rewinds to its last sync point) before the service restarts and runs
+   its recovery scan. Requires [Sync_explicit] storage to bite; in
+   [Sync_always] mode these degrade to a plain restart. *)
+let dirty_restart t dc =
+  fault t "service %s dirty-crashed (unsynced writes lost)"
+    (Topology.name t.topo dc);
+  Mdds_kvstore.Store.crash (Service.store t.services.(dc)) ~lose_unsynced:true;
+  Service.restart t.services.(dc)
+
+let torn_restart t dc =
+  fault t "service %s torn-crashed (in-flight row write torn)"
+    (Topology.name t.topo dc);
+  Mdds_kvstore.Store.crash ~torn:true
+    (Service.store t.services.(dc))
+    ~lose_unsynced:true;
   Service.restart t.services.(dc)
 
 let storm t ~loss ~jitter =

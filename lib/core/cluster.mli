@@ -16,9 +16,17 @@
 
 type t
 
-val create : ?seed:int -> ?config:Config.t -> Mdds_net.Topology.t -> t
+val create :
+  ?seed:int ->
+  ?config:Config.t ->
+  ?storage:Mdds_kvstore.Store.mode ->
+  Mdds_net.Topology.t ->
+  t
 (** Build the deployment and start all services. Default config is
-    {!Config.default} (Paxos-CP); default seed 42. *)
+    {!Config.default} (Paxos-CP); default seed 42; default storage mode
+    [Sync_always] (every write durable as it lands — the chaos engine
+    passes [Sync_explicit] so dirty and torn crashes have something to
+    lose). *)
 
 val engine : t -> Mdds_sim.Engine.t
 val config : t -> Config.t
@@ -62,6 +70,16 @@ val heal : t -> unit
 val restart : t -> int -> unit
 (** {!Service.restart} the given datacenter's service: volatile state is
     dropped, durable acceptor/log state survives. *)
+
+val dirty_restart : t -> int -> unit
+(** Storage-level power loss: {!Mdds_kvstore.Store.crash} discards the
+    datacenter's unsynced write buffer, then the service restarts and runs
+    its recovery scan. A plain {!restart} in [Sync_always] mode. *)
+
+val torn_restart : t -> int -> unit
+(** Like {!dirty_restart}, but the in-flight row write additionally
+    persists only a prefix of its attributes (a torn write, caught by the
+    recovery scan's checksum scrub). *)
 
 val storm : t -> loss:float -> jitter:float -> unit
 (** Degrade every inter-datacenter link to the given loss probability and

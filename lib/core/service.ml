@@ -31,9 +31,27 @@ type t = {
       (* Write-through decoded view of the paxos/ rows, per group; dropped
          on restart (volatile) and pruned with compaction. *)
   group_keys : (string, group_keys) Hashtbl.t;
+  suspect : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* Positions whose durable acceptor/claim state was damaged by a
+         crash (checksum-invalid versions scrubbed at restart). The
+         service must not vote at these from its reverted state — that
+         would be the PR-1 double-vote bug at the storage level — so they
+         are quarantined until re-learned from peers. *)
+  relearning : (string * int, unit) Hashtbl.t;
+      (* Quarantined positions whose re-learn ladder is currently running.
+         The learner's own prepare broadcast reaches this service too; if
+         that re-entrant message started another ladder, each round would
+         spawn a new learner and the recursion would never bottom out
+         while peers are unreachable. Re-entrant messages for a position
+         already being re-learned are refused immediately instead. *)
   mutable learns : int;
   mutable snapshots : int;
+  mutable recoveries : int;
+  mutable scrubbed : int;
+  mutable relearned : int;
 }
+
+type recovery_stats = { recoveries : int; scrubbed : int; relearned : int }
 
 let dc t = t.dc
 let store t = t.store
@@ -108,6 +126,10 @@ let save_acceptor t ~group ~pos ~expected_nb (state : Txn.entry Acceptor.state) 
     Store.check_and_write t.store ~key:(paxos_key t ~group ~pos)
       ~test_attribute:"nb" ~test_value:expected_nb attrs
   in
+  (* Promises and votes are the durability the whole protocol rests on
+     (§4.1: an acceptor must come back remembering them): sync before the
+     reply leaves this datacenter. *)
+  if ok then Store.sync t.store;
   let tbl = acceptor_table t ~group in
   if ok then
     Hashtbl.replace tbl pos { acc_state = state; acc_nb = Some nb }
@@ -213,7 +235,12 @@ let handle_claim t ~group ~pos ~claimant =
         Store.check_and_write t.store ~key ~test_attribute:"owner"
           ~test_value:None
           [ ("owner", claimant) ]
-      then Messages.Claim_reply { first = true }
+      then begin
+        (* The claim is a durable first-wins register (see above): a grant
+           lost at a crash boundary could be re-granted to a rival. *)
+        Store.sync t.store;
+        Messages.Claim_reply { first = true }
+      end
       else Messages.Claim_reply { first = owner () = Some claimant }
 
 (* ------------------------------------------------------------------ *)
@@ -307,6 +334,81 @@ let handle_submit t ~group (record : Txn.record) =
    aborts or retries at a fresh position). *)
 let compacted t ~group ~pos = pos <= Wal.compacted_position t.wal ~group
 
+(* ------------------------------------------------------------------ *)
+(* Quarantine of storage-damaged acceptor positions.                    *)
+
+let suspect_table t ~group =
+  match Hashtbl.find_opt t.suspect group with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace t.suspect group tbl;
+      tbl
+
+(* The quarantine set survives restarts in its own durable row — the
+   scrub that detects damage also removes its evidence, so a second
+   restart could not re-detect it from the paxos rows alone. *)
+let quarantine_key group = "recover/" ^ group
+
+let load_quarantine t ~group =
+  match Store.read t.store ~key:(quarantine_key group) () with
+  | None -> []
+  | Some (_, attrs) -> List.filter_map (fun (k, _) -> int_of_string_opt k) attrs
+
+let save_quarantine t ~group tbl =
+  let key = quarantine_key group in
+  if Hashtbl.length tbl = 0 then Store.delete t.store ~key
+  else
+    ignore
+      (Store.write t.store ~key
+         (Hashtbl.fold (fun pos () acc -> (string_of_int pos, "1") :: acc) tbl []));
+  Store.sync t.store
+
+(* True while the position must still be refused: its durable promise or
+   claim may understate what this acceptor once said (a crash damaged the
+   row), so answering Paxos from the reverted state could cast a second,
+   conflicting vote. The position is re-entered only once its decided
+   value is known — re-learned from peers, or checkpointed past — via the
+   recovery ladder; the service never invents a value locally. *)
+let quarantined t ~group ~pos =
+  match Hashtbl.find_opt t.suspect group with
+  | None -> false
+  | Some tbl ->
+      if not (Hashtbl.mem tbl pos) then false
+      else
+        let resolved () =
+          Wal.entry t.wal ~group ~pos <> None
+          || pos <= Wal.compacted_position t.wal ~group
+        in
+        let release () =
+          Hashtbl.remove tbl pos;
+          t.relearned <- t.relearned + 1;
+          save_quarantine t ~group tbl;
+          Mdds_sim.Trace.record t.env.Proposer.trace ~source:t.source
+            ~category:"recover" "re-entered quarantined position %d" pos;
+          false
+        in
+        if resolved () then release ()
+        else if Hashtbl.mem t.relearning (group, pos) then
+          (* A ladder for this position is already in flight (this message
+             may well be that ladder's own prepare echoed back). Refuse
+             now; the running ladder will release the position. *)
+          true
+        else begin
+          Hashtbl.add t.relearning (group, pos) ();
+          Fun.protect
+            ~finally:(fun () -> Hashtbl.remove t.relearning (group, pos))
+            (fun () ->
+              match Proposer.learn t.env ~group ~pos with
+              | Some entry ->
+                  t.learns <- t.learns + 1;
+                  Wal.append t.wal ~group ~pos entry
+              | None ->
+                  (* Unlearnable: possibly compacted away everywhere. *)
+                  ignore (fetch_snapshot t ~group ~at_least:pos));
+          if resolved () then release () else true
+        end
+
 let handle t ~src:_ request =
   match request with
   | Messages.Get_read_position { group } ->
@@ -322,6 +424,10 @@ let handle t ~src:_ request =
       Messages.Failed (Printf.sprintf "position %d compacted" pos)
   | Messages.Accept { group; pos; _ } when compacted t ~group ~pos ->
       Messages.Failed (Printf.sprintf "position %d compacted" pos)
+  | Messages.Prepare { group; pos; _ } when quarantined t ~group ~pos ->
+      Messages.Failed (Printf.sprintf "position %d recovering" pos)
+  | Messages.Accept { group; pos; _ } when quarantined t ~group ~pos ->
+      Messages.Failed (Printf.sprintf "position %d recovering" pos)
   | Messages.Prepare { group; pos; ballot } -> handle_prepare t ~group ~pos ~ballot
   | Messages.Accept { group; pos; ballot; entry } ->
       handle_accept t ~group ~pos ~ballot ~entry
@@ -330,6 +436,23 @@ let handle t ~src:_ request =
          entry's effects are already part of the checkpoint. *)
       if not (compacted t ~group ~pos) then Wal.append t.wal ~group ~pos entry;
       Messages.Applied
+  | Messages.Claim_leadership { group; pos; _ } when compacted t ~group ~pos ->
+      (* Compaction deleted this position's claim row, and the claim is a
+         first-wins register that must never be granted twice (see
+         [handle_claim]): answering from the now-blank row would re-grant
+         round-0 rights at a decided position. A recovered replica whose
+         log ends before the cluster's compaction point would then cast a
+         unilateral round-0 self-vote whose ballot (0.dc) can outrank the
+         original fast-path vote (0.dc') in a later prepare tally — and a
+         prepare quorum that misses the surviving original voter would
+         adopt the new value over the decided one (R1 violation; found by
+         chaos seed 21: crash + compact). Refused, the claimant falls back
+         to the full protocol, whose prepare quorum must intersect the
+         original accept quorum in a non-compacted voter. *)
+      Messages.Failed (Printf.sprintf "position %d compacted" pos)
+  | Messages.Claim_leadership { group; pos; _ } when quarantined t ~group ~pos
+    ->
+      Messages.Failed (Printf.sprintf "position %d recovering" pos)
   | Messages.Claim_leadership { group; pos; claimant } ->
       handle_claim t ~group ~pos ~claimant
   | Messages.Submit { group; record } -> handle_submit t ~group record
@@ -337,22 +460,121 @@ let handle t ~src:_ request =
       let applied, rows = Wal.snapshot t.wal ~group in
       Messages.Snapshot_reply { applied; rows }
 
+(* Groups present in the durable store, recovered from the row-key layout
+   (restart cannot trust any volatile group list). *)
+let durable_groups t =
+  let groups = Hashtbl.create 8 in
+  let note key prefix =
+    if String.starts_with ~prefix key then begin
+      let rest =
+        String.sub key (String.length prefix)
+          (String.length key - String.length prefix)
+      in
+      let group =
+        match String.index_opt rest '/' with
+        | Some i -> String.sub rest 0 i
+        | None -> rest
+      in
+      if group <> "" then Hashtbl.replace groups group ()
+    end
+  in
+  List.iter
+    (fun key ->
+      List.iter (note key)
+        [ "logmeta/"; "log/"; "data/"; "paxos/"; "claim/"; "recover/" ])
+    (Store.keys t.store);
+  Hashtbl.fold (fun g () acc -> g :: acc) groups [] |> List.sort String.compare
+
+(* Scrub the group's Paxos and claim rows; positions whose rows held
+   checksum-invalid versions are the damage set — their durable state
+   reverted to an older promise/grant and must not be voted from. *)
+let recover_acceptors t ~group =
+  let keys = keys_of t ~group in
+  let dropped = ref 0 in
+  let damaged = ref [] in
+  let scan prefix key =
+    if String.starts_with ~prefix key then begin
+      let n = Store.scrub t.store ~key in
+      if n > 0 then begin
+        dropped := !dropped + n;
+        match
+          int_of_string_opt
+            (String.sub key (String.length prefix)
+               (String.length key - String.length prefix))
+        with
+        | Some pos -> damaged := pos :: !damaged
+        | None -> ()
+      end
+    end
+  in
+  List.iter
+    (fun key ->
+      scan keys.paxos_prefix key;
+      scan keys.claim_prefix key)
+    (Store.keys t.store);
+  (!dropped, List.sort_uniq Int.compare !damaged)
+
 (* Restart the service processes of this datacenter: volatile state (the
    leadership-claim table, the manager's winning streak, submission locks,
    and the decoded WAL/acceptor caches) is lost; everything durable lives
    in the key-value store and survives — in particular Paxos promises and
    votes, which is why Algorithm 1 keeps them there. The caches are
    rebuilt lazily from the durable rows, which the chaos coherence oracle
-   exercises. *)
+   exercises.
+
+   Before serving, the crash-consistency scan of PROTOCOL.md §7 runs for
+   every durable group: torn (checksum-invalid) versions are scrubbed,
+   the WAL re-derives its watermarks and lazily-applied data from the
+   surviving log ({!Mdds_wal.Wal.recover}), and positions whose acceptor
+   or claim rows were damaged are quarantined — re-entered only after
+   re-learning from peers, never re-voted from the reverted state. *)
 let restart t =
   Hashtbl.reset t.won;
   Hashtbl.reset t.submit_locks;
   Hashtbl.reset t.acceptors;
-  Wal.invalidate t.wal
+  Hashtbl.reset t.suspect;
+  Hashtbl.reset t.relearning;
+  Wal.invalidate t.wal;
+  List.iter
+    (fun group ->
+      let r = Wal.recover t.wal ~group in
+      ignore (Store.scrub t.store ~key:(quarantine_key group));
+      let dropped, damaged = recover_acceptors t ~group in
+      let repaired = r.Wal.scrubbed + dropped in
+      t.scrubbed <- t.scrubbed + repaired;
+      (* [reapplied] counts only entries the surviving watermark could not
+         vouch for (the replay starts at the last synced applied point), so
+         a positive count is genuine crash repair, not routine re-derivation. *)
+      if repaired > 0 || r.Wal.truncated <> None || r.Wal.reapplied > 0 then begin
+        t.recoveries <- t.recoveries + 1;
+        Mdds_sim.Trace.record t.env.Proposer.trace ~source:t.source
+          ~category:"recover"
+          "recovery scan for %s: %d torn versions scrubbed, %d entries \
+           re-applied%s"
+          group repaired r.Wal.reapplied
+          (match r.Wal.truncated with
+          | None -> ""
+          | Some pos -> Printf.sprintf ", log truncated at %d" pos)
+      end;
+      let carried = load_quarantine t ~group in
+      if damaged <> [] || carried <> [] then begin
+        let tbl = suspect_table t ~group in
+        List.iter (fun pos -> Hashtbl.replace tbl pos ()) damaged;
+        List.iter (fun pos -> Hashtbl.replace tbl pos ()) carried;
+        save_quarantine t ~group tbl;
+        Mdds_sim.Trace.record t.env.Proposer.trace ~source:t.source
+          ~category:"recover" "quarantined %d damaged positions in %s"
+          (Hashtbl.length tbl) group
+      end)
+    (durable_groups t);
+  Store.sync t.store
 
 let acceptor_state t ~group ~pos = fst (load_acceptor t ~group ~pos)
 
 let snapshots t = t.snapshots
+
+let recovery_stats (t : t) =
+  { recoveries = t.recoveries; scrubbed = t.scrubbed; relearned = t.relearned }
 
 (* Checkpoint: discard the applied log prefix together with its Paxos
    acceptor state (a compacted position can never be proposed again, so
@@ -368,6 +590,9 @@ let compact t ~group ~upto =
         Store.delete t.store ~key:(claim_key t ~group ~pos);
         Hashtbl.remove acceptors pos
       done;
+      (* The checkpoint's data rows must be durable before the acceptor
+         state that could re-derive the prefix is gone for good. *)
+      Store.sync t.store;
       Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -385,10 +610,8 @@ let equal_acceptor_state (a : Txn.entry Acceptor.state)
     (b : Txn.entry Acceptor.state) =
   Ballot.equal a.next_bal b.next_bal && equal_vote a.vote b.vote
 
-let cache_coherent t ~group =
-  match Wal.coherence t.wal ~group with
-  | Error _ as e -> e
-  | Ok () -> (
+let acceptor_cache_coherent t ~group =
+  (
       match Hashtbl.find_opt t.acceptors group with
       | None -> Ok ()
       | Some tbl ->
@@ -415,8 +638,16 @@ let cache_coherent t ~group =
                   else Ok ())
             tbl (Ok ()))
 
-let start ~rpc ~config ~dc ~dcs ~trace =
-  let store = Store.create () in
+let cache_coherent t ~group =
+  match Wal.coherence t.wal ~group with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Wal.durable_coherent t.wal ~group with
+      | Error _ as e -> e
+      | Ok () -> acceptor_cache_coherent t ~group)
+
+let start ?(storage = Store.Sync_always) ~rpc ~config ~dc ~dcs ~trace () =
+  let store = Store.create ~mode:storage () in
   let env =
     {
       Proposer.rpc;
@@ -439,8 +670,13 @@ let start ~rpc ~config ~dc ~dcs ~trace =
       won = Hashtbl.create 8;
       acceptors = Hashtbl.create 4;
       group_keys = Hashtbl.create 4;
+      suspect = Hashtbl.create 4;
+      relearning = Hashtbl.create 4;
       learns = 0;
       snapshots = 0;
+      recoveries = 0;
+      scrubbed = 0;
+      relearned = 0;
     }
   in
   Rpc.serve rpc ~node:dc ~processing:config.processing_delay (fun ~src request ->

@@ -16,14 +16,19 @@
 type t
 
 val start :
+  ?storage:Mdds_kvstore.Store.mode ->
   rpc:(Messages.request, Messages.response) Mdds_net.Rpc.t ->
   config:Config.t ->
   dc:int ->
   dcs:int list ->
   trace:Mdds_sim.Trace.t ->
+  unit ->
   t
 (** Create the datacenter's store/log and register the request handler on
-    the RPC service port. *)
+    the RPC service port. [storage] selects the store's durability model
+    (default [Sync_always], the pre-existing always-durable behaviour; the
+    chaos engine uses [Sync_explicit] to exercise dirty and torn
+    crashes). *)
 
 val dc : t -> int
 val store : t -> Mdds_kvstore.Store.t
@@ -34,6 +39,20 @@ val learns : t -> int
 
 val snapshots : t -> int
 (** How many peer snapshots this service installed during catch-up. *)
+
+type recovery_stats = {
+  recoveries : int;
+      (** Restarts whose recovery scan found damage (torn versions
+          scrubbed or the log truncated). *)
+  scrubbed : int;  (** Checksum-invalid versions dropped across restarts. *)
+  relearned : int;
+      (** Quarantined positions re-entered after their decided value was
+          re-learned from peers (or checkpointed past). *)
+}
+
+val recovery_stats : t -> recovery_stats
+(** Crash-recovery telemetry (PROTOCOL.md §7), reported by the chaos
+    runner. *)
 
 val compact : t -> group:string -> upto:int -> (unit, [ `Not_applied ]) result
 (** Checkpoint: discard the applied log prefix 1..[upto] and its Paxos
@@ -47,7 +66,17 @@ val restart : t -> unit
     WAL/acceptor caches) is dropped; durable state — the log and the Paxos
     acceptor state in the key-value store — survives, so promises made
     before the restart are still honoured. The caches rebuild lazily from
-    the durable rows. *)
+    the durable rows.
+
+    Before serving again, the crash-consistency scan of PROTOCOL.md §7
+    runs for every durable group: checksum-invalid (torn) versions are
+    scrubbed, the WAL's watermarks and lazily-applied data are re-derived
+    from the surviving log ({!Mdds_wal.Wal.recover}), and positions whose
+    durable acceptor or claim rows were damaged are quarantined — Paxos
+    messages for them are refused until the decided value is re-learned
+    from peers (or checkpointed past), never re-voted from the reverted
+    state. In [Sync_always] mode the scan finds nothing and the restart
+    behaves exactly as before. *)
 
 (** {1 Direct (in-process) access for tests and checkers} *)
 
@@ -60,8 +89,10 @@ val acceptor_state :
 val cache_coherent : t -> group:string -> (unit, string) result
 (** Cache-coherence oracle: the decoded WAL view ({!Mdds_wal.Wal.coherence})
     and the decoded acceptor-state cache both equal a fresh decode of the
-    durable store. Mutates nothing; the chaos engine checks it after every
-    fault event. *)
+    durable store, and the decoded view never claims an entry the durable
+    store could not re-produce after a dirty crash
+    ({!Mdds_wal.Wal.durable_coherent}). Mutates nothing; the chaos engine
+    checks it after every fault event. *)
 
 val handle : t -> src:int -> Messages.request -> Messages.response
 (** Process a request synchronously, bypassing the network (used by unit

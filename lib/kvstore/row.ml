@@ -1,10 +1,16 @@
 type value = (string * string) list
 
 (* Versions kept as a list sorted by decreasing timestamp; rows have few
-   versions relative to accesses and reads want the newest first. *)
-type t = { mutable versions : (int * value) list }
+   versions relative to accesses and reads want the newest first.
+   [epoch] belongs to {!Mdds_kvstore.Store}'s write-buffer journal: it
+   marks the last sync epoch in which the row was journaled, so the store
+   snapshots each row at most once per epoch with one integer compare. *)
+type t = { mutable versions : (int * value) list; mutable epoch : int }
 
-let create () = { versions = [] }
+let create () = { versions = []; epoch = 0 }
+
+let epoch t = t.epoch
+let set_epoch t e = t.epoch <- e
 
 let normalize value =
   (* Later bindings win: keep the last occurrence of each attribute.
@@ -47,5 +53,7 @@ let write t ?timestamp value =
 let attribute value name = List.assoc_opt name value
 
 let versions t = t.versions
+
+let restore t versions = t.versions <- versions
 
 let version_count t = List.length t.versions

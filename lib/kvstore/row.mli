@@ -37,4 +37,18 @@ val attribute : value -> string -> string option
 val versions : t -> (int * value) list
 (** All versions, newest first (for debugging and tests). *)
 
+val restore : t -> (int * value) list -> unit
+(** Replace the whole version chain (newest first). Only
+    {!Mdds_kvstore.Store}'s crash/recovery machinery may call this: it
+    rewinds a row to a previously captured {!versions} snapshot. *)
+
+(**/**)
+
+val epoch : t -> int
+val set_epoch : t -> int -> unit
+(** Sync-epoch mark for {!Mdds_kvstore.Store}'s write-buffer journal;
+    not for general use. *)
+
+(**/**)
+
 val version_count : t -> int

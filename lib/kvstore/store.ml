@@ -1,8 +1,86 @@
 type value = Row.value
 
-type t = { rows : (string, Row.t) Hashtbl.t }
+type mode = Sync_always | Sync_explicit
 
-let create () = { rows = Hashtbl.create 256 }
+(* Undo log for the volatile write buffer: each record captures the state
+   of one key *before* the first buffered operation that touched it, so
+   replaying the journal newest-first rewinds the store to exactly its
+   state at the last sync point. *)
+type undo =
+  | Mutated of Row.t * (int * value) list  (* row existed: restore versions *)
+  | Created of string  (* row did not exist: remove it *)
+  | Deleted of string * Row.t * (int * value) list  (* row removed: re-insert *)
+
+type t = {
+  rows : (string, Row.t) Hashtbl.t;
+  mode : mode;
+  mutable journal : undo list;  (* newest first; empty in Sync_always *)
+  mutable epoch : int;  (* bumped at each sync point (journal dedup) *)
+  mutable inflight : Row.t option;  (* most recent buffered row write *)
+}
+
+let create ?(mode = Sync_always) () =
+  { rows = Hashtbl.create 256; mode; journal = []; epoch = 1; inflight = None }
+
+let mode t = t.mode
+
+(* ------------------------------------------------------------------ *)
+(* Checksums. Every version written in [Sync_explicit] mode carries a
+   ["#sum"] attribute — an FNV-1a digest of the other attributes — so a
+   torn write (a version that persisted only a prefix of its attributes)
+   is detectable on read. '#' sorts before every attribute name the
+   transaction tier uses, so ["#sum"] is always the first attribute of a
+   normalized value and survives in any non-empty torn prefix. *)
+
+let checksum_attr = "#sum"
+
+let checksum_body value =
+  (* FNV-1a (32-bit constants), attribute and value bytes separated by a
+     sentinel so ("ab","c") and ("a","bc") digest differently. *)
+  let h = ref 0x811c9dc5 in
+  let feed s =
+    String.iter
+      (fun c ->
+        h := !h lxor Char.code c;
+        h := !h * 0x01000193 land 0xffffffff)
+      s;
+    h := !h lxor 0xff;
+    h := !h * 0x01000193 land 0xffffffff
+  in
+  List.iter
+    (fun (k, v) ->
+      if k <> checksum_attr then begin
+        feed k;
+        feed v
+      end)
+    value;
+  Printf.sprintf "%08x" !h
+
+let checksum_valid value =
+  match Row.attribute value checksum_attr with
+  | None -> true (* written in Sync_always mode: no torn-write arm *)
+  | Some sum -> String.equal sum (checksum_body value)
+
+let stamp t value =
+  match t.mode with
+  | Sync_always -> value
+  | Sync_explicit ->
+      let value = Row.normalize value in
+      (checksum_attr, checksum_body value) :: value
+
+(* ------------------------------------------------------------------ *)
+(* Journaling. Each key is snapshotted at most once per epoch: rows carry
+   the epoch of their last journal entry, so the hot path pays one integer
+   compare. [Created]/[Deleted] records need the key (they change the row
+   table); [Mutated] records are matched by row handle, which is what lets
+   the WAL's handle-based fast path write through the buffer without
+   rebuilding key strings. *)
+
+let note_mutation t row =
+  if t.mode <> Sync_always && Row.epoch row <> t.epoch then begin
+    Row.set_epoch row t.epoch;
+    t.journal <- Mutated (row, Row.versions row) :: t.journal
+  end
 
 let find_row t key = Hashtbl.find_opt t.rows key
 
@@ -11,6 +89,10 @@ let find_or_create_row t key =
   | Some row -> row
   | None ->
       let row = Row.create () in
+      if t.mode <> Sync_always then begin
+        Row.set_epoch row t.epoch;
+        t.journal <- Created key :: t.journal
+      end;
       Hashtbl.replace t.rows key row;
       row
 
@@ -23,8 +105,26 @@ let read t ~key ?timestamp () =
   | None -> None
   | Some row -> Row.read row ?timestamp ()
 
+(* Write through a row handle: same per-row atomic write as {!write}, used
+   by the WAL fast path. In Sync_always mode this is exactly [Row.write]. *)
+let write_row t row ?timestamp value =
+  if t.mode = Sync_always then Row.write row ?timestamp value
+  else begin
+    note_mutation t row;
+    let result = Row.write row ?timestamp (stamp t value) in
+    (match result with Ok _ -> t.inflight <- Some row | Error `Stale -> ());
+    result
+  end
+
 let write t ~key ?timestamp value =
-  Row.write (find_or_create_row t key) ?timestamp value
+  if t.mode = Sync_always then Row.write (find_or_create_row t key) ?timestamp value
+  else begin
+    let row = find_or_create_row t key in
+    note_mutation t row;
+    let result = Row.write row ?timestamp (stamp t value) in
+    (match result with Ok _ -> t.inflight <- Some row | Error `Stale -> ());
+    result
+  end
 
 let check_and_write t ~key ~test_attribute ~test_value value =
   let current =
@@ -44,10 +144,141 @@ let attribute t ~key name =
   | None -> None
   | Some (_, v) -> Row.attribute v name
 
-let delete t ~key = Hashtbl.remove t.rows key
+let delete t ~key =
+  (if t.mode <> Sync_always then
+     match Hashtbl.find_opt t.rows key with
+     | None -> ()
+     | Some row ->
+         Row.set_epoch row t.epoch;
+         t.journal <- Deleted (key, row, Row.versions row) :: t.journal);
+  Hashtbl.remove t.rows key
 
 let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.rows []
 
 let row_count t = Hashtbl.length t.rows
 
-let reset t = Hashtbl.reset t.rows
+let reset t =
+  Hashtbl.reset t.rows;
+  t.journal <- [];
+  t.inflight <- None;
+  t.epoch <- t.epoch + 1
+
+(* ------------------------------------------------------------------ *)
+(* Sync points and crashes.                                            *)
+
+let sync t =
+  if t.mode <> Sync_always then begin
+    t.journal <- [];
+    t.inflight <- None;
+    t.epoch <- t.epoch + 1
+  end
+
+let unsynced t = List.length t.journal
+
+(* Rewind to the state at the last sync point: replay the undo journal
+   newest-first. *)
+let rollback t =
+  List.iter
+    (function
+      | Mutated (row, versions) -> Row.restore row versions
+      | Created key -> Hashtbl.remove t.rows key
+      | Deleted (key, row, versions) ->
+          Row.restore row versions;
+          Hashtbl.replace t.rows key row)
+    t.journal
+
+(* Tear the in-flight write: its newest version keeps only a prefix of its
+   (sorted) attributes. The checksum attribute sorts first, so any
+   non-empty strict prefix keeps ["#sum"] while losing body attributes —
+   the mismatch is what {!checksum_valid} detects. The prefix length is a
+   fixed function of the attribute count, keeping chaos runs a pure
+   function of (seed, schedule). *)
+let tear row =
+  match Row.versions row with
+  | [] -> ()
+  | (ts, value) :: rest ->
+      let n = List.length value in
+      if n >= 2 then begin
+        let keep = max 1 (n / 2) in
+        let torn = List.filteri (fun i _ -> i < keep) value in
+        Row.restore row ((ts, torn) :: rest)
+      end
+
+let crash ?(torn = false) t ~lose_unsynced =
+  if t.mode <> Sync_always then begin
+    let inflight = t.inflight in
+    if lose_unsynced then begin
+      (* The torn victim is the most recent buffered write: record what it
+         would have written, rewind, then persist the torn prefix. *)
+      let victim =
+        if not torn then None
+        else
+          match inflight with
+          | None -> None
+          | Some row -> (
+              match Row.versions row with
+              | (ts, value) :: _ -> Some (row, ts, value)
+              | [] -> None)
+      in
+      rollback t;
+      match victim with
+      | None -> ()
+      | Some (row, ts, value) -> (
+          (* Re-write the in-flight version (as the disk controller did,
+             mid-flush), then truncate it to a prefix. Rows rolled back to
+             absent stay absent — their key is gone from the table, which
+             models the row write itself never reaching the disk. *)
+          match Row.write row ~timestamp:ts value with
+          | Ok _ -> tear row
+          | Error `Stale -> ())
+    end;
+    t.journal <- [];
+    t.inflight <- None;
+    t.epoch <- t.epoch + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Durable view: what a [crash ~lose_unsynced:true] would leave for one
+   key — the journal rolled back, checksum-invalid versions dropped. Used
+   by the {!Mdds_wal.Wal.durable_coherent} oracle; mutates nothing. *)
+
+let durable_versions t ~key =
+  let state =
+    ref
+      (match Hashtbl.find_opt t.rows key with
+      | None -> None
+      | Some row -> Some (row, Row.versions row))
+  in
+  List.iter
+    (fun u ->
+      match u with
+      | Created k when String.equal k key -> state := None
+      | Deleted (k, row, versions) when String.equal k key ->
+          state := Some (row, versions)
+      | Mutated (row, versions) -> (
+          match !state with
+          | Some (r, _) when r == row -> state := Some (row, versions)
+          | _ -> ())
+      | Created _ | Deleted _ -> ())
+    t.journal;
+  match !state with
+  | None -> []
+  | Some (_, versions) -> List.filter (fun (_, v) -> checksum_valid v) versions
+
+(* ------------------------------------------------------------------ *)
+(* Recovery-time scrub: drop checksum-invalid versions of a row, deleting
+   the row if nothing survives. Runs right after a crash (empty journal);
+   the repair is authoritative — it is not journaled, and becomes durable
+   at the recovery scan's closing {!sync}. *)
+
+let scrub t ~key =
+  match Hashtbl.find_opt t.rows key with
+  | None -> 0
+  | Some row ->
+      let versions = Row.versions row in
+      let valid = List.filter (fun (_, v) -> checksum_valid v) versions in
+      let dropped = List.length versions - List.length valid in
+      if dropped > 0 then
+        if valid = [] then Hashtbl.remove t.rows key
+        else Row.restore row valid;
+      dropped

@@ -7,13 +7,33 @@
 
     Atomicity note: within the simulator each operation runs without
     interleaving (processes only yield at blocking points), which models
-    the per-row atomicity of HBase/BigTable. *)
+    the per-row atomicity of HBase/BigTable.
+
+    {b Durability model.} The store has a write-buffer/sync-point layer:
+    in [Sync_explicit] mode, writes land in a volatile buffer (they are
+    visible to reads immediately, like an OS page cache) and become
+    durable only when {!sync} is called — the transaction tier syncs
+    where the paper requires durability: after acceptor writes and WAL
+    appends, while data-row applies remain lazy. {!crash} models losing
+    power: with [~lose_unsynced:true] the buffer is discarded (the store
+    rewinds to its state at the last sync point) and the torn arm
+    additionally persists only a prefix of the attributes of the
+    in-flight row write. Every version written in [Sync_explicit] mode
+    carries a checksum attribute so torn writes are detectable on read
+    ({!checksum_valid}, {!scrub}). The default mode [Sync_always] makes
+    the whole layer a no-op — every write is durable as it lands, exactly
+    the pre-existing behaviour, so ordinary experiments are unaffected. *)
 
 type t
 
 type value = Row.value
 
-val create : unit -> t
+type mode = Sync_always | Sync_explicit
+
+val create : ?mode:mode -> unit -> t
+(** Default mode is [Sync_always]. *)
+
+val mode : t -> mode
 
 val read : t -> key:string -> ?timestamp:int -> unit -> (int * value) option
 (** Most recent version of the row with timestamp ≤ [timestamp] (latest if
@@ -56,6 +76,13 @@ val row_handle : t -> key:string -> Row.t option
 val row : t -> key:string -> Row.t
 (** The row's handle, creating an empty row (no versions) if absent. *)
 
+val write_row :
+  t -> Row.t -> ?timestamp:int -> value -> (int, [ `Stale ]) result
+(** {!write} through a row handle obtained from {!row}/{!row_handle} of
+    this store: same per-row atomic semantics, same buffer journaling and
+    checksum stamping, minus the key hash. The WAL's data-apply fast path
+    uses this so lazy applies still flow through the write buffer. *)
+
 val delete : t -> key:string -> unit
 (** Drop a row and all its versions (used by log compaction). *)
 
@@ -67,3 +94,38 @@ val row_count : t -> int
 val reset : t -> unit
 (** Drop all rows (simulates a datacenter losing and re-provisioning its
     store; used by recovery tests). *)
+
+(** {1 Sync points and crashes (crash-consistency model)} *)
+
+val sync : t -> unit
+(** Make every buffered write durable (an [fsync] of the whole store).
+    No-op in [Sync_always] mode, where writes are durable as they land. *)
+
+val unsynced : t -> int
+(** Number of keys with buffered (not yet durable) changes. *)
+
+val crash : ?torn:bool -> t -> lose_unsynced:bool -> unit
+(** Power-loss at the storage level. With [~lose_unsynced:true] the store
+    rewinds to its state at the last {!sync}; with [~torn:true] the most
+    recent buffered row write additionally persists a strict prefix of
+    its attributes (its checksum no longer matches — a {e torn} write,
+    detectable by {!scrub}). With [~lose_unsynced:false] the buffer
+    survives, as when the OS flushed before the process died. No-op in
+    [Sync_always] mode. Callers restart the service process afterwards;
+    the recovery scan must run before the store is trusted again. *)
+
+(** {1 Checksums and recovery} *)
+
+val checksum_valid : value -> bool
+(** A version value's checksum attribute matches its attributes (values
+    without a checksum — written in [Sync_always] mode — are valid). *)
+
+val scrub : t -> key:string -> int
+(** Recovery-time repair: drop every checksum-invalid version of the row
+    (deleting the row if nothing survives) and return how many versions
+    were dropped. The caller syncs once its scan completes. *)
+
+val durable_versions : t -> key:string -> (int * value) list
+(** The versions a [crash ~lose_unsynced:true] would leave for this key:
+    the write buffer rolled back, checksum-invalid versions dropped.
+    Mutates nothing (the {!Mdds_wal.Wal.durable_coherent} oracle). *)

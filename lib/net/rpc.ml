@@ -83,13 +83,23 @@ let expire t id p =
 let call t ~src ~dst ~timeout req =
   let id = fresh_id t in
   Engine.suspend (fun wake ->
-      let p = register t id (fun resp -> wake (Some resp)) in
-      ignore
-        (Engine.after (engine t) timeout (fun () ->
-             if p.active then begin
-               expire t id p;
-               wake None
-             end));
+      (* The timeout timer dies with the call: a response must cancel it,
+         or every completed call leaves a live timer in the event heap
+         until its deadline (the heap then grows with the call rate ×
+         timeout window instead of the in-flight window). *)
+      let timer = ref None in
+      let p =
+        register t id (fun resp ->
+            Option.iter Engine.cancel !timer;
+            wake (Some resp))
+      in
+      timer :=
+        Some
+          (Engine.after (engine t) timeout (fun () ->
+               if p.active then begin
+                 expire t id p;
+                 wake None
+               end));
       Network.send t.net ~src ~dst ~port:service_port
         (Request { id; reply_to = src; src; oneway = false; payload = req }))
 
@@ -99,6 +109,7 @@ let broadcast t ~src ~dsts ~timeout ?(linger = 0.0) ?(enough = fun _ -> false) r
   let lingering = ref false in
   Engine.suspend (fun wake ->
       let ids = List.map (fun _ -> fresh_id t) dsts in
+      let timers = ref [] in
       let cleanup () =
         List.iter
           (fun id ->
@@ -111,6 +122,9 @@ let broadcast t ~src ~dsts ~timeout ?(linger = 0.0) ?(enough = fun _ -> false) r
         if not !finished then begin
           finished := true;
           cleanup ();
+          (* Fired timers ignore cancel; the others must not outlive the
+             broadcast (same heap-growth argument as in {!call}). *)
+          List.iter Engine.cancel !timers;
           wake (List.rev !results)
         end
       in
@@ -123,7 +137,7 @@ let broadcast t ~src ~dsts ~timeout ?(linger = 0.0) ?(enough = fun _ -> false) r
         else if linger <= 0.0 then finish ()
         else if not !lingering then begin
           lingering := true;
-          ignore (Engine.after (engine t) linger (fun () -> finish ()))
+          timers := Engine.after (engine t) linger (fun () -> finish ()) :: !timers
         end
       in
       List.iter2
@@ -138,7 +152,7 @@ let broadcast t ~src ~dsts ~timeout ?(linger = 0.0) ?(enough = fun _ -> false) r
           Network.send t.net ~src ~dst ~port:service_port
             (Request { id; reply_to = src; src; oneway = false; payload = req }))
         dsts ids;
-      ignore (Engine.after (engine t) timeout (fun () -> finish ()));
+      timers := Engine.after (engine t) timeout (fun () -> finish ()) :: !timers;
       (* Degenerate broadcast: nothing to wait for. *)
       if dsts = [] then finish ())
 

@@ -7,6 +7,7 @@ type t = {
   events : (unit -> unit) Heap.t;
   random : Rng.t;
   mutable executed : int;
+  mutable dead : int;  (* cancelled timers still occupying heap slots *)
 }
 
 type _ Effect.t +=
@@ -22,25 +23,33 @@ type _ Effect.t +=
 let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let create ?(seed = 42) () =
-  { clock = 0.0; seq = 0; events = Heap.create (); random = Rng.create seed; executed = 0 }
+  { clock = 0.0; seq = 0; events = Heap.create (); random = Rng.create seed;
+    executed = 0; dead = 0 }
 
 let now t = t.clock
 let rng t = t.random
 let processed t = t.executed
+let pending t = Heap.length t.events - t.dead
 
 let schedule t ~at f =
   let at = if at < t.clock then t.clock else at in
   t.seq <- t.seq + 1;
   Heap.push t.events ~time:at ~seq:t.seq f
 
-type timer = { mutable cancelled : bool }
+type timer = { mutable cancelled : bool; mutable fired : bool; owner : t }
 
 let after t d f =
-  let tm = { cancelled = false } in
-  schedule t ~at:(t.clock +. d) (fun () -> if not tm.cancelled then f ());
+  let tm = { cancelled = false; fired = false; owner = t } in
+  schedule t ~at:(t.clock +. d) (fun () ->
+      tm.fired <- true;
+      if tm.cancelled then t.dead <- t.dead - 1 else f ());
   tm
 
-let cancel tm = tm.cancelled <- true
+let cancel tm =
+  if not (tm.cancelled || tm.fired) then begin
+    tm.cancelled <- true;
+    tm.owner.dead <- tm.owner.dead + 1
+  end
 
 let engine_of_process () =
   match Domain.DLS.get current with

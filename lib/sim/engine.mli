@@ -37,6 +37,13 @@ val run : ?until:float -> t -> unit
 val processed : t -> int
 (** Number of events executed so far (debugging/telemetry). *)
 
+val pending : t -> int
+(** Live events currently queued — cancelled timers whose heap slot has
+    not yet drained are excluded. Used by tests guarding against timer
+    leaks: a component that cancels its one-shot timers when the awaited
+    event arrives keeps this bounded by its in-flight window, instead of
+    growing with every call whose long timeout has not yet expired. *)
+
 (** {1 Processes and scheduling} *)
 
 val spawn : ?at:float -> t -> (unit -> unit) -> unit

@@ -127,7 +127,10 @@ let append t ~group ~pos e =
   if pos > c.last then begin
     c.last <- pos;
     flush_meta t c
-  end
+  end;
+  (* Log entries are where the paper requires durability (L1): a decided
+     entry must survive any crash, so the append is a sync point. *)
+  Store.sync t.store
 
 let last_position t ~group =
   let c = cache t ~group in
@@ -200,12 +203,18 @@ let ensure_data_index t c =
     c.data_indexed <- true
   end
 
+(* Data-row applies are lazy: they go through the store's write buffer
+   (so a dirty crash can lose them) and are re-derived from the log by
+   {!recover} — the log entry, not the data row, is the durable truth. *)
 let apply_entry t c ~pos e =
   List.iter
     (fun (record : Txn.record) ->
       List.iter
         (fun (w : Txn.write) ->
-          match Row.write (data_row t c w.key) ~timestamp:pos [ ("v", w.value) ] with
+          match
+            Store.write_row t.store (data_row t c w.key) ~timestamp:pos
+              [ ("v", w.value) ]
+          with
           | Ok _ -> ()
           | Error `Stale ->
               (* A higher-versioned write exists: this entry was already
@@ -248,6 +257,9 @@ let compact t ~group ~upto =
       if c.contiguous < c.compacted then c.contiguous <- c.compacted;
       flush_meta t c
     end;
+    (* Compaction discards the only durable source of the applied prefix,
+       so the data rows it checkpoints into must be durable first. *)
+    Store.sync t.store;
     Ok ()
   end
 
@@ -273,7 +285,10 @@ let install_snapshot t ~group ~applied rows =
   load_meta t c;
   List.iter
     (fun (key, version, value) ->
-      match Row.write (data_row t c key) ~timestamp:version [ ("v", value) ] with
+      match
+        Store.write_row t.store (data_row t c key) ~timestamp:version
+          [ ("v", value) ]
+      with
       | Ok _ | Error `Stale -> () (* local state already newer: keep it *))
     rows;
   if applied > c.applied || applied > c.compacted || applied > c.last then begin
@@ -284,7 +299,10 @@ let install_snapshot t ~group ~applied rows =
     end;
     if applied > c.last then c.last <- applied;
     flush_meta t c
-  end
+  end;
+  (* The snapshot replaces log entries this replica can never learn: it
+     must not be lost to a crash, so installation is a sync point. *)
+  Store.sync t.store
 
 let read_data t ~group ~key ~at =
   let c = cache t ~group in
@@ -383,3 +401,132 @@ let coherent t =
     (fun group _ acc ->
       match acc with Ok () -> coherence t ~group | Error _ -> acc)
     t.groups (Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Durable-coherence oracle: the decoded view never claims an entry the
+   durable store cannot re-produce. "Durable" is what a dirty crash would
+   leave: the write buffer rolled back and checksum-invalid versions
+   dropped ([Store.durable_versions]). Every cached log entry, and the
+   cached [last]/[compacted] watermarks, must be re-derivable from that
+   state — [applied] is exempt because data applies are lazy by design
+   and re-derived from the log on recovery. *)
+
+let durable_coherent t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | None -> Ok ()
+  | Some c -> (
+      let fail fmt =
+        Printf.ksprintf
+          (fun m -> raise (Incoherent ("wal-durable/" ^ group ^ ": " ^ m)))
+          fmt
+      in
+      try
+        if c.meta_loaded then begin
+          let durable = Store.durable_versions t.store ~key:c.meta_key in
+          let attr name =
+            match durable with
+            | [] -> 0
+            | (_, v) :: _ -> (
+                match Row.attribute v name with
+                | None -> 0
+                | Some s -> int_of_string s)
+          in
+          if attr "last" <> c.last then
+            fail "meta last: cached %d, durable %d" c.last (attr "last");
+          if attr "compacted" <> c.compacted then
+            fail "meta compacted: cached %d, durable %d" c.compacted
+              (attr "compacted")
+        end;
+        Hashtbl.iter
+          (fun pos cached ->
+            let durable = Store.durable_versions t.store ~key:(log_key c pos) in
+            let reproducible =
+              List.exists
+                (fun (_, v) ->
+                  match Row.attribute v "entry" with
+                  | None -> false
+                  | Some encoded ->
+                      Txn.equal_entry cached
+                        (Codec.decode_exn Txn.entry_codec encoded))
+                durable
+            in
+            if not reproducible then
+              fail "entry at %d is not re-producible from durable state" pos)
+          c.entries;
+        Ok ()
+      with Incoherent msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery scan (PROTOCOL §7, step 0): scrub checksum-invalid
+   versions from the group's rows, re-derive the watermarks from what
+   survived, truncate the decoded view to the longest valid durable
+   prefix, and re-apply it to the data rows (lazy applies may have been
+   lost with the write buffer; the log is the durable truth they are
+   re-derived from). Runs on the post-crash store, before the service
+   serves anything for the group. *)
+
+type recovery = {
+  scrubbed : int;  (* checksum-invalid versions dropped *)
+  truncated : int option;
+      (* First position the durable log cannot produce, if the log
+         claimed (or still holds entries past) such a position. *)
+  reapplied : int;  (* entries re-applied to the data rows *)
+}
+
+let recover t ~group =
+  (* Decode from scratch: recovery must trust nothing volatile. *)
+  Hashtbl.remove t.groups group;
+  let c = cache t ~group in
+  let scrubbed = ref 0 in
+  let positions = ref [] in
+  let log_len = String.length c.log_prefix in
+  List.iter
+    (fun key ->
+      let is_log = String.starts_with ~prefix:c.log_prefix key in
+      if
+        is_log || key = c.meta_key
+        || String.starts_with ~prefix:c.data_prefix key
+      then begin
+        scrubbed := !scrubbed + Store.scrub t.store ~key;
+        if is_log && Store.row_handle t.store ~key <> None then
+          match
+            int_of_string_opt
+              (String.sub key log_len (String.length key - log_len))
+          with
+          | Some pos -> positions := pos :: !positions
+          | None -> ()
+      end)
+    (Store.keys t.store);
+  load_meta t c;
+  let claimed = c.last in
+  (* [last] re-derived from the surviving entries: a torn meta row may
+     over- or under-state it. *)
+  let last = List.fold_left max c.compacted !positions in
+  c.last <- last;
+  (* Longest valid durable prefix, and the lazy data state re-derived
+     from it (idempotent per-position overwrites). The surviving applied
+     watermark is a safe starting point, not just a hint: every sync
+     flushes the whole write buffer, so the meta version that survived
+     the crash was flushed together with the data rows it counts — the
+     replay only has to cover what was applied after the last sync. In
+     [Sync_always] mode that makes the scan a no-op. *)
+  c.applied <- max c.compacted (min c.applied last);
+  let reapplied = ref 0 in
+  let rec go pos =
+    if pos <= last then
+      match entry_in t c pos with
+      | None -> ()
+      | Some e ->
+          apply_entry t c ~pos e;
+          c.applied <- pos;
+          incr reapplied;
+          go (pos + 1)
+  in
+  go (c.applied + 1);
+  flush_meta t c;
+  (* Recovery's repairs are themselves durable from here on. *)
+  Store.sync t.store;
+  let truncated =
+    if c.applied < max last claimed then Some (c.applied + 1) else None
+  in
+  { scrubbed = !scrubbed; truncated; reapplied = !reapplied }

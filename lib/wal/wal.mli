@@ -117,3 +117,33 @@ val coherence : t -> group:string -> (unit, string) result
 
 val coherent : t -> (unit, string) result
 (** {!coherence} over every group with a cached view. *)
+
+val durable_coherent : t -> group:string -> (unit, string) result
+(** Durable-coherence oracle: the decoded view never claims an entry the
+    durable store cannot re-produce — every cached log entry, and the
+    cached [last]/[compacted] watermarks, must be re-derivable from the
+    state a dirty crash would leave (write buffer rolled back,
+    checksum-invalid versions dropped; see
+    {!Mdds_kvstore.Store.durable_versions}). [applied] is exempt: data
+    applies are lazy by design and re-derived from the log by {!recover}.
+    Mutates nothing; the chaos engine checks it after every fault. *)
+
+(** {1 Crash recovery} *)
+
+type recovery = {
+  scrubbed : int;  (** Checksum-invalid (torn) versions dropped. *)
+  truncated : int option;
+      (** First position the durable log could not produce ([None] if the
+          valid durable prefix reaches everything the log claimed). *)
+  reapplied : int;  (** Entries re-applied to the data rows. *)
+}
+
+val recover : t -> group:string -> recovery
+(** Crash-recovery scan (PROTOCOL.md §7): drop checksum-invalid versions
+    from the group's log/meta/data rows, re-derive the
+    [last]/[applied] watermarks from the surviving entries, truncate the
+    decoded view to the longest valid durable prefix and re-apply it to
+    the data rows (lazy applies lost with the write buffer are re-derived
+    from the log), then sync. {!Mdds_core.Service.restart} runs this for
+    every group before serving; entries past a gap stay durable and are
+    re-entered through the learn/snapshot ladder, not invented locally. *)

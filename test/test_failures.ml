@@ -10,6 +10,9 @@ module Service = Mdds_core.Service
 module Wal = Mdds_wal.Wal
 module Topology = Mdds_net.Topology
 module Engine = Mdds_sim.Engine
+module Store = Mdds_kvstore.Store
+module Row = Mdds_kvstore.Row
+module Messages = Mdds_core.Messages
 
 let group = "g"
 
@@ -439,6 +442,84 @@ let test_compact_while_down_then_catchup () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+let test_compacted_claim_not_regranted () =
+  (* Found by chaos seed 21 (minimal schedule: crash dc1 + compact dc0).
+     Compaction deletes the durable claim rows along with the acceptor
+     state; a Claim_leadership for a compacted position answered from the
+     now-blank row would re-grant the round-0 fast path at a decided
+     position. A recovered laggard would then cast a unilateral round-0
+     self-vote whose ballot (0.laggard) outranks the original fast-path
+     vote (0.winner) in a prepare tally that the compacted voter can no
+     longer join — and the laggard re-decides the position with a new
+     value (R1 violation). The registrar must refuse the claim; the
+     laggard then runs the full protocol, whose prepare quorum necessarily
+     contains a surviving voter revealing the decided entry. *)
+  let cluster = Cluster.create ~seed:21 (Topology.ec2 "VVV") in
+  (* Position 1 decided from dc0 with everyone up: dc0 becomes the claim
+     registrar for position 2 in every replica's view. *)
+  let r0 = seq_writer cluster ~dc:0 ~txns:1 ~gap:0.1 in
+  Cluster.run cluster;
+  Alcotest.(check int) "seed txn committed" 1
+    (List.length (List.filter committed !r0));
+  (* dc1 misses positions 2..6, decided by the {dc0, dc2} majority via
+     dc0's fast path (round-0 votes at ballot 0.0). *)
+  Cluster.take_down cluster 1;
+  let r1 = seq_writer cluster ~dc:0 ~txns:5 ~gap:0.3 in
+  Cluster.run cluster;
+  Alcotest.(check int) "majority kept committing" 5
+    (List.length (List.filter committed !r1));
+  let archive = Cluster.committed_log cluster ~group in
+  let dc0 = Cluster.service cluster 0 in
+  let head = Wal.last_position (Service.wal dc0) ~group in
+  (* Prime dc0's applied watermark, then compact: acceptor AND claim rows
+     for positions 1..head are gone at dc0. *)
+  (match
+     Service.handle dc0 ~src:0
+       (Messages.Read { group; key = "k0-1"; position = head })
+   with
+  | Messages.Value _ -> ()
+  | _ -> Alcotest.fail "priming read failed");
+  (match Service.compact dc0 ~group ~upto:head with
+  | Ok () -> ()
+  | Error `Not_applied -> Alcotest.fail "compact refused");
+  (* The registrar must refuse, not re-grant from the blank row. *)
+  (match
+     Service.handle dc0 ~src:1
+       (Messages.Claim_leadership { group; pos = 2; claimant = "rival" })
+   with
+  | Messages.Failed _ -> ()
+  | Messages.Claim_reply { first } ->
+      Alcotest.(check bool) "claim at compacted position re-granted" false
+        first
+  | _ -> Alcotest.fail "unexpected claim response");
+  (* End-to-end: the laggard returns with its log ending at position 1 and
+     commits through the ladder; position 2 must keep its original entry. *)
+  let original =
+    match Wal.entry (Service.wal (Cluster.service cluster 2)) ~group ~pos:2 with
+    | Some e -> e
+    | None -> Alcotest.fail "dc2 lost position 2"
+  in
+  Cluster.bring_up cluster 1;
+  let late = Cluster.client cluster ~dc:1 in
+  Cluster.spawn cluster (fun () ->
+      try
+        let txn = Client.begin_ late ~group in
+        Client.write txn "late" "v";
+        ignore (Client.commit txn)
+      with Client.Unavailable _ -> ());
+  Cluster.run cluster;
+  (match Wal.entry (Service.wal (Cluster.service cluster 2)) ~group ~pos:2 with
+  | Some e ->
+      Alcotest.(check bool) "position 2 entry unchanged" true
+        (Mdds_types.Txn.equal_entry original e)
+  | None -> Alcotest.fail "dc2 lost position 2 after recovery");
+  (match Cluster.logs_agree cluster ~group with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Verify.check ~archive cluster ~group with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
 let test_multiple_groups_independent () =
   (* Transaction groups have independent logs and no cross-group
      serializability (by design, §2.1): workloads on two groups proceed
@@ -469,6 +550,213 @@ let test_multiple_groups_independent () =
   let lb = List.length (Cluster.committed_log cluster ~group:"beta") in
   Alcotest.(check bool) "both groups progressed" true (la > 0 && lb > 0);
   Alcotest.(check int) "log entries match commits" !commits (la + lb)
+
+(* ------------------------------------------------------------------ *)
+(* Crash consistency: storage-level faults and the hardened recovery
+   ladder (PROTOCOL.md §7). These run the store in Sync_explicit mode so
+   dirty and torn crashes have something to lose.                       *)
+
+let mangle_checksum store key =
+  (* Forge torn damage behind the service's back: the row's latest version
+     keeps its body but its checksum can no longer match. *)
+  let row = Store.row store ~key in
+  match Row.versions row with
+  | (ts, v) :: rest ->
+      Row.restore row ((ts, ("#sum", "00000000") :: List.remove_assoc "#sum" v) :: rest)
+  | [] -> Alcotest.failf "no versions to mangle at %s" key
+
+let test_dirty_crashes_racing_commits () =
+  (* Storage-level power losses fired while commits are mid-flight: every
+     protocol write that matters (acceptor state, log appends, claims) hits
+     a sync point before it is acknowledged, so only volatile state and
+     lazy data applies are lost — every transaction still reaches a
+     correct outcome and every cache oracle holds. *)
+  let cluster =
+    Cluster.create ~seed:9 ~storage:Store.Sync_explicit (Topology.ec2 "VVV")
+  in
+  let results = seq_writer cluster ~dc:0 ~txns:8 ~gap:0.4 in
+  List.iter
+    (fun (at, dc) ->
+      Engine.schedule (Cluster.engine cluster) ~at (fun () ->
+          Cluster.dirty_restart cluster dc))
+    [ (0.25, 1); (0.8, 2); (1.3, 1); (2.1, 2); (2.7, 0) ];
+  Cluster.run cluster;
+  let commits = List.length (List.filter committed !results) in
+  Alcotest.(check int) "all commit through dirty crashes" 8 commits;
+  List.iter
+    (fun s ->
+      match Service.cache_coherent s ~group with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "dc%d incoherent: %s" (Service.dc s) e)
+    (Cluster.services cluster);
+  Verify.check_exn cluster ~group
+
+let test_torn_damage_quarantines_until_relearned () =
+  (* The no-silent-re-vote rule: an acceptor whose durable vote row was
+     torn must refuse Paxos messages for that position until the decided
+     value is re-learned from peers. While every peer is down the ladder
+     cannot complete and the position stays fenced; once peers return it
+     is re-entered through the learner, never re-voted from the reverted
+     state. *)
+  let config = { Config.default with rpc_timeout = 0.3; max_rounds = 3 } in
+  let cluster =
+    Cluster.create ~seed:3 ~config ~storage:Store.Sync_explicit
+      (Topology.ec2 "VVV")
+  in
+  let b = Mdds_paxos.Ballot.make ~round:2 ~proposer:0 in
+  let entry =
+    [
+      Mdds_types.Txn.make_record ~txn_id:"victim" ~origin:0 ~read_position:0
+        ~reads:[]
+        ~writes:[ { Mdds_types.Txn.key = "x"; value = "decided" } ];
+    ]
+  in
+  Cluster.spawn cluster (fun () ->
+      (* Decide the entry at position 1 on the majority {0, 1}. *)
+      List.iter
+        (fun dc ->
+          let s = Cluster.service cluster dc in
+          (match
+             Service.handle s ~src:0 (Messages.Prepare { group; pos = 1; ballot = b })
+           with
+          | Messages.Promise _ -> ()
+          | _ -> Alcotest.fail "prepare refused");
+          match
+            Service.handle s ~src:0
+              (Messages.Accept { group; pos = 1; ballot = b; entry })
+          with
+          | Messages.Accept_reply { ok = true; _ } -> ()
+          | _ -> Alcotest.fail "accept refused")
+        [ 0; 1 ];
+      (* dc1's durable vote row is torn; the storage crash takes the
+         service down with it. The recovery scan must scrub the damage and
+         quarantine the position. *)
+      mangle_checksum (Service.store (Cluster.service cluster 1)) ("paxos/" ^ group ^ "/1");
+      Cluster.dirty_restart cluster 1;
+      let dc1 = Cluster.service cluster 1 in
+      Alcotest.(check bool) "scrub counted" true
+        ((Service.recovery_stats dc1).Service.scrubbed >= 1);
+      (* Every peer down: the ladder cannot complete, the position must be
+         refused — NOT answered from the reverted state. *)
+      Cluster.take_down cluster 0;
+      Cluster.take_down cluster 2;
+      (match
+         Service.handle dc1 ~src:2
+           (Messages.Prepare
+              { group; pos = 1; ballot = Mdds_paxos.Ballot.make ~round:1 ~proposer:2 })
+       with
+      | Messages.Failed msg ->
+          Alcotest.(check string) "fenced while unlearnable" "position 1 recovering" msg
+      | Messages.Promise _ -> Alcotest.fail "silent re-vote from reverted state"
+      | r -> Alcotest.failf "unexpected reply: %a" Messages.pp_response r);
+      (* Peers return: the decided value is re-learned and the position
+         released. *)
+      Cluster.bring_up cluster 0;
+      Cluster.bring_up cluster 2;
+      (match
+         Service.handle dc1 ~src:2
+           (Messages.Prepare
+              { group; pos = 1; ballot = Mdds_paxos.Ballot.make ~round:9 ~proposer:2 })
+       with
+      | Messages.Promise _ | Messages.Prepare_reject _ -> ()
+      | r -> Alcotest.failf "still refused after peers returned: %a" Messages.pp_response r);
+      let stats = Service.recovery_stats dc1 in
+      Alcotest.(check bool) "position re-entered via the learner" true
+        (stats.Service.relearned >= 1);
+      match Wal.entry (Service.wal dc1) ~group ~pos:1 with
+      | Some e ->
+          Alcotest.(check bool) "re-learned the decided entry, not a new vote" true
+            (Mdds_types.Txn.equal_entry e entry)
+      | None -> Alcotest.fail "entry missing after release");
+  Cluster.run cluster;
+  Verify.check_exn cluster ~group
+
+let test_exhausted_recovery_ladder_aborts () =
+  (* The end of the ladder: a datacenter holds a log gap and every peer is
+     unreachable, so neither learning nor snapshot installation can fill
+     it. The service must report failure — and the client must surface an
+     abort — rather than hang. *)
+  let config = { Config.default with rpc_timeout = 0.3; max_rounds = 2 } in
+  let cluster = Cluster.create ~seed:12 ~config (Topology.ec2 "VVV") in
+  let results = seq_writer cluster ~dc:0 ~txns:6 ~gap:0.4 in
+  Engine.schedule (Cluster.engine cluster) ~at:0.2 (fun () ->
+      Cluster.take_down cluster 2);
+  Engine.schedule (Cluster.engine cluster) ~at:1.5 (fun () ->
+      Cluster.bring_up cluster 2);
+  Cluster.run cluster;
+  Alcotest.(check int) "all committed" 6 (List.length (List.filter committed !results));
+  let dc2 = Cluster.service cluster 2 in
+  let head = Wal.last_position (Service.wal (Cluster.service cluster 0)) ~group in
+  Alcotest.(check bool) "dc2 holds a gap from the outage" true
+    (Wal.first_gap (Service.wal dc2) ~group ~upto:head <> None);
+  Cluster.take_down cluster 0;
+  Cluster.take_down cluster 1;
+  let service_error = ref None in
+  let client_aborted = ref false in
+  Cluster.spawn cluster (fun () ->
+      (* Service level: the ladder exhausts and reports the position it
+         could not fill. *)
+      (match
+         Service.handle dc2 ~src:2 (Messages.Read { group; key = "k0-1"; position = head })
+       with
+      | Messages.Failed msg -> service_error := Some msg
+      | _ -> Alcotest.fail "read served despite an unfillable gap");
+      (* Client level: the failure surfaces as an abort, not a hang. *)
+      try
+        let client = Cluster.client cluster ~dc:2 in
+        let txn = Client.begin_ client ~group in
+        ignore (Client.read txn "k0-1");
+        ignore (Client.commit txn)
+      with Client.Unavailable _ -> client_aborted := true);
+  Cluster.run ~until:400.0 cluster;
+  (match !service_error with
+  | Some msg ->
+      Alcotest.(check bool) "names the unlearnable position" true
+        (String.starts_with ~prefix:"cannot learn log position" msg)
+  | None -> Alcotest.fail "service never answered");
+  Alcotest.(check bool) "client aborted rather than hanging" true !client_aborted;
+  Cluster.bring_up cluster 0;
+  Cluster.bring_up cluster 1;
+  Verify.check_exn cluster ~group
+
+let crash_recovery_prop =
+  (* The acceptance property: for random dirty/torn crash points injected
+     into a commit workload, recovery always yields a state from which the
+     cluster reconverges — caches durably coherent, no position decided
+     twice, no committed transaction lost (the full oracle suite). *)
+  let open QCheck in
+  let crash_gen = Gen.(triple (2 -- 40) (int_bound 2) bool) in
+  Test.make
+    ~name:"random crash points: recovery reconverges, commits survive"
+    ~count:15
+    (make
+       ~print:Print.(pair int (list (triple int int bool)))
+       Gen.(pair (int_bound 100_000) (list_size (1 -- 4) crash_gen)))
+    (fun (seed, crashes) ->
+      let config = { Config.default with rpc_timeout = 0.4; max_rounds = 5 } in
+      let cluster =
+        Cluster.create ~seed ~config ~storage:Store.Sync_explicit
+          (Topology.ec2 "VVV")
+      in
+      let r0 = seq_writer cluster ~dc:0 ~txns:5 ~gap:0.5 in
+      let r1 = seq_writer cluster ~dc:1 ~txns:5 ~gap:0.5 in
+      List.iter
+        (fun (tenths, dc, torn) ->
+          Engine.schedule (Cluster.engine cluster)
+            ~at:(float_of_int tenths /. 10.)
+            (fun () ->
+              if torn then Cluster.torn_restart cluster dc
+              else Cluster.dirty_restart cluster dc))
+        crashes;
+      Cluster.run ~until:600.0 cluster;
+      ignore (List.filter committed (!r0 @ !r1));
+      List.iter
+        (fun s ->
+          match Service.cache_coherent s ~group with
+          | Ok () -> ()
+          | Error e -> Test.fail_reportf "dc%d incoherent: %s" (Service.dc s) e)
+        (Cluster.services cluster);
+      Verify.check cluster ~group = Ok ())
 
 let () =
   Alcotest.run "failures"
@@ -504,5 +792,17 @@ let () =
             test_restart_preserves_promises_under_race;
           Alcotest.test_case "compact while down, archive-verified catch-up"
             `Quick test_compact_while_down_then_catchup;
+          Alcotest.test_case "compacted claim never re-granted" `Quick
+            test_compacted_claim_not_regranted;
+        ] );
+      ( "crash-consistency",
+        [
+          Alcotest.test_case "dirty crashes racing commits" `Quick
+            test_dirty_crashes_racing_commits;
+          Alcotest.test_case "torn vote quarantined until re-learned" `Quick
+            test_torn_damage_quarantines_until_relearned;
+          Alcotest.test_case "exhausted ladder aborts, never hangs" `Quick
+            test_exhausted_recovery_ladder_aborts;
+          QCheck_alcotest.to_alcotest crash_recovery_prop;
         ] );
     ]

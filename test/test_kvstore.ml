@@ -133,6 +133,148 @@ let test_store_reset () =
   Alcotest.(check int) "empty after reset" 0 (Store.row_count store)
 
 (* ------------------------------------------------------------------ *)
+(* Durability: write buffer, sync points, dirty and torn crashes.       *)
+
+let explicit () = Store.create ~mode:Store.Sync_explicit ()
+
+let mangle_checksum store key =
+  (* Forge torn damage: rewrite the row's latest version with a checksum
+     that cannot match its body. [Row.restore] bypasses the write buffer,
+     exactly like a disk sector going bad behind the store's back. *)
+  let row = Store.row store ~key in
+  match Row.versions row with
+  | (ts, v) :: rest ->
+      Row.restore row ((ts, ("#sum", "00000000") :: List.remove_assoc "#sum" v) :: rest)
+  | [] -> Alcotest.failf "no versions to mangle at %s" key
+
+let test_sync_always_crash_noop () =
+  (* Default mode: every write is durable as it lands, crash loses
+     nothing — the pre-existing behaviour every figure run relies on. *)
+  let store = Store.create () in
+  ignore (Store.write store ~key:"k" (value "v1"));
+  Alcotest.(check int) "nothing ever buffered" 0 (Store.unsynced store);
+  Store.crash store ~lose_unsynced:true;
+  Alcotest.(check (option string)) "write survives" (Some "v1") (read_attr store "k");
+  Store.crash ~torn:true store ~lose_unsynced:true;
+  Alcotest.(check (option string)) "torn arm is a no-op too" (Some "v1")
+    (read_attr store "k")
+
+let test_dirty_crash_rewinds_to_sync_point () =
+  let store = explicit () in
+  ignore (Store.write store ~key:"k" (value "durable"));
+  Store.sync store;
+  ignore (Store.write store ~key:"k" (value "buffered"));
+  ignore (Store.write store ~key:"fresh" (value "new"));
+  (* Buffered writes are visible immediately (page-cache semantics). *)
+  Alcotest.(check (option string)) "buffered visible" (Some "buffered") (read_attr store "k");
+  Alcotest.(check int) "two dirty keys" 2 (Store.unsynced store);
+  Store.crash store ~lose_unsynced:true;
+  Alcotest.(check (option string)) "rewound to sync point" (Some "durable")
+    (read_attr store "k");
+  Alcotest.(check bool) "never-synced row gone" true
+    (Store.read store ~key:"fresh" () = None);
+  Alcotest.(check int) "buffer empty after crash" 0 (Store.unsynced store)
+
+let test_sync_point_makes_durable () =
+  let store = explicit () in
+  ignore (Store.write store ~key:"k" (value "v"));
+  Store.sync store;
+  Alcotest.(check int) "buffer drained" 0 (Store.unsynced store);
+  Store.crash store ~lose_unsynced:true;
+  Alcotest.(check (option string)) "synced write survives" (Some "v") (read_attr store "k")
+
+let test_crash_keeping_buffer () =
+  (* lose_unsynced:false models the OS flushing before the process died:
+     the buffer contents survive even without an explicit sync. *)
+  let store = explicit () in
+  ignore (Store.write store ~key:"k" (value "v"));
+  Store.crash store ~lose_unsynced:false;
+  Alcotest.(check (option string)) "flushed buffer survives" (Some "v")
+    (read_attr store "k");
+  (* The flush was real: a later dirty crash no longer loses it. *)
+  Store.crash store ~lose_unsynced:true;
+  Alcotest.(check (option string)) "now durable" (Some "v") (read_attr store "k")
+
+let test_delete_rolls_back () =
+  let store = explicit () in
+  ignore (Store.write store ~key:"k" (value "keep"));
+  Store.sync store;
+  Store.delete store ~key:"k";
+  Alcotest.(check bool) "delete visible" true (Store.read store ~key:"k" () = None);
+  Store.crash store ~lose_unsynced:true;
+  Alcotest.(check (option string)) "unsynced delete undone" (Some "keep")
+    (read_attr store "k")
+
+let test_torn_crash_persists_prefix () =
+  let store = explicit () in
+  ignore (Store.write store ~key:"k" [ ("a", "old"); ("b", "old"); ("c", "old") ]);
+  Store.sync store;
+  ignore (Store.write store ~key:"k" [ ("a", "new"); ("b", "new"); ("c", "new") ]);
+  Store.crash ~torn:true store ~lose_unsynced:true;
+  (* The in-flight write persisted a strict prefix of its attributes; the
+     checksum no longer matches, so the tear is detectable. *)
+  (match Store.read store ~key:"k" () with
+  | None -> Alcotest.fail "torn version missing entirely"
+  | Some (_, attrs) ->
+      Alcotest.(check bool) "torn version detectable" false (Store.checksum_valid attrs);
+      Alcotest.(check bool) "strictly fewer attributes" true
+        (List.length attrs < 4 (* a b c + #sum *)));
+  let dropped = Store.scrub store ~key:"k" in
+  Alcotest.(check int) "scrub drops the torn version" 1 dropped;
+  (match Store.read store ~key:"k" () with
+  | Some (_, attrs) ->
+      Alcotest.(check bool) "survivor checksums" true (Store.checksum_valid attrs);
+      Alcotest.(check (option string)) "survivor is the synced version" (Some "old")
+        (Row.attribute attrs "a")
+  | None -> Alcotest.fail "synced version lost by scrub")
+
+let test_torn_crash_on_created_row_stays_absent () =
+  (* A torn write of a row that never reached a sync point models the row
+     write itself never reaching the disk: the row must stay absent. *)
+  let store = explicit () in
+  ignore (Store.write store ~key:"fresh" [ ("a", "1"); ("b", "2") ]);
+  Store.crash ~torn:true store ~lose_unsynced:true;
+  Alcotest.(check bool) "created row absent after torn crash" true
+    (Store.read store ~key:"fresh" () = None)
+
+let test_scrub_drops_forged_damage () =
+  let store = explicit () in
+  ignore (Store.write store ~key:"k" (value "good"));
+  Store.sync store;
+  ignore (Store.write store ~key:"k" (value "bad"));
+  Store.sync store;
+  mangle_checksum store "k";
+  Alcotest.(check int) "one version dropped" 1 (Store.scrub store ~key:"k");
+  Alcotest.(check (option string)) "valid predecessor restored" (Some "good")
+    (read_attr store "k");
+  (* A row whose every version is damaged disappears entirely. *)
+  ignore (Store.write store ~key:"solo" (value "x"));
+  Store.sync store;
+  mangle_checksum store "solo";
+  ignore (Store.scrub store ~key:"solo");
+  Alcotest.(check bool) "fully damaged row deleted" true
+    (Store.read store ~key:"solo" () = None)
+
+let test_durable_versions_oracle () =
+  let store = explicit () in
+  ignore (Store.write store ~key:"k" ~timestamp:1 (value "durable"));
+  Store.sync store;
+  ignore (Store.write store ~key:"k" ~timestamp:2 (value "buffered"));
+  (* The oracle previews the post-crash state without mutating. *)
+  (match Store.durable_versions store ~key:"k" with
+  | [ (1, attrs) ] ->
+      Alcotest.(check (option string)) "durable version only" (Some "durable")
+        (Row.attribute attrs "v")
+  | other -> Alcotest.failf "unexpected durable view (%d versions)" (List.length other));
+  Alcotest.(check (option string)) "store unchanged by the oracle" (Some "buffered")
+    (read_attr store "k");
+  Alcotest.(check int) "buffer unchanged by the oracle" 1 (Store.unsynced store);
+  (* And it agrees with an actual crash. *)
+  Store.crash store ~lose_unsynced:true;
+  Alcotest.(check (option string)) "crash matches the preview" (Some "durable")
+    (read_attr store "k")
+
+(* ------------------------------------------------------------------ *)
 (* Properties.                                                          *)
 
 let prop_monotonic_read =
@@ -196,6 +338,27 @@ let () =
           Alcotest.test_case "versioned reads" `Quick test_store_versioned_reads;
           Alcotest.test_case "check_and_write" `Quick test_check_and_write;
           Alcotest.test_case "reset" `Quick test_store_reset;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "Sync_always crash is a no-op" `Quick
+            test_sync_always_crash_noop;
+          Alcotest.test_case "dirty crash rewinds to sync point" `Quick
+            test_dirty_crash_rewinds_to_sync_point;
+          Alcotest.test_case "sync makes writes durable" `Quick
+            test_sync_point_makes_durable;
+          Alcotest.test_case "crash keeping the buffer" `Quick
+            test_crash_keeping_buffer;
+          Alcotest.test_case "unsynced delete rolls back" `Quick
+            test_delete_rolls_back;
+          Alcotest.test_case "torn crash persists a detectable prefix" `Quick
+            test_torn_crash_persists_prefix;
+          Alcotest.test_case "torn created row stays absent" `Quick
+            test_torn_crash_on_created_row_stays_absent;
+          Alcotest.test_case "scrub repairs forged damage" `Quick
+            test_scrub_drops_forged_damage;
+          Alcotest.test_case "durable_versions oracle" `Quick
+            test_durable_versions_oracle;
         ] );
       ( "props",
         [

@@ -290,6 +290,30 @@ let test_rpc_lossy_statistics () =
   Alcotest.(check bool) "some succeed" true (!ok > 50);
   Alcotest.(check bool) "some lost" true (!none > 10)
 
+let test_rpc_timer_cancellation_bounds_heap () =
+  (* Regression: a completed call or broadcast must cancel its timeout
+     timers. With a long timeout and many sequential operations, the event
+     heap would otherwise carry one live timer per past call, and a
+     long-lived service (the chaos soak, the figure sweeps) would leak
+     heap slots for the whole timeout window. *)
+  let engine, _net, rpc = make_rpc () in
+  for node = 0 to 2 do
+    echo_server rpc ~node
+  done;
+  let worst = ref 0 in
+  Engine.spawn engine (fun () ->
+      for i = 1 to 200 do
+        ignore (Rpc.call rpc ~src:0 ~dst:1 ~timeout:3600.0 (string_of_int i));
+        ignore (Rpc.broadcast rpc ~src:0 ~dsts:[ 0; 1; 2 ] ~timeout:3600.0 "b");
+        worst := max !worst (Engine.pending engine)
+      done);
+  Engine.run engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "pending stays bounded (worst %d)" !worst)
+    true (!worst < 50);
+  Alcotest.(check int) "all timers accounted for at quiescence" 0
+    (Engine.pending engine)
+
 let test_rpc_late_response_dropped () =
   (* A reply arriving after its call timed out must not be delivered to a
      later call (no id confusion). *)
@@ -337,5 +361,7 @@ let () =
           Alcotest.test_case "concurrent handlers" `Quick test_rpc_concurrent_handlers;
           Alcotest.test_case "lossy calls stay correct" `Quick test_rpc_lossy_statistics;
           Alcotest.test_case "late responses dropped" `Quick test_rpc_late_response_dropped;
+          Alcotest.test_case "completed calls cancel their timers" `Quick
+            test_rpc_timer_cancellation_bounds_heap;
         ] );
     ]

@@ -214,6 +214,24 @@ let test_engine_timer_cancel () =
   Engine.run engine;
   Alcotest.(check bool) "cancelled timer silent" false !fired
 
+let test_engine_pending_excludes_cancelled () =
+  (* [pending] counts live events only: a cancelled timer's heap slot
+     lingers (lazy deletion keeps event order stable) but must not be
+     reported, and double-cancel must not double-count. *)
+  let engine = Engine.create () in
+  let t1 = Engine.after engine 1.0 (fun () -> ()) in
+  let _t2 = Engine.after engine 2.0 (fun () -> ()) in
+  Alcotest.(check int) "two live" 2 (Engine.pending engine);
+  Engine.cancel t1;
+  Alcotest.(check int) "one live" 1 (Engine.pending engine);
+  Engine.cancel t1;
+  Alcotest.(check int) "double cancel counted once" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "drained" 0 (Engine.pending engine);
+  (* Cancelling after the fact stays harmless. *)
+  Engine.cancel t1;
+  Alcotest.(check int) "still drained" 0 (Engine.pending engine)
+
 let test_engine_suspend_wake () =
   let engine = Engine.create () in
   let waker = ref None in
@@ -406,6 +424,8 @@ let () =
           Alcotest.test_case "spawn at" `Quick test_engine_spawn_at;
           Alcotest.test_case "run until" `Quick test_engine_run_until;
           Alcotest.test_case "timer cancel" `Quick test_engine_timer_cancel;
+          Alcotest.test_case "pending excludes cancelled" `Quick
+            test_engine_pending_excludes_cancelled;
           Alcotest.test_case "suspend/wake" `Quick test_engine_suspend_wake;
           Alcotest.test_case "yield interleaves" `Quick test_engine_yield_interleaves;
           Alcotest.test_case "exceptions propagate" `Quick test_engine_exception_propagates;

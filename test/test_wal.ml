@@ -275,6 +275,158 @@ let test_invalidate_rebuilds () =
   | None -> Alcotest.fail "entry lost across invalidate");
   Alcotest.(check bool) "coherent" true (Wal.coherent wal = Ok ())
 
+(* ------------------------------------------------------------------ *)
+(* Crash recovery (PROTOCOL.md §7 steps 0–1) over an explicit-sync store. *)
+
+let explicit () =
+  let store = Store.create ~mode:Store.Sync_explicit () in
+  (store, Wal.create store)
+
+let mangle_checksum store key =
+  (* Forge torn damage behind the WAL's back (callers must invalidate). *)
+  let row = Store.row store ~key in
+  match Mdds_kvstore.Row.versions row with
+  | (ts, v) :: rest ->
+      Mdds_kvstore.Row.restore row
+        ((ts, ("#sum", "00000000") :: List.remove_assoc "#sum" v) :: rest)
+  | [] -> Alcotest.failf "no versions to mangle at %s" key
+
+let test_recover_reapplies_lazy_applies () =
+  (* Appends sync (they are the commit point); data applies are lazy and
+     ride the write buffer. A dirty crash loses the applies; [recover]
+     re-derives them from the surviving log. *)
+  let store, wal = explicit () in
+  for pos = 1 to 3 do
+    Wal.append wal ~group ~pos
+      [ record (Printf.sprintf "t%d" pos) ~writes:[ ("x", string_of_int pos) ] ]
+  done;
+  Alcotest.(check bool) "apply" true (Wal.apply wal ~group ~upto:3 = Ok ());
+  Alcotest.(check (option string)) "data visible" (Some "3")
+    (Wal.read_data wal ~group ~key:"x" ~at:3);
+  Store.crash store ~lose_unsynced:true;
+  Wal.invalidate wal;
+  let r = Wal.recover wal ~group in
+  Alcotest.(check int) "nothing torn" 0 r.Wal.scrubbed;
+  Alcotest.(check (option int)) "nothing truncated" None r.Wal.truncated;
+  Alcotest.(check bool) "lazy applies re-derived" true (r.Wal.reapplied > 0);
+  Alcotest.(check int) "log intact" 3 (Wal.last_position wal ~group);
+  Alcotest.(check int) "applied watermark restored" 3 (Wal.applied_position wal ~group);
+  Alcotest.(check (option string)) "data restored" (Some "3")
+    (Wal.read_data wal ~group ~key:"x" ~at:3);
+  Alcotest.(check bool) "durably coherent" true (Wal.durable_coherent wal ~group = Ok ());
+  Alcotest.(check bool) "coherent" true (Wal.coherence wal ~group = Ok ())
+
+let test_recover_truncates_torn_tail () =
+  let store, wal = explicit () in
+  for pos = 1 to 3 do
+    Wal.append wal ~group ~pos
+      [ record (Printf.sprintf "t%d" pos) ~writes:[ ("x", string_of_int pos) ] ]
+  done;
+  mangle_checksum store ("log/" ^ group ^ "/3");
+  Wal.invalidate wal;
+  let r = Wal.recover wal ~group in
+  Alcotest.(check int) "torn version scrubbed" 1 r.Wal.scrubbed;
+  Alcotest.(check (option int)) "log truncated at the tear" (Some 3) r.Wal.truncated;
+  Alcotest.(check int) "last rewound" 2 (Wal.last_position wal ~group);
+  Alcotest.(check bool) "torn entry gone" true (Wal.entry wal ~group ~pos:3 = None);
+  Alcotest.(check (option string)) "valid prefix applied" (Some "2")
+    (Wal.read_data wal ~group ~key:"x" ~at:2);
+  Alcotest.(check bool) "durably coherent" true (Wal.durable_coherent wal ~group = Ok ());
+  (* The truncated entry is gone for good locally: a re-learned copy can be
+     re-appended without conflict (the recovery ladder's job). *)
+  Wal.append wal ~group ~pos:3 [ record "t3" ~writes:[ ("x", "3") ] ];
+  Alcotest.(check int) "re-learned entry re-enters" 3 (Wal.last_position wal ~group)
+
+let test_durable_coherent_catches_skipped_recovery () =
+  (* The deliberately-broken-recovery check: damage the durable tail but
+     skip the recovery scan. The stale decoded view still claims entry 2,
+     which the durable store can no longer produce — the oracle must say
+     so (this is exactly what the chaos engine asserts after every
+     fault). *)
+  let store, wal = explicit () in
+  Wal.append wal ~group ~pos:1 [ record "t1" ~writes:[ ("x", "1") ] ];
+  Wal.append wal ~group ~pos:2 [ record "t2" ~writes:[ ("x", "2") ] ];
+  mangle_checksum store ("log/" ^ group ^ "/2");
+  (match Wal.durable_coherent wal ~group with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "oracle blessed a view the durable store cannot re-produce");
+  (* Running the real ladder repairs the disagreement. *)
+  Wal.invalidate wal;
+  ignore (Wal.recover wal ~group);
+  Alcotest.(check bool) "coherent after real recovery" true
+    (Wal.durable_coherent wal ~group = Ok ())
+
+let prop_recover_preserves_synced_log =
+  (* Appends are synced (they are the commit point), so no crash — dirty or
+     torn, at any point in the workload — may lose one: after any
+     interleaving of appends, lazy applies and crash/recover cycles, the
+     final recovery rebuilds the complete log, a gap-free applied state and
+     a durably-coherent view. *)
+  let open QCheck in
+  let op_gen =
+    Gen.frequency
+      [
+        (5, Gen.return `Append);
+        (3, Gen.return `Apply);
+        (2, Gen.return `Dirty);
+        (2, Gen.return `Torn);
+        (1, Gen.return `Recover);
+      ]
+  in
+  Test.make ~name:"recovery preserves every synced append" ~count:150
+    (make
+       ~print:(Print.list (function
+         | `Append -> "append"
+         | `Apply -> "apply"
+         | `Dirty -> "dirty-crash"
+         | `Torn -> "torn-crash"
+         | `Recover -> "recover"))
+       Gen.(list_size (1 -- 25) op_gen))
+    (fun ops ->
+      let store, wal = explicit () in
+      let appended = ref 0 in
+      let recover () =
+        Wal.invalidate wal;
+        ignore (Wal.recover wal ~group)
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | `Append ->
+              incr appended;
+              Wal.append wal ~group ~pos:!appended
+                [
+                  record
+                    (Printf.sprintf "t%d" !appended)
+                    ~writes:
+                      [ ("k" ^ string_of_int (!appended mod 3), string_of_int !appended) ];
+                ]
+          | `Apply -> ignore (Wal.apply wal ~group ~upto:(Wal.last_position wal ~group))
+          | `Dirty ->
+              Store.crash store ~lose_unsynced:true;
+              recover ()
+          | `Torn ->
+              Store.crash ~torn:true store ~lose_unsynced:true;
+              recover ()
+          | `Recover -> recover ())
+        ops;
+      recover ();
+      Wal.last_position wal ~group = !appended
+      && Wal.first_gap wal ~group ~upto:!appended = None
+      && Wal.applied_position wal ~group = !appended
+      && Wal.durable_coherent wal ~group = Ok ()
+      && Wal.coherence wal ~group = Ok ())
+
+let test_recover_noop_on_sync_always () =
+  (* In the default mode the scan finds nothing — restart stays cheap. *)
+  let wal = fresh () in
+  Wal.append wal ~group ~pos:1 [ record "t1" ~writes:[ ("x", "1") ] ];
+  Alcotest.(check bool) "apply" true (Wal.apply wal ~group ~upto:1 = Ok ());
+  let r = Wal.recover wal ~group in
+  Alcotest.(check int) "no scrub" 0 r.Wal.scrubbed;
+  Alcotest.(check (option int)) "no truncation" None r.Wal.truncated;
+  Alcotest.(check int) "no reapply needed" 0 r.Wal.reapplied
+
 let () =
   Alcotest.run "wal"
     [
@@ -300,5 +452,17 @@ let () =
           Alcotest.test_case "invalidate rebuilds from store" `Quick
             test_invalidate_rebuilds;
           QCheck_alcotest.to_alcotest prop_cache_coherent_under_interleavings;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "lazy applies re-derived after dirty crash" `Quick
+            test_recover_reapplies_lazy_applies;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_recover_truncates_torn_tail;
+          Alcotest.test_case "skipped recovery caught by oracle" `Quick
+            test_durable_coherent_catches_skipped_recovery;
+          Alcotest.test_case "no-op on Sync_always" `Quick
+            test_recover_noop_on_sync_always;
+          QCheck_alcotest.to_alcotest prop_recover_preserves_synced_log;
         ] );
     ]

@@ -77,6 +77,69 @@ let bench_combine =
     (Staged.stage (fun () ->
          ignore (Mdds_core.Combine.best ~own ~candidates ~exhaustive_limit:4)))
 
+(* Combination search at larger candidate counts. 8 candidates with a
+   raised limit keeps the incremental exhaustive planner on deep
+   insertion trees; 12 candidates with the production limit (4) measure
+   the dedup + footprint-greedy path a busy position actually takes. *)
+let bench_combine_at n ~exhaustive_limit =
+  let records = entry_of_size (n + 1) in
+  let own = List.hd records and candidates = List.tl records in
+  Test.make ~name:(Printf.sprintf "paxos-cp/combination-search-%d" n)
+    (Staged.stage (fun () ->
+         ignore (Mdds_core.Combine.best ~own ~candidates ~exhaustive_limit)))
+
+let bench_footprint_build =
+  (* Record construction now pays for interning + footprint sorting once;
+     every conflict probe afterwards rides on it. Duplicate-heavy key
+     lists, as clients produce (re-reads, overwritten keys). *)
+  let reads = List.init 12 (fun i -> Printf.sprintf "a%03d" (i mod 8)) in
+  let writes =
+    List.init 8 (fun i ->
+        { Mdds_types.Txn.key = Printf.sprintf "a%03d" ((3 * i) mod 10);
+          value = "footprint-benchmark-value" })
+  in
+  Test.make ~name:"txn/footprint-build"
+    (Staged.stage (fun () ->
+         ignore
+           (Mdds_types.Txn.make_record ~txn_id:"bench/fp" ~origin:0
+              ~read_position:41 ~reads ~writes)))
+
+let bench_reads_from =
+  let mk i =
+    Mdds_types.Txn.make_record
+      ~txn_id:(Printf.sprintf "rf/%d" i)
+      ~origin:0 ~read_position:0
+      ~reads:(List.init 8 (fun j -> Printf.sprintf "a%03d" ((5 * j) + i)))
+      ~writes:
+        (List.init 8 (fun j ->
+             { Mdds_types.Txn.key = Printf.sprintf "a%03d" ((7 * j) + i + 1);
+               value = "v" }))
+  in
+  let t = mk 0 and s = mk 1 in
+  Test.make ~name:"txn/reads-from"
+    (Staged.stage (fun () -> ignore (Mdds_types.Txn.reads_from t s)))
+
+let bench_check_1sr_large =
+  (* The 1SR oracle shape at experiment scale: 120 transactions over 40
+     keys, two reads + two writes each, projected to an SCSV schedule.
+     Exercises the per-key conflict-graph index end to end. *)
+  let schedule =
+    List.concat_map
+      (fun i ->
+        let key j = Printf.sprintf "k%02d" ((i + j) mod 40) in
+        let txn = Printf.sprintf "t%03d" i in
+        [
+          { Mdds_serial.History.txn; action = Mdds_serial.History.Read (key 0) };
+          { Mdds_serial.History.txn; action = Mdds_serial.History.Read (key 7) };
+          { Mdds_serial.History.txn; action = Mdds_serial.History.Write (key 0) };
+          { Mdds_serial.History.txn; action = Mdds_serial.History.Write (key 13) };
+        ])
+      (List.init 120 Fun.id)
+  in
+  Test.make ~name:"serial/check-1sr-large"
+    (Staged.stage (fun () ->
+         ignore (Mdds_serial.History.conflict_serializable schedule)))
+
 let bench_commit name spec_topo config =
   Test.make ~name
     (Staged.stage (fun () ->
@@ -262,6 +325,11 @@ let micro_tests =
       bench_audit_stats;
       bench_tally;
       bench_combine;
+      bench_combine_at 8 ~exhaustive_limit:8;
+      bench_combine_at 12 ~exhaustive_limit:4;
+      bench_footprint_build;
+      bench_reads_from;
+      bench_check_1sr_large;
       bench_wal_entry_cached;
       bench_wal_snapshot;
       bench_acceptor_load;
@@ -368,6 +436,13 @@ let emit_json ~path ~jobs ~figures ~micro =
    problem here (CI diffs the actual tables), only wall clock. *)
 let run_json ~jobs ~quick ids =
   let ids = if ids = [] then List.map (fun (id, _, _) -> id) Figures.all else ids in
+  (* Micros first, from a compacted heap: figure regeneration leaves a
+     large major heap behind, and measuring the micros on top of it
+     inflates every allocation-sensitive number by whatever the GC then
+     costs (observed up to ~20x on quick quotas). The figure timings
+     below are whole-run wall clocks and don't care. *)
+  Gc.compact ();
+  let micro = run_micro ~quick () in
   let figures =
     List.map
       (fun id ->
@@ -381,7 +456,6 @@ let run_json ~jobs ~quick ids =
         (id, seq_s, par_s))
       ids
   in
-  let micro = run_micro ~quick () in
   emit_json ~path:"BENCH_harness.json" ~jobs ~figures ~micro
 
 (* ------------------------------------------------------------------ *)

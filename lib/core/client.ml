@@ -27,7 +27,7 @@ type txn = {
 
 let create ~rpc ~config ~dc ~dcs ~audit ~id ~trace =
   let rng = Rng.split (Engine.rng (Rpc.engine rpc)) in
-  { env = { Proposer.rpc; config; dc; dcs; rng; trace }; audit; id; txn_counter = 0 }
+  { env = Proposer.make_env ~rpc ~config ~dc ~dcs ~rng ~trace; audit; id; txn_counter = 0 }
 
 let dc t = t.env.Proposer.dc
 

@@ -14,7 +14,11 @@ type env = {
   dcs : int list;
   rng : Rng.t;
   trace : Trace.t;
+  trace_source : string;
 }
+
+let make_env ~rpc ~config ~dc ~dcs ~rng ~trace =
+  { rpc; config; dc; dcs; rng; trace; trace_source = Printf.sprintf "prop.dc%d" dc }
 
 type choice = Propose of Txn.entry | Stop of Txn.entry | Retry
 
@@ -120,7 +124,9 @@ let run env ~group ~pos ?fast ~choose () =
   let stats = ref { prepare_rounds = 0; accept_rounds = 0; fast_path_used = false } in
   let bump_prepare () = stats := { !stats with prepare_rounds = !stats.prepare_rounds + 1 } in
   let bump_accept () = stats := { !stats with accept_rounds = !stats.accept_rounds + 1 } in
-  let source = Printf.sprintf "prop.dc%d" env.dc in
+  (* Interned at env construction: [run] is per-instance hot and must not
+     pay a sprintf before a (usually disabled) trace call. *)
+  let source = env.trace_source in
   let fast_outcome =
     match fast with
     | None -> None

@@ -23,7 +23,20 @@ type env = {
   dcs : int list;  (** All datacenters (the acceptors). *)
   rng : Mdds_sim.Rng.t;  (** Backoff randomness. *)
   trace : Mdds_sim.Trace.t;  (** Protocol event trace (usually disabled). *)
+  trace_source : string;
+      (** Interned trace source ("prop.dc<N>"): built once per env so the
+          per-instance hot path never formats it. Use {!make_env}. *)
 }
+
+val make_env :
+  rpc:(Messages.request, Messages.response) Mdds_net.Rpc.t ->
+  config:Config.t ->
+  dc:int ->
+  dcs:int list ->
+  rng:Mdds_sim.Rng.t ->
+  trace:Mdds_sim.Trace.t ->
+  env
+(** Build an env with its interned trace source. *)
 
 type choice =
   | Propose of Txn.entry

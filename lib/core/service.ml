@@ -275,12 +275,14 @@ let handle_submit t ~group (record : Txn.record) =
                  new transaction against previously committed
                  transactions"). *)
               let stale =
-                List.exists
+                (* Probe the footprint's deduped read-set array directly:
+                   no per-submit List.sort_uniq allocation. *)
+                Array.exists
                   (fun key ->
                     match Wal.data_version t.wal ~group ~key ~at:last with
                     | Some version -> version > record.Txn.read_position
                     | None -> false)
-                  (Txn.read_set record)
+                  (Txn.read_keys record)
               in
               if stale then Messages.Submit_reply { result = Messages.Stale_read }
               else
@@ -649,14 +651,9 @@ let cache_coherent t ~group =
 let start ?(storage = Store.Sync_always) ~rpc ~config ~dc ~dcs ~trace () =
   let store = Store.create ~mode:storage () in
   let env =
-    {
-      Proposer.rpc;
-      config;
-      dc;
-      dcs;
-      rng = Mdds_sim.Rng.split (Mdds_sim.Engine.rng (Rpc.engine rpc));
-      trace;
-    }
+    Proposer.make_env ~rpc ~config ~dc ~dcs
+      ~rng:(Mdds_sim.Rng.split (Mdds_sim.Engine.rng (Rpc.engine rpc)))
+      ~trace
   in
   let t =
     {

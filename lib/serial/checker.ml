@@ -19,13 +19,16 @@ let check_log log =
         let rec records = function
           | [] -> entries rest
           | (r : Txn.record) :: more -> (
+              (* The footprint's deduped read array, in the same sorted
+                 order [read_set] used to return, so the first stale key
+                 found — and hence the violation message — is unchanged. *)
               let stale =
-                List.find_opt
+                Array.find_opt
                   (fun key ->
                     match Hashtbl.find_opt last_write key with
                     | Some (wpos, _) when wpos > r.read_position -> true
                     | _ -> false)
-                  (Txn.read_set r)
+                  (Txn.read_keys r)
               in
               match stale with
               | Some key ->
@@ -34,9 +37,9 @@ let check_log log =
                     "stale read of %s: wrote at position %d by %s, read position %d"
                     key wpos writer r.read_position
               | None ->
-                  List.iter
+                  Array.iter
                     (fun key -> Hashtbl.replace last_write key (pos, r.txn_id))
-                    (Txn.write_set r);
+                    (Txn.write_keys r);
                   records more)
         in
         records entry

@@ -6,56 +6,102 @@ type t = step list
 
 let key_of = function Read k -> k | Write k -> k
 
-let conflicting a b =
-  key_of a = key_of b
-  && match (a, b) with Read _, Read _ -> false | _ -> true
+let is_write = function Write _ -> true | Read _ -> false
 
+(* Conflicting pairs can only share a key, so instead of scanning the
+   whole suffix per step (the old O(S²) walk), group the schedule's steps
+   per key once and scan only same-key successors; the first-seen edge
+   table replaces the old [List.mem] probe of the accumulator. The
+   candidate pairs are enumerated in exactly the old (earlier position,
+   later position) order, so the returned edge order — first occurrence
+   wins — is unchanged. *)
 let conflict_edges schedule =
-  let rec go acc = function
-    | [] -> acc
-    | s :: rest ->
-        let acc =
-          List.fold_left
-            (fun acc s' ->
-              if s'.txn <> s.txn && conflicting s.action s'.action then
-                let edge = (s.txn, s'.txn) in
-                if List.mem edge acc then acc else edge :: acc
-              else acc)
-            acc rest
-        in
-        go acc rest
-  in
-  List.rev (go [] schedule)
+  (* Per key: (txn, is_write) occurrences in schedule order. *)
+  let by_key : (string, (string * bool) array) Hashtbl.t = Hashtbl.create 64 in
+  let rev_occs : (string, (string * bool) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let key = key_of s.action in
+      let prev = Option.value (Hashtbl.find_opt rev_occs key) ~default:[] in
+      Hashtbl.replace rev_occs key ((s.txn, is_write s.action) :: prev))
+    schedule;
+  Hashtbl.iter
+    (fun key occs ->
+      let arr = Array.of_list occs in
+      (* Reverse in place: occs was accumulated newest-first. *)
+      let n = Array.length arr in
+      for i = 0 to (n / 2) - 1 do
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(n - 1 - i);
+        arr.(n - 1 - i) <- tmp
+      done;
+      Hashtbl.replace by_key key arr)
+    rev_occs;
+  let cursor : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref [] in
+  List.iter
+    (fun s ->
+      let key = key_of s.action in
+      let w = is_write s.action in
+      let occs = Hashtbl.find by_key key in
+      let at = Option.value (Hashtbl.find_opt cursor key) ~default:0 in
+      Hashtbl.replace cursor key (at + 1);
+      for j = at + 1 to Array.length occs - 1 do
+        let txn', w' = occs.(j) in
+        if txn' <> s.txn && (w || w') then begin
+          let edge = (s.txn, txn') in
+          if not (Hashtbl.mem seen edge) then begin
+            Hashtbl.replace seen edge ();
+            acc := edge :: !acc
+          end
+        end
+      done)
+    schedule;
+  List.rev !acc
 
 let txns schedule =
-  List.fold_left
-    (fun acc s -> if List.mem s.txn acc then acc else s.txn :: acc)
-    [] schedule
-  |> List.rev
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun s ->
+      if Hashtbl.mem seen s.txn then None
+      else begin
+        Hashtbl.replace seen s.txn ();
+        Some s.txn
+      end)
+    schedule
 
-(* Kahn's algorithm; [None] on a cycle. *)
+(* Kahn's algorithm; [None] on a cycle. Adjacency lives in hashtables —
+   in-degrees and per-node successor lists — so popping a node is O(out
+   degree), not a partition of the whole edge list. Nodes are still
+   scanned in [remaining] order for the next zero-in-degree pick, keeping
+   the emitted witness order identical to the old list-based version. *)
 let serial_order schedule =
   let nodes = txns schedule in
   let edges = conflict_edges schedule in
   let in_degree = Hashtbl.create 16 in
+  let successors : (string, string list) Hashtbl.t = Hashtbl.create 16 in
   List.iter (fun n -> Hashtbl.replace in_degree n 0) nodes;
   List.iter
-    (fun (_, dst) -> Hashtbl.replace in_degree dst (Hashtbl.find in_degree dst + 1))
+    (fun (src, dst) ->
+      Hashtbl.replace in_degree dst (Hashtbl.find in_degree dst + 1);
+      Hashtbl.replace successors src
+        (dst :: Option.value (Hashtbl.find_opt successors src) ~default:[]))
     edges;
-  let rec go acc remaining edges =
+  let rec go acc remaining =
     match
       List.find_opt (fun n -> Hashtbl.find in_degree n = 0) remaining
     with
     | None -> if remaining = [] then Some (List.rev acc) else None
     | Some n ->
-        let outgoing, rest = List.partition (fun (src, _) -> src = n) edges in
         List.iter
-          (fun (_, dst) ->
+          (fun dst ->
             Hashtbl.replace in_degree dst (Hashtbl.find in_degree dst - 1))
-          outgoing;
-        go (n :: acc) (List.filter (fun m -> m <> n) remaining) rest
+          (Option.value (Hashtbl.find_opt successors n) ~default:[]);
+        Hashtbl.remove successors n;
+        go (n :: acc) (List.filter (fun m -> m <> n) remaining)
   in
-  go [] nodes edges
+  go [] nodes
 
 let conflict_serializable schedule = serial_order schedule <> None
 

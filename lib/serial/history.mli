@@ -24,9 +24,14 @@ val serial_order : t -> string list option
     execution — or [None] if the schedule is not conflict-serializable.
     Transactions with no operations in the schedule are omitted. *)
 
+val txns : t -> string list
+(** Distinct transaction ids, in first-appearance order. *)
+
 val conflict_edges : t -> (string * string) list
 (** Distinct [(t1, t2)] pairs such that some operation of [t1] conflicts
-    with and precedes some operation of [t2] (no self-edges). *)
+    with and precedes some operation of [t2] (no self-edges), ordered by
+    first conflicting occurrence (earlier step first, then the later
+    step's position). *)
 
 val of_serial : (string * action list) list -> t
 (** Schedule obtained by running whole transactions back-to-back — always

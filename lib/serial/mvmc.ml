@@ -94,11 +94,12 @@ let of_log log =
              combination rule guarantees no intra-entry reads-from — so
              ordering of this update relative to siblings is immaterial
              for reads at read_position < pos. *)
+          let writes = Txn.write_set r in
           List.iter
             (fun key ->
               let prev = Option.value (Hashtbl.find_opt writer_history key) ~default:[] in
               Hashtbl.replace writer_history key ((pos, r.txn_id) :: prev))
-            (Txn.write_set r);
-          { id = r.txn_id; reads; writes = Txn.write_set r })
+            writes;
+          { id = r.txn_id; reads; writes })
         entry)
     log

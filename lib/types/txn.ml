@@ -4,47 +4,178 @@ type key = string
 
 type write = { key : key; value : string }
 
+(* ------------------------------------------------------------------ *)
+(* Key interning: data-item names -> dense int ids.
+
+   Conflict predicates are the hottest pure computation in the stack
+   (combination admission, promotion admission, the committed-state check,
+   the 1SR oracle), and every one of them is ultimately a set operation
+   over key names. Interning each distinct key once turns those string
+   comparisons into int comparisons over small sorted arrays.
+
+   The table is process-global and mutex-protected: records are built on
+   whatever domain runs the trial (the harness fans trials out over a
+   domain pool), and a footprint must mean the same thing on every domain
+   that can observe the record. Ids are assigned in first-intern order, so
+   they are not deterministic across runs — nothing may ever derive
+   *output* from an id, only set membership and equality, which are
+   assignment-independent. Key-name iteration happens over the footprint's
+   own sorted string arrays, never via reverse lookup, for the same
+   reason. *)
+module Intern = struct
+  let mutex = Mutex.create ()
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 1024
+  let names : string array ref = ref (Array.make 1024 "")
+  let next = ref 0
+
+  let id_locked key =
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        if id >= Array.length !names then begin
+          let grown = Array.make (2 * Array.length !names) "" in
+          Array.blit !names 0 grown 0 (Array.length !names);
+          names := grown
+        end;
+        !names.(id) <- key;
+        Hashtbl.replace ids key id;
+        id
+
+  let id key =
+    Mutex.lock mutex;
+    let r = id_locked key in
+    Mutex.unlock mutex;
+    r
+
+  (* Intern a batch under one lock acquisition (record construction). *)
+  let ids_of_list keys =
+    Mutex.lock mutex;
+    let r = List.map id_locked keys in
+    Mutex.unlock mutex;
+    r
+
+  let name id =
+    Mutex.lock mutex;
+    let r =
+      if id >= 0 && id < !next then Some !names.(id) else None
+    in
+    Mutex.unlock mutex;
+    r
+
+  let count () =
+    Mutex.lock mutex;
+    let r = !next in
+    Mutex.unlock mutex;
+    r
+end
+
+(* ------------------------------------------------------------------ *)
+(* Conflict footprints: the record's read and write sets, deduplicated
+   once at construction, carried both as sorted interned-id arrays (for
+   the predicates) and as string arrays sorted by name (so [read_set] and
+   every message that names a key keeps the exact pre-footprint order). *)
+
+type footprint = {
+  read_ids : int array;  (* deduped, sorted ascending *)
+  write_ids : int array;  (* deduped, sorted ascending *)
+  read_keys : key array;  (* deduped, sorted by name *)
+  write_keys : key array;  (* deduped, sorted by name *)
+}
+
+let sorted_ids_of_keys keys =
+  let ids = Intern.ids_of_list keys in
+  let arr = Array.of_list (List.sort_uniq Int.compare ids) in
+  arr
+
+let footprint_of ~reads ~write_keys:wkeys =
+  let read_keys = Array.of_list (List.sort_uniq String.compare reads) in
+  let write_keys = Array.of_list (List.sort_uniq String.compare wkeys) in
+  {
+    read_ids = sorted_ids_of_keys reads;
+    write_ids = sorted_ids_of_keys wkeys;
+    read_keys;
+    write_keys;
+  }
+
+(* Sorted-array intersection test: O(|a| + |b|). *)
+let arrays_intersect (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la || j >= lb then false
+    else
+      let d = compare a.(i) b.(j) in
+      if d = 0 then true else if d < 0 then go (i + 1) j else go i (j + 1)
+  in
+  go 0 0
+
 type record = {
   txn_id : string;
   origin : int;
   read_position : int;
   reads : key list;
   writes : write list;
+  fp : footprint;
 }
 
 type entry = record list
 
 let make_record ~txn_id ~origin ~read_position ~reads ~writes =
-  { txn_id; origin; read_position; reads; writes }
+  let fp =
+    footprint_of ~reads ~write_keys:(List.map (fun w -> w.key) writes)
+  in
+  { txn_id; origin; read_position; reads; writes; fp }
 
 let dedup keys = List.sort_uniq String.compare keys
 
-let read_set r = dedup r.reads
-let write_set r = dedup (List.map (fun w -> w.key) r.writes)
+let footprint r = r.fp
+let read_set r = Array.to_list r.fp.read_keys
+let write_set r = Array.to_list r.fp.write_keys
+let read_keys r = r.fp.read_keys
+let write_keys r = r.fp.write_keys
 
 let entry_write_set e = dedup (List.concat_map write_set e)
 
 let is_read_only r = r.writes = []
 
-let reads_from t s =
-  let written = write_set s in
-  List.exists (fun k -> List.mem k written) (read_set t)
+let reads_from t s = arrays_intersect t.fp.read_ids s.fp.write_ids
 
 let conflicts_with_any t winners = List.exists (reads_from t) winners
 
+(* A mutable union of write footprints, for threading through a prefix of
+   an entry instead of rebuilding the union per probe. *)
+module Write_union = struct
+  type t = (int, unit) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+  let add t (r : record) = Array.iter (fun id -> Hashtbl.replace t id ()) r.fp.write_ids
+  let reads_overlap t (r : record) = Array.exists (Hashtbl.mem t) r.fp.read_ids
+end
+
 let valid_combination entry =
-  let rec go preceding_writes = function
-    | [] -> true
-    | r :: rest ->
-        let stale = List.exists (fun k -> List.mem k preceding_writes) (read_set r) in
-        (not stale) && go (List.rev_append (write_set r) preceding_writes) rest
-  in
-  go [] entry
+  match entry with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+      let preceding = Write_union.create () in
+      Write_union.add preceding first;
+      let rec go = function
+        | [] -> true
+        | r :: rest ->
+            (not (Write_union.reads_overlap preceding r))
+            && begin
+                 Write_union.add preceding r;
+                 go rest
+               end
+      in
+      go rest
 
 let mem_entry ~txn_id entry = List.exists (fun r -> r.txn_id = txn_id) entry
 
 let equal_write a b = a.key = b.key && a.value = b.value
 
+(* The footprint is derived data: two records with equal reads/writes have
+   equal footprints, so equality (and the codec below) ignore it. *)
 let equal_record a b =
   a.txn_id = b.txn_id && a.origin = b.origin
   && a.read_position = b.read_position
@@ -77,8 +208,8 @@ let write_codec =
 let record_codec =
   Codec.map
     (fun ((txn_id, origin), (read_position, reads, writes)) ->
-      { txn_id; origin; read_position; reads; writes })
-    (fun { txn_id; origin; read_position; reads; writes } ->
+      make_record ~txn_id ~origin ~read_position ~reads ~writes)
+    (fun { txn_id; origin; read_position; reads; writes; fp = _ } ->
       ((txn_id, origin), (read_position, reads, writes)))
     Codec.(pair (pair string int) (triple int (list string) (list write_codec)))
 

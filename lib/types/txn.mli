@@ -8,13 +8,45 @@
     Paxos-CP's combination enhancement writes longer ones (§5).
 
     Everything here is immutable plain data with codecs, so records can be
-    shipped in Paxos messages and persisted in the key-value store. *)
+    shipped in Paxos messages and persisted in the key-value store.
+
+    Every record also carries a precomputed conflict {!footprint} — its
+    deduplicated read and write sets as sorted arrays of interned key ids —
+    built once at construction. All conflict predicates run on footprints,
+    so a validity probe costs a sorted-array intersection instead of
+    re-deriving sets with [List.sort_uniq] and [List.mem] scans. *)
 
 type key = string
 (** A data item identifier, unique within its transaction group. *)
 
+(** Process-global key interner: data-item name -> dense int id. Ids are
+    stable for the lifetime of the process but their numeric values depend
+    on first-intern order, which is not deterministic under the domain
+    pool — use them only for equality and set membership, never to derive
+    output (ordering of printed keys, messages, figures). *)
+module Intern : sig
+  val id : key -> int
+  (** The id of [key], interning it on first use. Thread-safe. *)
+
+  val name : int -> key option
+  (** Reverse lookup; [None] if the id was never assigned. *)
+
+  val count : unit -> int
+  (** Number of distinct keys interned so far. *)
+end
+
 type write = { key : key; value : string }
 (** One buffered write operation. *)
+
+type footprint = private {
+  read_ids : int array;  (** Interned read set, deduped, sorted ascending. *)
+  write_ids : int array;  (** Interned write set, deduped, sorted ascending. *)
+  read_keys : key array;  (** Read set, deduped, sorted by name. *)
+  write_keys : key array;  (** Write set, deduped, sorted by name. *)
+}
+(** A record's conflict footprint. [private]: obtained only from
+    {!make_record}/the codecs, so the arrays are guaranteed consistent
+    with the record's [reads]/[writes] — treat them as read-only. *)
 
 type record = {
   txn_id : string;  (** Globally unique transaction identifier. *)
@@ -22,6 +54,7 @@ type record = {
   read_position : int;  (** Log position all its reads were served at. *)
   reads : key list;  (** Keys read from the datastore (read set). *)
   writes : write list;  (** Buffered writes applied at commit. *)
+  fp : footprint;  (** Precomputed conflict footprint (derived data). *)
 }
 
 type entry = record list
@@ -35,11 +68,20 @@ val make_record :
   txn_id:string -> origin:int -> read_position:int ->
   reads:key list -> writes:write list -> record
 
+val footprint : record -> footprint
+
 val read_set : record -> key list
-(** Keys read, deduplicated. *)
+(** Keys read, deduplicated, sorted by name. *)
 
 val write_set : record -> key list
-(** Keys written, deduplicated. *)
+(** Keys written, deduplicated, sorted by name. *)
+
+val read_keys : record -> key array
+(** The footprint's read-set array (deduped, sorted by name). Shared, not
+    copied: do not mutate. Allocation-free alternative to {!read_set}. *)
+
+val write_keys : record -> key array
+(** The footprint's write-set array; same caveats as {!read_keys}. *)
 
 val entry_write_set : entry -> key list
 (** Union of the write sets of all records in the entry. *)
@@ -50,20 +92,39 @@ val is_read_only : record -> bool
 
 val reads_from : record -> record -> bool
 (** [reads_from t s] iff [t] read some key that [s] wrote — serializing [t]
-    after [s] at a later position would give [t] a stale read. *)
+    after [s] at a later position would give [t] a stale read. A sorted
+    intersection probe over the two footprints: O(|reads| + |writes|). *)
 
 val conflicts_with_any : record -> record list -> bool
 (** [conflicts_with_any t winners] iff [t] reads a key written by any
     record in [winners] (the promotion admission test, §5). *)
 
+(** A mutable union of write footprints: the running "everything written by
+    the prefix" state threaded through incremental combination checks
+    instead of rebuilding the union at every probe. *)
+module Write_union : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> record -> unit
+  (** Fold the record's write footprint into the union. *)
+
+  val reads_overlap : t -> record -> bool
+  (** Whether the record reads any key currently in the union. *)
+end
+
 val valid_combination : entry -> bool
 (** Checks the combination invariant: no record reads a key written by any
-    record preceding it in the list (§5, Combination). *)
+    record preceding it in the list (§5, Combination). One pass threading
+    a {!Write_union} through the entry. *)
 
 val mem_entry : txn_id:string -> entry -> bool
 (** Whether the entry contains the transaction with the given id. *)
 
-(** {1 Equality, formatting, codecs} *)
+(** {1 Equality, formatting, codecs}
+
+    All ignore the footprint: it is derived data, equal whenever the
+    [reads]/[writes] it came from are equal, and rebuilt on decode. *)
 
 val equal_record : record -> record -> bool
 val equal_entry : entry -> entry -> bool

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare fresh micros against the committed baseline.
+
+Usage: bench_guard.py BASELINE.json FRESH.json
+
+Reads the "micro" arrays of both files (the format emitted by
+`bench/main.exe --json`) and fails with a readable table if any micro
+present in both regressed past the threshold. The threshold is generous
+(3x, plus an absolute slop for sub-microsecond micros) because the fresh
+numbers come from `--quick` runs on shared CI machines; the committed
+baseline is a full-quota run on a quiet box. This catches accidental
+complexity regressions (an O(n) path going quadratic), not percent-level
+drift — keep it that way, a flaky guard is worse than none.
+
+Micros only present on one side are reported but never fail the run, so
+adding or retiring benchmarks does not require touching this script.
+"""
+
+import json
+import sys
+
+# Fail when fresh > RATIO * baseline + SLOP_NS. The additive slop keeps
+# nanosecond-scale micros (cache-hit reads, disabled-trace probes) from
+# tripping the guard on scheduler jitter alone.
+RATIO = 3.0
+SLOP_NS = 500.0
+
+
+def micros(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        m["name"]: m["ns_per_run"]
+        for m in doc.get("micro", [])
+        if m.get("ns_per_run") is not None
+    }
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} BASELINE.json FRESH.json")
+    baseline = micros(sys.argv[1])
+    fresh = micros(sys.argv[2])
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        sys.exit("bench guard: no micros shared between baseline and fresh run")
+
+    width = max(len(n) for n in shared)
+    failures = []
+    print(f"{'micro':<{width}}  {'baseline':>12}  {'fresh':>12}  {'ratio':>6}")
+    for name in shared:
+        base, now = baseline[name], fresh[name]
+        ratio = now / base if base > 0 else float("inf")
+        bad = now > RATIO * base + SLOP_NS
+        flag = "  REGRESSED" if bad else ""
+        print(f"{name:<{width}}  {base:>10.1f}ns  {now:>10.1f}ns  {ratio:>5.2f}x{flag}")
+        if bad:
+            failures.append((name, base, now, ratio))
+
+    for name in sorted(set(baseline) - set(fresh)):
+        print(f"note: {name} in baseline only (retired?)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"note: {name} in fresh run only (new micro; baseline not yet refreshed)")
+
+    if failures:
+        print(
+            f"\nbench guard: {len(failures)} micro(s) regressed past "
+            f"{RATIO:.0f}x + {SLOP_NS:.0f}ns:",
+            file=sys.stderr,
+        )
+        for name, base, now, ratio in failures:
+            print(
+                f"  {name}: {base:.1f}ns -> {now:.1f}ns ({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        print(
+            "If this is expected (intentional tradeoff), refresh the committed "
+            "BENCH_harness.json with a full-quota `bench --json` run and say why "
+            "in the commit message.",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"\nbench guard: {len(shared)} micros within {RATIO:.0f}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -358,6 +358,117 @@ let prop_combine_always_valid =
           Txn.valid_combination result
           && Txn.mem_entry ~txn_id:own.Txn.txn_id result)
 
+(* Reference implementation of the pre-planner combination search: the
+   old list-based code, validity re-derived from scratch per probe. The
+   incremental matrix planner must return the *identical ordering* — not
+   just one of equal length — because the chosen entry is figure output. *)
+let ref_valid_combination entry =
+  let rset (r : Txn.record) = List.sort_uniq String.compare r.Txn.reads in
+  let wset (r : Txn.record) =
+    List.sort_uniq String.compare (List.map (fun w -> w.Txn.key) r.Txn.writes)
+  in
+  let rec go preceding_writes = function
+    | [] -> true
+    | r :: rest ->
+        let stale = List.exists (fun k -> List.mem k preceding_writes) (rset r) in
+        (not stale) && go (List.rev_append (wset r) preceding_writes) rest
+  in
+  go [] entry
+
+let ref_exhaustive ~own candidates =
+  let best = ref [ own ] in
+  let consider ordering =
+    if List.length ordering > List.length !best then best := ordering
+  in
+  let rec insert_everywhere x prefix = function
+    | [] -> [ List.rev_append prefix [ x ] ]
+    | y :: rest as suffix ->
+        List.rev_append prefix (x :: suffix)
+        :: insert_everywhere x (y :: prefix) rest
+  in
+  let rec go ordering remaining =
+    consider ordering;
+    List.iteri
+      (fun i candidate ->
+        let rest = List.filteri (fun j _ -> j <> i) remaining in
+        List.iter
+          (fun ordering' ->
+            if ref_valid_combination ordering' then go ordering' rest)
+          (insert_everywhere candidate [] ordering))
+      remaining
+  in
+  go [ own ] candidates;
+  !best
+
+let ref_greedy ~own candidates =
+  List.fold_left
+    (fun acc candidate ->
+      let attempt = acc @ [ candidate ] in
+      if ref_valid_combination attempt then attempt else acc)
+    [ own ] candidates
+
+let ref_best ~own ~candidates ~exhaustive_limit =
+  let candidates =
+    let seen = Hashtbl.create 8 in
+    Hashtbl.replace seen own.Txn.txn_id ();
+    List.filter
+      (fun (r : Txn.record) ->
+        if Hashtbl.mem seen r.txn_id then false
+        else begin
+          Hashtbl.replace seen r.txn_id ();
+          true
+        end)
+      candidates
+  in
+  if List.length candidates <= exhaustive_limit then ref_exhaustive ~own candidates
+  else ref_greedy ~own candidates
+
+let combine_case_gen n_max =
+  let open QCheck.Gen in
+  let key_gen = oneofl [ "a"; "b"; "c"; "d" ] in
+  let rec_gen i =
+    map2
+      (fun reads writes ->
+        record (Printf.sprintf "r%d" i) ~reads
+          ~writes:(List.map (fun k -> (k, "v")) writes))
+      (list_size (0 -- 2) key_gen)
+      (list_size (0 -- 2) key_gen)
+  in
+  let* n = 1 -- n_max in
+  (* Duplicate ids on purpose (modulo wraps the id space): the shared
+     dedup helper must behave as the old copy-pasted one did. *)
+  let* ids = list_size (return n) (int_bound (n - 1)) in
+  flatten_l (List.map rec_gen ids)
+
+let ordering_ids entry = List.map (fun (r : Txn.record) -> r.Txn.txn_id) entry
+
+let prop_combine_identical_ordering =
+  (* Candidate sets 0-10 with exhaustive_limit 4: sizes <= 4 take the
+     incremental matrix planner, larger ones the footprint greedy pass;
+     both must reproduce the old implementation's ordering exactly. *)
+  QCheck.Test.make ~name:"planner returns the identical ordering (limit 4, 0-10 candidates)"
+    ~count:400
+    (QCheck.make (combine_case_gen 11))
+    (fun records ->
+      match records with
+      | [] -> true
+      | own :: candidates ->
+          ordering_ids (Combine.best ~own ~candidates ~exhaustive_limit:4)
+          = ordering_ids (ref_best ~own ~candidates ~exhaustive_limit:4))
+
+let prop_combine_identical_ordering_deep =
+  (* A higher limit keeps even 6-candidate sets on the exhaustive planner,
+     exercising deep insertion/pruning paths against the reference. *)
+  QCheck.Test.make ~name:"planner returns the identical ordering (limit 6, exhaustive)"
+    ~count:100
+    (QCheck.make (combine_case_gen 7))
+    (fun records ->
+      match records with
+      | [] -> true
+      | own :: candidates ->
+          ordering_ids (Combine.best ~own ~candidates ~exhaustive_limit:6)
+          = ordering_ids (ref_best ~own ~candidates ~exhaustive_limit:6))
+
 (* ------------------------------------------------------------------ *)
 (* Proposer driven directly against live services.                      *)
 
@@ -491,6 +602,8 @@ let () =
           Alcotest.test_case "candidates of votes" `Quick test_candidates_of_votes;
           QCheck_alcotest.to_alcotest prop_combine_always_valid;
           QCheck_alcotest.to_alcotest prop_combine_exhaustive_is_optimal;
+          QCheck_alcotest.to_alcotest prop_combine_identical_ordering;
+          QCheck_alcotest.to_alcotest prop_combine_identical_ordering_deep;
         ] );
       ( "config-audit",
         [

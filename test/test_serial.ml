@@ -74,6 +74,84 @@ let prop_serial_schedules_serializable =
       History.conflict_serializable (History.of_serial txns))
 
 (* ------------------------------------------------------------------ *)
+(* History equivalence: the per-key-indexed graph build must agree with
+   the old full-suffix-scan reference — same edges in the same order,
+   same witness order, same verdict. *)
+
+let ref_conflicting a b =
+  History.(
+    (match a with Read k | Write k -> k) = (match b with Read k | Write k -> k))
+  && match (a, b) with History.Read _, History.Read _ -> false | _ -> true
+
+let ref_conflict_edges schedule =
+  let rec go acc = function
+    | [] -> acc
+    | (s : History.step) :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc (s' : History.step) ->
+              if s'.History.txn <> s.History.txn && ref_conflicting s.History.action s'.History.action
+              then
+                let edge = (s.History.txn, s'.History.txn) in
+                if List.mem edge acc then acc else edge :: acc
+              else acc)
+            acc rest
+        in
+        go acc rest
+  in
+  List.rev (go [] schedule)
+
+let ref_txns schedule =
+  List.fold_left
+    (fun acc (s : History.step) ->
+      if List.mem s.History.txn acc then acc else s.History.txn :: acc)
+    [] schedule
+  |> List.rev
+
+let ref_serial_order schedule =
+  let nodes = ref_txns schedule in
+  let edges = ref_conflict_edges schedule in
+  let in_degree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace in_degree n 0) nodes;
+  List.iter
+    (fun (_, dst) -> Hashtbl.replace in_degree dst (Hashtbl.find in_degree dst + 1))
+    edges;
+  let rec go acc remaining edges =
+    match List.find_opt (fun n -> Hashtbl.find in_degree n = 0) remaining with
+    | None -> if remaining = [] then Some (List.rev acc) else None
+    | Some n ->
+        let outgoing, rest = List.partition (fun (src, _) -> src = n) edges in
+        List.iter
+          (fun (_, dst) ->
+            Hashtbl.replace in_degree dst (Hashtbl.find in_degree dst - 1))
+          outgoing;
+        go (n :: acc) (List.filter (fun m -> m <> n) remaining) rest
+  in
+  go [] nodes edges
+
+let schedule_gen =
+  let open QCheck.Gen in
+  let step_gen =
+    map3
+      (fun t read key ->
+        step (Printf.sprintf "t%d" t)
+          (if read then History.Read key else History.Write key))
+      (0 -- 5) bool
+      (oneofl [ "a"; "b"; "c"; "d" ])
+  in
+  list_size (0 -- 30) step_gen
+
+let prop_history_matches_reference =
+  QCheck.Test.make
+    ~name:"indexed conflict graph matches the O(S^2) reference (edges, order, verdict)"
+    ~count:500
+    (QCheck.make schedule_gen)
+    (fun schedule ->
+      History.txns schedule = ref_txns schedule
+      && History.conflict_edges schedule = ref_conflict_edges schedule
+      && History.serial_order schedule = ref_serial_order schedule)
+
+(* ------------------------------------------------------------------ *)
 (* Checker.                                                             *)
 
 let record ?(reads = []) ?(writes = []) ~rp txn_id =
@@ -329,6 +407,81 @@ let prop_checked_logs_serializable =
       in
       History.conflict_serializable schedule)
 
+(* ------------------------------------------------------------------ *)
+(* Checker verdict equivalence: check_log now walks the footprint's
+   deduped arrays; the reference below re-derives the sets with the old
+   list code. Random logs (honest and corrupted alike) must get the same
+   verdict — including the same flagged key in the same message. *)
+
+let ref_check_log log =
+  let ref_read_set (r : Txn.record) = List.sort_uniq String.compare r.Txn.reads in
+  let ref_write_set (r : Txn.record) =
+    List.sort_uniq String.compare (List.map (fun w -> w.Txn.key) r.Txn.writes)
+  in
+  let last_write : (Txn.key, int * string) Hashtbl.t = Hashtbl.create 256 in
+  let rec entries = function
+    | [] -> Ok ()
+    | (pos, entry) :: rest ->
+        let rec records = function
+          | [] -> entries rest
+          | (r : Txn.record) :: more -> (
+              let stale =
+                List.find_opt
+                  (fun key ->
+                    match Hashtbl.find_opt last_write key with
+                    | Some (wpos, _) when wpos > r.Txn.read_position -> true
+                    | _ -> false)
+                  (ref_read_set r)
+              in
+              match stale with
+              | Some key ->
+                  let wpos, writer = Hashtbl.find last_write key in
+                  Error
+                    {
+                      Checker.txn_id = r.Txn.txn_id;
+                      position = pos;
+                      message =
+                        Printf.sprintf
+                          "stale read of %s: wrote at position %d by %s, read \
+                           position %d"
+                          key wpos writer r.Txn.read_position;
+                    }
+              | None ->
+                  List.iter
+                    (fun key -> Hashtbl.replace last_write key (pos, r.Txn.txn_id))
+                    (ref_write_set r);
+                  records more)
+        in
+        records entry
+  in
+  entries log
+
+let prop_check_log_matches_reference =
+  let open QCheck in
+  let key_gen = Gen.oneofl [ "x"; "y"; "z" ] in
+  let log_gen =
+    (* Arbitrary read positions: many of these logs contain genuine stale
+       reads, so both the Ok and the Error (message included) paths are
+       compared. *)
+    Gen.(
+      list_size (1 -- 8)
+        (triple (int_bound 8) (list_size (0 -- 3) key_gen) (list_size (0 -- 3) key_gen)))
+  in
+  Test.make ~name:"check_log verdicts match the list-based reference" ~count:500
+    (make log_gen)
+    (fun txns ->
+      let log =
+        List.mapi
+          (fun i (rp, reads, writes) ->
+            ( i + 1,
+              [
+                record (Printf.sprintf "t%d" i) ~rp ~reads
+                  ~writes:(List.map (fun k -> (k, string_of_int i)) writes);
+              ] ))
+          txns
+      in
+      Checker.check_log log = ref_check_log log)
+
 let () =
   Alcotest.run "serial"
     [
@@ -339,6 +492,7 @@ let () =
           Alcotest.test_case "read-read no conflict" `Quick test_history_read_read_no_conflict;
           Alcotest.test_case "edges" `Quick test_history_edges;
           QCheck_alcotest.to_alcotest prop_serial_schedules_serializable;
+          QCheck_alcotest.to_alcotest prop_history_matches_reference;
         ] );
       ( "checker",
         [
@@ -351,6 +505,7 @@ let () =
           Alcotest.test_case "audit honesty" `Quick test_check_audit;
           Alcotest.test_case "read-only transactions" `Quick test_check_read_only;
           QCheck_alcotest.to_alcotest prop_checked_logs_serializable;
+          QCheck_alcotest.to_alcotest prop_check_log_matches_reference;
         ] );
       ( "mvmc",
         [

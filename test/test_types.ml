@@ -79,6 +79,75 @@ let prop_codec_roundtrip =
       let encoded = Codec.encode Txn.entry_codec entry in
       Txn.equal_entry (Codec.decode_exn Txn.entry_codec encoded) entry)
 
+(* ------------------------------------------------------------------ *)
+(* Footprint-vs-reference equivalence: the conflict predicates now run
+   on interned sorted-array footprints; these reference implementations
+   are the pre-footprint list-based definitions, kept here as the
+   executable spec the fast versions must agree with everywhere. *)
+
+let ref_read_set (r : Txn.record) = List.sort_uniq String.compare r.Txn.reads
+
+let ref_write_set (r : Txn.record) =
+  List.sort_uniq String.compare (List.map (fun w -> w.Txn.key) r.Txn.writes)
+
+let ref_reads_from t s =
+  let written = ref_write_set s in
+  List.exists (fun k -> List.mem k written) (ref_read_set t)
+
+let ref_conflicts_with_any t winners = List.exists (ref_reads_from t) winners
+
+let ref_valid_combination entry =
+  let rec go preceding_writes = function
+    | [] -> true
+    | (r : Txn.record) :: rest ->
+        let stale =
+          List.exists (fun k -> List.mem k preceding_writes) (ref_read_set r)
+        in
+        (not stale) && go (List.rev_append (ref_write_set r) preceding_writes) rest
+  in
+  go [] entry
+
+let prop_sets_match_reference =
+  QCheck.Test.make ~name:"footprint read/write sets match list reference" ~count:500
+    (QCheck.make record_gen)
+    (fun r ->
+      Txn.read_set r = ref_read_set r
+      && Txn.write_set r = ref_write_set r
+      && Array.to_list (Txn.read_keys r) = ref_read_set r
+      && Array.to_list (Txn.write_keys r) = ref_write_set r)
+
+let prop_reads_from_matches_reference =
+  QCheck.Test.make ~name:"footprint reads_from matches list reference" ~count:1000
+    (QCheck.make QCheck.Gen.(pair record_gen record_gen))
+    (fun (t, s) -> Txn.reads_from t s = ref_reads_from t s)
+
+let prop_conflicts_matches_reference =
+  QCheck.Test.make ~name:"footprint conflicts_with_any matches list reference"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair record_gen (list_size (0 -- 6) record_gen)))
+    (fun (t, winners) ->
+      Txn.conflicts_with_any t winners = ref_conflicts_with_any t winners)
+
+let prop_valid_combination_matches_reference =
+  QCheck.Test.make ~name:"footprint valid_combination matches list reference"
+    ~count:1000
+    (QCheck.make QCheck.Gen.(list_size (0 -- 6) record_gen))
+    (fun entry -> Txn.valid_combination entry = ref_valid_combination entry)
+
+let prop_footprint_decode_rebuild =
+  (* The codec drops the footprint on encode and rebuilds it on decode:
+     the decoded record's predicates must behave identically. *)
+  QCheck.Test.make ~name:"decoded records carry equivalent footprints" ~count:300
+    (QCheck.make QCheck.Gen.(pair record_gen record_gen))
+    (fun (t, s) ->
+      let roundtrip r =
+        Codec.decode_exn Txn.record_codec (Codec.encode Txn.record_codec r)
+      in
+      let t' = roundtrip t and s' = roundtrip s in
+      Txn.read_set t' = Txn.read_set t
+      && Txn.write_set t' = Txn.write_set t
+      && Txn.reads_from t' s' = Txn.reads_from t s)
+
 let prop_combination_prefix_closed =
   (* Any prefix of a valid combination is itself valid. *)
   QCheck.Test.make ~name:"valid combinations are prefix-closed" ~count:300
@@ -107,5 +176,13 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_codec_roundtrip;
           QCheck_alcotest.to_alcotest prop_combination_prefix_closed;
+        ] );
+      ( "footprint-equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_sets_match_reference;
+          QCheck_alcotest.to_alcotest prop_reads_from_matches_reference;
+          QCheck_alcotest.to_alcotest prop_conflicts_matches_reference;
+          QCheck_alcotest.to_alcotest prop_valid_combination_matches_reference;
+          QCheck_alcotest.to_alcotest prop_footprint_decode_rebuild;
         ] );
     ]

@@ -316,6 +316,23 @@ let bench_engine =
          done;
          Mdds_sim.Engine.run engine))
 
+let bench_rpc_call =
+  (* Per-call overhead of the RPC layer: waiter registration, timeout
+     timer, delivery, reply matching and timer cancellation — 100
+     sequential calls on a V-V link, adaptive-timeout observation
+     included in the caller's path. *)
+  Test.make ~name:"rpc/call-overhead"
+    (Staged.stage (fun () ->
+         let engine = Mdds_sim.Engine.create ~seed:1 () in
+         let net = Mdds_net.Network.create engine (Mdds_net.Topology.ec2 "VV") in
+         let rpc : (int, int) Mdds_net.Rpc.t = Mdds_net.Rpc.create net in
+         Mdds_net.Rpc.serve rpc ~node:1 (fun ~src:_ req -> req + 1);
+         Mdds_sim.Engine.spawn engine (fun () ->
+             for i = 1 to 100 do
+               ignore (Mdds_net.Rpc.call rpc ~src:0 ~dst:1 ~timeout:1.0 i)
+             done);
+         Mdds_sim.Engine.run engine))
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -335,6 +352,7 @@ let micro_tests =
       bench_acceptor_load;
       bench_trace_disabled;
       bench_engine;
+      bench_rpc_call;
       bench_commit "e2e/one-commit-VVV" "VVV" Mdds_core.Config.default;
       bench_commit "e2e/one-commit-VVV-basic" "VVV" Mdds_core.Config.basic;
       bench_commit "e2e/one-commit-VVVOC" "VVVOC" Mdds_core.Config.default;

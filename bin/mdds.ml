@@ -204,7 +204,8 @@ let chaos_cmd =
   let faults_arg =
     let doc =
       "Comma-separated fault kinds to draw from: crash, restart, \
-       dirty-crash, torn-write, partition, storm, compact (default: all)."
+       dirty-crash, torn-write, partition, storm, compact, one-way-cut, \
+       slow-node, flap, dup-storm (default: all)."
     in
     Arg.(
       value & opt (some kinds_conv) None & info [ "faults" ] ~docv:"KINDS" ~doc)
@@ -264,6 +265,7 @@ let chaos_cmd =
     List.iter2
       (fun spec report ->
         Format.printf "%a@." Runner.pp_report report;
+        Format.printf "  %a" Runner.pp_timeline report;
         if Runner.failed report then (
           incr failures;
           Format.printf "  schedule: %s@." (Schedule.to_string report.schedule);
@@ -303,8 +305,12 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Randomized fault-schedule runs (crashes, dirty/torn storage \
-          crashes, partitions, restarts, storms, compactions) with full \
-          oracle checking and automatic schedule shrinking.")
+          crashes, partitions, restarts, storms, compactions, and the \
+          gray failures: one-way cuts, slow nodes, flapping links, \
+          duplication storms) with full oracle checking — including an \
+          availability timeline with per-fault time-to-recovery and a \
+          bounded-unavailability bound — and automatic schedule \
+          shrinking.")
     term
 
 (* ------------------------------------------------------------------ *)

@@ -7,11 +7,39 @@ type t = {
   archives : (string, (int, Mdds_types.Txn.entry) Hashtbl.t) Hashtbl.t;
   on_fault : (Schedule.fault -> unit) option;
   mutable storms : int;  (** Active storms (overlaps nest). *)
+  mutable dup_storms : int;  (** Active duplication storms (nest). *)
+  oneways : (int * int, int) Hashtbl.t;  (** Active cuts per link (nest). *)
+  slowdowns : (int, int) Hashtbl.t;  (** Active slowdowns per dc (nest). *)
+  flapping : (int * int, int) Hashtbl.t;  (** Active flaps per link (nest). *)
   mutable injected : int;
 }
 
 let create ?on_fault () =
-  { archives = Hashtbl.create 4; on_fault; storms = 0; injected = 0 }
+  {
+    archives = Hashtbl.create 4;
+    on_fault;
+    storms = 0;
+    dup_storms = 0;
+    oneways = Hashtbl.create 8;
+    slowdowns = Hashtbl.create 8;
+    flapping = Hashtbl.create 8;
+    injected = 0;
+  }
+
+(* Nesting counter per key: overlapping windows on the same link/dc keep
+   the fault active until the last one ends (the storm pattern,
+   per-key). *)
+let enter tbl key = Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let leave tbl key =
+  match Hashtbl.find_opt tbl key with
+  | None -> false
+  | Some 1 ->
+      Hashtbl.remove tbl key;
+      true
+  | Some n ->
+      Hashtbl.replace tbl key (n - 1);
+      false
 
 let archive_table t ~group =
   match Hashtbl.find_opt t.archives group with
@@ -79,6 +107,31 @@ let inject t ~cluster ~groups fault =
           t.storms <- t.storms - 1;
           if t.storms = 0 then Cluster.calm cluster)
   | Schedule.Compact dc -> compact cluster t ~groups dc
+  | Schedule.One_way_cut { src; dst; until } ->
+      enter t.oneways (src, dst);
+      Cluster.cut_oneway cluster ~src ~dst;
+      Engine.schedule (Cluster.engine cluster) ~at:until (fun () ->
+          if leave t.oneways (src, dst) then
+            Cluster.heal_oneway cluster ~src ~dst)
+  | Schedule.Slow_node { dc; factor; until } ->
+      enter t.slowdowns dc;
+      (* Overlapping slowdowns on one dc don't compose factors; the last
+         injected factor stands until the last window ends. *)
+      Cluster.slow_node cluster dc ~factor;
+      Engine.schedule (Cluster.engine cluster) ~at:until (fun () ->
+          if leave t.slowdowns dc then Cluster.clear_slowdown cluster dc)
+  | Schedule.Flap { src; dst; period; until } ->
+      enter t.flapping (src, dst);
+      Cluster.flap_link cluster ~src ~dst ~period;
+      Engine.schedule (Cluster.engine cluster) ~at:until (fun () ->
+          if leave t.flapping (src, dst) then
+            Cluster.clear_flap cluster ~src ~dst)
+  | Schedule.Dup_storm { prob; until } ->
+      t.dup_storms <- t.dup_storms + 1;
+      Cluster.dup_storm cluster ~prob;
+      Engine.schedule (Cluster.engine cluster) ~at:until (fun () ->
+          t.dup_storms <- t.dup_storms - 1;
+          if t.dup_storms = 0 then Cluster.clear_duplication cluster)
 
 let exec t ~cluster ~groups fault =
   t.injected <- t.injected + 1;
@@ -100,4 +153,10 @@ let heal_all cluster =
     if Cluster.is_down cluster dc then Cluster.bring_up cluster dc
   done;
   Cluster.heal cluster;
-  Cluster.calm cluster
+  Cluster.calm cluster;
+  (* Gray-failure state; the windows' own scheduled clears may still fire
+     later, but on an already-clean network they are no-ops. *)
+  Cluster.heal_oneways cluster;
+  Cluster.clear_slowdowns cluster;
+  Cluster.clear_flaps cluster;
+  Cluster.clear_duplication cluster

@@ -26,7 +26,8 @@ val apply :
 
 val heal_all : Mdds_core.Cluster.t -> unit
 (** End-of-run cleanup: bring every datacenter up, remove any partition,
-    clear link overrides. Idempotent. *)
+    clear link overrides and all gray-failure state (one-way cuts,
+    slowdowns, flaps, duplication). Idempotent. *)
 
 val archive : t -> group:string -> (int * Mdds_types.Txn.entry) list
 (** Entries discarded by injected compactions, sorted by position. *)

@@ -19,12 +19,20 @@ type spec = {
   kinds : Schedule.kind list;
   workload : Ycsb.config;
   min_commits : int;
+  probe_window : float;
+  max_heal_windows : int;
 }
 
+(* Chaos runs turn the adaptive-timeout/hedged-failover machinery on
+   (the figure harness keeps the paper's fixed-timeout defaults): gray
+   failures are exactly the regime it exists for, and every soak seed
+   should exercise it. *)
 let default_config protocol =
   { (Config.with_protocol protocol Config.default) with
     rpc_timeout = 0.5;
     max_rounds = 8;
+    adaptive_timeouts = true;
+    hedged_reads = true;
   }
 
 let default_workload ~dcs ~duration =
@@ -40,13 +48,26 @@ let default_workload ~dcs ~duration =
   }
 
 let spec ?config ?(duration = 20.) ?(kinds = Schedule.all_kinds) ?workload
-    ?(min_commits = 1) ~seed topology =
+    ?(min_commits = 1) ?(probe_window = 1.0) ?(max_heal_windows = 8) ~seed
+    topology =
   let config = Option.value config ~default:(default_config Config.Cp) in
   let dcs = Topology.size (Topology.ec2 topology) in
   let workload =
     Option.value workload ~default:(default_workload ~dcs ~duration)
   in
-  { seed; topology; config; duration; kinds; workload; min_commits }
+  if probe_window <= 0. then invalid_arg "Runner.spec: probe_window <= 0";
+  if max_heal_windows < 1 then invalid_arg "Runner.spec: max_heal_windows < 1";
+  {
+    seed;
+    topology;
+    config;
+    duration;
+    kinds;
+    workload;
+    min_commits;
+    probe_window;
+    max_heal_windows;
+  }
 
 type report = {
   run_spec : spec;
@@ -58,6 +79,10 @@ type report = {
   faults : int;
   net_stats : Mdds_net.Network.stats;
   recovery : Service.recovery_stats;
+  dedup : Service.dedup_stats;
+  hedges : int;
+  timeline : bool array;
+  recovery_times : (Schedule.event * float option) list;
   violation : string option;
   trace_tail : string list;
 }
@@ -168,6 +193,11 @@ let run ?schedule ?extra_oracle spec =
   in
   Trace.enable (Cluster.trace cluster);
   let groups = Ycsb.group_keys spec.workload in
+  (* The availability prober's dedicated group (never a workload group,
+     so probes and workload threads do not race for log positions); it
+     still goes through every oracle. *)
+  let av_group = "chaos-av" in
+  let all_groups = groups @ [ av_group ] in
   let handle = Ycsb.run cluster spec.workload in
   (* Cache-coherence oracle: after every fault event (and once more after
      the run drains) every service's decoded WAL/acceptor view must equal
@@ -189,7 +219,7 @@ let run ?schedule ?extra_oracle spec =
                     Some
                       (Printf.sprintf "cache coherence (%s) at dc%d: %s"
                          context dc e))
-          groups
+          all_groups
       done
   in
   let nemesis =
@@ -201,6 +231,50 @@ let run ?schedule ?extra_oracle spec =
   Nemesis.apply nemesis ~cluster ~groups schedule;
   Engine.schedule (Cluster.engine cluster) ~at:spec.duration (fun () ->
       Nemesis.heal_all cluster);
+  (* Availability timeline: one live probe per window throughout the run
+     and for [max_heal_windows + 2] windows past the heal at [duration].
+     Probes commit to a dedicated group so they never contend with the
+     workload's log positions; each owns a private key so they never
+     conflict with each other. A window is "up" iff some probe commit
+     *completed* inside it; the completion times also give per-fault
+     time-to-recovery and the bounded-unavailability oracle below. *)
+  let pw = spec.probe_window in
+  let stop_probing =
+    spec.duration +. (float_of_int (spec.max_heal_windows + 2) *. pw)
+  in
+  let windows = int_of_float (Float.ceil (stop_probing /. pw)) in
+  let successes = ref [] in
+  (* newest first *)
+  let probe_counter = ref 0 in
+  for w = 0 to windows - 1 do
+    Cluster.spawn ~at:(float_of_int w *. pw) cluster (fun () ->
+        incr probe_counter;
+        let n = !probe_counter in
+        (* Rotate the probing datacenter by window so a single slow or
+           half-cut datacenter cannot bias the whole timeline; skip
+           datacenters currently down (their clients cannot even talk to
+           the local service). *)
+        let dc =
+          let rec pick i tries =
+            if tries >= dcs then 0
+            else if Cluster.is_down cluster i then pick ((i + 1) mod dcs) (tries + 1)
+            else i
+          in
+          pick (w mod dcs) 0
+        in
+        let client =
+          Cluster.client ~id:(Printf.sprintf "probe-live-%d" n) cluster ~dc
+        in
+        try
+          let txn = Client.begin_ client ~group:av_group in
+          let key = Printf.sprintf "chaos-live-%d" n in
+          ignore (Client.read txn key);
+          Client.write txn key (string_of_int w);
+          match Client.commit txn with
+          | Audit.Committed _ -> successes := Cluster.now cluster :: !successes
+          | _ -> ()
+        with Client.Unavailable _ -> ())
+  done;
   (* A crash anywhere in the simulation (e.g. a learner hitting a log
      conflict) is itself an oracle violation — capture it so a crashing
      schedule can be shrunk like any other failure. *)
@@ -213,7 +287,7 @@ let run ?schedule ?extra_oracle spec =
    with Failure msg -> crashed := Some (Printf.sprintf "crash: %s" msg));
   let probe_failures =
     if !crashed = None then
-      try run_probes cluster ~groups ~dcs
+      try run_probes cluster ~groups:all_groups ~dcs
       with Failure msg ->
         crashed := Some (Printf.sprintf "crash: %s" msg);
         []
@@ -221,7 +295,7 @@ let run ?schedule ?extra_oracle spec =
   in
   let convergence_failures =
     if !crashed = None then
-      try run_convergence cluster ~groups ~dcs
+      try run_convergence cluster ~groups:all_groups ~dcs
       with Failure msg ->
         crashed := Some (Printf.sprintf "crash: %s" msg);
         []
@@ -253,6 +327,20 @@ let run ?schedule ?extra_oracle spec =
         match e.outcome with Audit.Unknown -> true | _ -> false)
   in
   if !crashed = None then check_coherence "after drain";
+  let successes = List.sort Float.compare !successes in
+  let timeline = Array.make windows false in
+  List.iter
+    (fun s ->
+      let w = int_of_float (s /. pw) in
+      if w >= 0 && w < windows then timeline.(w) <- true)
+    successes;
+  let first_success_after t = List.find_opt (fun s -> s >= t) successes in
+  let recovery_times =
+    List.map
+      (fun (ev : Schedule.event) ->
+        (ev, Option.map (fun s -> s -. ev.Schedule.at) (first_success_after ev.Schedule.at)))
+      schedule
+  in
   let violation =
     first_error
       [
@@ -277,6 +365,27 @@ let run ?schedule ?extra_oracle spec =
                     group %s after healing"
                    dc group));
         (fun () ->
+          (* Bounded unavailability: heal_all runs at [duration], so from
+             there the cluster is fault-free; a probe commit must land
+             within [max_heal_windows] probe windows or recovery is
+             unbounded. *)
+          let deadline =
+            spec.duration +. (float_of_int spec.max_heal_windows *. pw)
+          in
+          if
+            List.exists
+              (fun s -> s >= spec.duration && s <= deadline)
+              successes
+          then None
+          else
+            Some
+              (Printf.sprintf
+                 "bounded unavailability: no probe commit within %d windows \
+                  (%.3gs) of the final heal at %gs"
+                 spec.max_heal_windows
+                 (float_of_int spec.max_heal_windows *. pw)
+                 spec.duration));
+        (fun () ->
           if commits >= spec.min_commits then None
           else
             Some
@@ -294,7 +403,7 @@ let run ?schedule ?extra_oracle spec =
                   match Verify.check ~archive cluster ~group with
                   | Ok () -> None
                   | Error e -> Some (Printf.sprintf "group %s: %s" group e)))
-            None groups);
+            None all_groups);
         (fun () ->
           match extra_oracle with
           | None -> None
@@ -320,6 +429,18 @@ let run ?schedule ?extra_oracle spec =
       zero
       (Cluster.services cluster)
   in
+  let dedup =
+    List.fold_left
+      (fun (acc : Service.dedup_stats) service ->
+        let s = Service.dedup_stats service in
+        {
+          Service.dup_applies = acc.dup_applies + s.Service.dup_applies;
+          dup_claims = acc.dup_claims + s.Service.dup_claims;
+          dup_submits = acc.dup_submits + s.Service.dup_submits;
+        })
+      { Service.dup_applies = 0; dup_claims = 0; dup_submits = 0 }
+      (Cluster.services cluster)
+  in
   {
     run_spec = spec;
     schedule;
@@ -330,6 +451,10 @@ let run ?schedule ?extra_oracle spec =
     faults = Nemesis.faults_injected nemesis;
     net_stats = Mdds_net.Network.stats (Cluster.network cluster);
     recovery;
+    dedup;
+    hedges = Audit.hedges (Cluster.audit cluster);
+    timeline;
+    recovery_times;
     violation;
     trace_tail;
   }
@@ -350,18 +475,48 @@ let repro r =
     r.run_spec.duration
     (Schedule.to_string r.schedule)
 
+let up_windows r =
+  Array.fold_left (fun acc up -> if up then acc + 1 else acc) 0 r.timeline
+
+let max_ttr r =
+  List.fold_left
+    (fun acc (_, ttr) ->
+      match ttr with Some t when t > acc -> t | _ -> acc)
+    0.0 r.recovery_times
+
 let pp_report ppf r =
   Format.fprintf ppf
     "seed %d  %s/%s  %d faults  %d commits  %d aborts  %d unknown  %d \
-     begin-failures  drops %d/%d/%d  recoveries %d (%d scrubbed, %d \
-     relearned)  %s"
+     begin-failures  drops %d/%d/%d/%d  dup %d  recoveries %d (%d scrubbed, \
+     %d relearned)  dedup %d/%d/%d  hedges %d  avail %d/%d windows  max-ttr \
+     %.3gs  %s"
     r.run_spec.seed r.run_spec.topology
     (Config.protocol_name r.run_spec.config.protocol)
     r.faults r.commits r.aborts r.unknowns r.begin_failures
     r.net_stats.Mdds_net.Network.dropped_loss
     r.net_stats.Mdds_net.Network.dropped_down
-    r.net_stats.Mdds_net.Network.dropped_cut r.recovery.Service.recoveries
+    r.net_stats.Mdds_net.Network.dropped_cut
+    r.net_stats.Mdds_net.Network.dropped_oneway
+    r.net_stats.Mdds_net.Network.duplicated r.recovery.Service.recoveries
     r.recovery.Service.scrubbed r.recovery.Service.relearned
+    r.dedup.Service.dup_applies r.dedup.Service.dup_claims
+    r.dedup.Service.dup_submits r.hedges
+    (up_windows r) (Array.length r.timeline) (max_ttr r)
     (match r.violation with
     | None -> "OK"
     | Some v -> Printf.sprintf "VIOLATION: %s" v)
+
+let pp_timeline ppf r =
+  let pw = r.run_spec.probe_window in
+  Format.fprintf ppf "availability timeline (%gs windows): " pw;
+  Array.iter (fun up -> Format.pp_print_char ppf (if up then '#' else '.')) r.timeline;
+  Format.pp_print_newline ppf ();
+  List.iter
+    (fun ((ev : Schedule.event), ttr) ->
+      Format.fprintf ppf "  %8.3fs  %-40s ttr %s@."
+        ev.Schedule.at
+        (Format.asprintf "%a" Schedule.pp_fault ev.Schedule.fault)
+        (match ttr with
+        | None -> "never"
+        | Some t -> Printf.sprintf "%.3fs" t))
+    r.recovery_times

@@ -7,6 +7,10 @@
 
     + {b availability} — after healing, a client in every datacenter can
       commit a probe transaction;
+    + {b bounded unavailability} — a live prober samples commit success
+      in [probe_window]-second windows throughout the run (the
+      availability timeline); after the final heal at [duration], some
+      probe commit must complete within [max_heal_windows] windows;
     + {b convergence} — every datacenter catches up to the global log
       head (snapshot installation included);
     + {b progress} — the workload committed at least [min_commits]
@@ -41,6 +45,11 @@ type spec = {
   kinds : Schedule.kind list;
   workload : Mdds_workload.Ycsb.config;
   min_commits : int;
+  probe_window : float;
+      (** Width (seconds) of one availability-timeline sampling window. *)
+  max_heal_windows : int;
+      (** Bounded-unavailability budget: a probe commit must land within
+          this many probe windows of the final heal at [duration]. *)
 }
 
 val spec :
@@ -49,17 +58,23 @@ val spec :
   ?kinds:Schedule.kind list ->
   ?workload:Mdds_workload.Ycsb.config ->
   ?min_commits:int ->
+  ?probe_window:float ->
+  ?max_heal_windows:int ->
   seed:int ->
   string ->
   spec
 (** [spec ~seed topology]. Defaults: Paxos-CP with chaos-friendly
-    timeouts ([rpc_timeout = 0.5], [max_rounds = 8]), 20 s duration, all
-    fault kinds, a workload with one thread per datacenter spread across
-    all datacenters, [min_commits = 1]. *)
+    timeouts ([rpc_timeout = 0.5], [max_rounds = 8]) and the adaptive
+    timeout + hedged failover machinery enabled, 20 s duration, all fault
+    kinds, a workload with one thread per datacenter spread across all
+    datacenters, [min_commits = 1], 1 s probe windows, an 8-window
+    bounded-unavailability budget. *)
 
 val default_config : Mdds_core.Config.protocol -> Mdds_core.Config.t
 (** The chaos-friendly config for a protocol (shorter timeouts than
-    {!Mdds_core.Config.default} so runs drain quickly). *)
+    {!Mdds_core.Config.default} so runs drain quickly; adaptive timeouts
+    and hedged reads on, so every soak seed exercises the gray-failure
+    client machinery). *)
 
 type report = {
   run_spec : spec;
@@ -76,6 +91,22 @@ type report = {
       (** Crash-recovery counters summed over all services: recovery scans
           that found damage, torn versions scrubbed, quarantined positions
           re-learned. *)
+  dedup : Mdds_core.Service.dedup_stats;
+      (** Duplicate-delivery counters summed over all services: replayed
+          applies absorbed, replayed claims answered from the register,
+          replayed submissions answered with their original position. *)
+  hedges : int;
+      (** Service requests answered by a fallback datacenter
+          ({!Mdds_core.Audit.hedges}): hedged failovers under the default
+          chaos config. *)
+  timeline : bool array;
+      (** Availability timeline: element [w] is true iff a live probe
+          commit completed inside window
+          [[w·probe_window, (w+1)·probe_window)]. Covers the fault window
+          plus [max_heal_windows + 2] windows past the heal. *)
+  recovery_times : (Schedule.event * float option) list;
+      (** Per injected fault: seconds from injection to the first probe
+          commit completed at-or-after it ([None] = none ever did). *)
   violation : string option;  (** [None] = every oracle passed. *)
   trace_tail : string list;  (** Last trace events, for repros. *)
 }
@@ -108,3 +139,13 @@ val repro : report -> string
     run, explicit schedule included. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val up_windows : report -> int
+(** Number of timeline windows with a completed probe commit. *)
+
+val max_ttr : report -> float
+(** Largest per-fault time-to-recovery (0 if no faults or no probes). *)
+
+val pp_timeline : Format.formatter -> report -> unit
+(** The availability timeline as a [#]/[.] strip plus one
+    time-to-recovery line per injected fault. *)

@@ -10,6 +10,10 @@ type fault =
   | Heal
   | Storm of { loss : float; jitter : float; until : float }
   | Compact of int
+  | One_way_cut of { src : int; dst : int; until : float }
+  | Slow_node of { dc : int; factor : float; until : float }
+  | Flap of { src : int; dst : int; period : float; until : float }
+  | Dup_storm of { prob : float; until : float }
 
 type event = { at : float; fault : fault }
 
@@ -26,10 +30,14 @@ type kind =
   | Partitions
   | Storms
   | Compactions
+  | One_way_cuts
+  | Slow_nodes
+  | Flaps
+  | Dup_storms
 
 let all_kinds =
   [ Crashes; Restarts; Dirty_crashes; Torn_writes; Partitions; Storms;
-    Compactions ]
+    Compactions; One_way_cuts; Slow_nodes; Flaps; Dup_storms ]
 
 let kind_to_string = function
   | Crashes -> "crash"
@@ -39,6 +47,10 @@ let kind_to_string = function
   | Partitions -> "partition"
   | Storms -> "storm"
   | Compactions -> "compact"
+  | One_way_cuts -> "one-way-cut"
+  | Slow_nodes -> "slow-node"
+  | Flaps -> "flap"
+  | Dup_storms -> "dup-storm"
 
 let kind_of_string = function
   | "crash" | "crashes" -> Crashes
@@ -48,11 +60,16 @@ let kind_of_string = function
   | "partition" | "partitions" -> Partitions
   | "storm" | "storms" -> Storms
   | "compact" | "compactions" -> Compactions
+  | "one-way-cut" | "one-way-cuts" -> One_way_cuts
+  | "slow-node" | "slow-nodes" -> Slow_nodes
+  | "flap" | "flaps" -> Flaps
+  | "dup-storm" | "dup-storms" -> Dup_storms
   | s ->
       invalid_arg
         (Printf.sprintf
            "unknown fault kind %S (expected crash, restart, dirty-crash, \
-            torn-write, partition, storm or compact)"
+            torn-write, partition, storm, compact, one-way-cut, slow-node, \
+            flap or dup-storm)"
            s)
 
 let round3 x = Float.round (x *. 1000.) /. 1000.
@@ -134,7 +151,36 @@ let generate ?(kinds = all_kinds) ~seed ~dcs ~duration () =
         let jitter = round3 (0.2 +. Rng.float rng 0.6) in
         let until = round3 (at +. 0.5 +. Rng.float rng 3.5) in
         emit at (Storm { loss; jitter; until })
-    | Compactions -> emit at (Compact (Rng.int rng dcs)));
+    | Compactions -> emit at (Compact (Rng.int rng dcs))
+    (* The four gray-failure kinds are all self-healing windows, like
+       storms: they never mark a datacenter down, so the connected-majority
+       invariant is untouched (a one-way cut or flap degrades one directed
+       link; a slow node stays alive and correct; duplication only adds
+       messages). *)
+    | One_way_cuts ->
+        if dcs >= 2 then begin
+          let src = Rng.int rng dcs in
+          let dst = (src + 1 + Rng.int rng (dcs - 1)) mod dcs in
+          let until = round3 (at +. 0.5 +. Rng.float rng 3.5) in
+          emit at (One_way_cut { src; dst; until })
+        end
+    | Slow_nodes ->
+        let dc = Rng.int rng dcs in
+        let factor = round3 (2.0 +. Rng.float rng 6.0) in
+        let until = round3 (at +. 0.5 +. Rng.float rng 3.5) in
+        emit at (Slow_node { dc; factor; until })
+    | Flaps ->
+        if dcs >= 2 then begin
+          let src = Rng.int rng dcs in
+          let dst = (src + 1 + Rng.int rng (dcs - 1)) mod dcs in
+          let period = round3 (0.1 +. Rng.float rng 0.7) in
+          let until = round3 (at +. 0.5 +. Rng.float rng 3.5) in
+          emit at (Flap { src; dst; period; until })
+        end
+    | Dup_storms ->
+        let prob = round3 (0.1 +. Rng.float rng 0.4) in
+        let until = round3 (at +. 0.5 +. Rng.float rng 3.5) in
+        emit at (Dup_storm { prob; until }));
     t := !t +. 0.15 +. Rng.exponential rng mean_gap
   done;
   List.rev !events
@@ -160,6 +206,16 @@ let fault_to_sx = function
   | Storm { loss; jitter; until } ->
       L [ A "storm"; A (fstr loss); A (fstr jitter); A (fstr until) ]
   | Compact d -> L [ A "compact"; A (string_of_int d) ]
+  | One_way_cut { src; dst; until } ->
+      L [ A "one-way-cut"; A (string_of_int src); A (string_of_int dst);
+          A (fstr until) ]
+  | Slow_node { dc; factor; until } ->
+      L [ A "slow-node"; A (string_of_int dc); A (fstr factor); A (fstr until) ]
+  | Flap { src; dst; period; until } ->
+      L [ A "flap"; A (string_of_int src); A (string_of_int dst);
+          A (fstr period); A (fstr until) ]
+  | Dup_storm { prob; until } ->
+      L [ A "dup-storm"; A (fstr prob); A (fstr until) ]
 
 let to_sx t =
   L (List.map (fun { at; fault } -> L [ A (fstr at); fault_to_sx fault ]) t)
@@ -202,6 +258,28 @@ let validate ~dcs t =
           if loss < 0. || loss > 1. then err "storm loss %g not in [0,1]" loss
           else if jitter < 0. then err "storm jitter %g negative" jitter
           else if until <= at then err "storm at %g ends at %g" at until
+          else Ok ()
+      | One_way_cut { src; dst; until } ->
+          let* () = dc_ok src "one-way-cut src" in
+          let* () = dc_ok dst "one-way-cut dst" in
+          if src = dst then err "one-way-cut src = dst %d" src
+          else if until <= at then err "one-way-cut at %g ends at %g" at until
+          else Ok ()
+      | Slow_node { dc; factor; until } ->
+          let* () = dc_ok dc "slow-node" in
+          if factor < 1. then err "slow-node factor %g < 1" factor
+          else if until <= at then err "slow-node at %g ends at %g" at until
+          else Ok ()
+      | Flap { src; dst; period; until } ->
+          let* () = dc_ok src "flap src" in
+          let* () = dc_ok dst "flap dst" in
+          if src = dst then err "flap src = dst %d" src
+          else if period <= 0. then err "flap period %g not positive" period
+          else if until <= at then err "flap at %g ends at %g" at until
+          else Ok ()
+      | Dup_storm { prob; until } ->
+          if prob < 0. || prob > 1. then err "dup-storm prob %g not in [0,1]" prob
+          else if until <= at then err "dup-storm at %g ends at %g" at until
           else Ok ()
       | Partition parts ->
           let members = List.concat parts in
@@ -284,6 +362,26 @@ let fault_of_sx = function
           jitter = float_of_sx jitter;
           until = float_of_sx until;
         }
+  | L [ A "one-way-cut"; src; dst; until ] ->
+      One_way_cut
+        { src = int_of_sx src; dst = int_of_sx dst; until = float_of_sx until }
+  | L [ A "slow-node"; dc; factor; until ] ->
+      Slow_node
+        {
+          dc = int_of_sx dc;
+          factor = float_of_sx factor;
+          until = float_of_sx until;
+        }
+  | L [ A "flap"; src; dst; period; until ] ->
+      Flap
+        {
+          src = int_of_sx src;
+          dst = int_of_sx dst;
+          period = float_of_sx period;
+          until = float_of_sx until;
+        }
+  | L [ A "dup-storm"; prob; until ] ->
+      Dup_storm { prob = float_of_sx prob; until = float_of_sx until }
   | L (A "partition" :: groups) ->
       Partition
         (List.map
@@ -323,6 +421,15 @@ let pp_fault ppf = function
   | Storm { loss; jitter; until } ->
       Format.fprintf ppf "storm loss=%g jitter=%g until %gs" loss jitter until
   | Compact d -> Format.fprintf ppf "compact dc%d" d
+  | One_way_cut { src; dst; until } ->
+      Format.fprintf ppf "one-way-cut dc%d->dc%d until %gs" src dst until
+  | Slow_node { dc; factor; until } ->
+      Format.fprintf ppf "slow-node dc%d x%g until %gs" dc factor until
+  | Flap { src; dst; period; until } ->
+      Format.fprintf ppf "flap dc%d->dc%d period %gs until %gs" src dst period
+        until
+  | Dup_storm { prob; until } ->
+      Format.fprintf ppf "dup-storm p=%g until %gs" prob until
 
 let pp ppf t =
   List.iter

@@ -35,6 +35,21 @@ type fault =
       (** Checkpoint the datacenter's log prefix that every datacenter has
           already applied (compaction under load; forces snapshot
           catch-up paths). *)
+  | One_way_cut of { src : int; dst : int; until : float }
+      (** Gray failure: drop messages [src]→[dst] only (replies still
+          flow) until virtual time [until]
+          ({!Mdds_net.Network.cut_oneway}). *)
+  | Slow_node of { dc : int; factor : float; until : float }
+      (** Gray failure: multiply every link delay into and out of [dc] by
+          [factor] — a slow-but-alive datacenter
+          ({!Mdds_net.Network.set_slowdown}). *)
+  | Flap of { src : int; dst : int; period : float; until : float }
+      (** Gray failure: the [src]→[dst] link alternates up/down with the
+          given square-wave period ({!Mdds_net.Network.flap_link}). *)
+  | Dup_storm of { prob : float; until : float }
+      (** Gray failure: every delivered message is duplicated with
+          probability [prob] on all links
+          ({!Mdds_net.Network.set_duplication_all}). *)
 
 type event = { at : float; fault : fault }
 
@@ -51,12 +66,17 @@ type kind =
   | Partitions
   | Storms
   | Compactions
+  | One_way_cuts
+  | Slow_nodes
+  | Flaps
+  | Dup_storms
 
 val all_kinds : kind list
 
 val kind_of_string : string -> kind
 (** ["crash"], ["restart"], ["dirty-crash"], ["torn-write"],
-    ["partition"], ["storm"], ["compact"]; raises [Invalid_argument]
+    ["partition"], ["storm"], ["compact"], ["one-way-cut"],
+    ["slow-node"], ["flap"], ["dup-storm"]; raises [Invalid_argument]
     otherwise. *)
 
 val kind_to_string : kind -> string

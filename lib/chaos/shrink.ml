@@ -29,13 +29,30 @@ let minimize ?(max_runs = 250) ~fails schedule =
     done;
     if not !progressed then chunk := !chunk / 2
   done;
-  (* Pass 2: shorten surviving storms by halving their remaining window
-     while the schedule still fails. *)
+  (* Pass 2: shorten surviving windowed faults (storms and the gray
+     failures) by halving their remaining window while the schedule still
+     fails. *)
   let shorten_storm (ev : Schedule.event) =
+    let halved until = Schedule.round3 (ev.at +. ((until -. ev.at) /. 2.)) in
+    let wide until = until -. ev.at > 0.3 in
     match ev.fault with
-    | Schedule.Storm { loss; jitter; until } when until -. ev.at > 0.3 ->
-        let until' = Schedule.round3 (ev.at +. ((until -. ev.at) /. 2.)) in
-        Some { ev with fault = Schedule.Storm { loss; jitter; until = until' } }
+    | Schedule.Storm { loss; jitter; until } when wide until ->
+        Some
+          { ev with fault = Schedule.Storm { loss; jitter; until = halved until } }
+    | Schedule.One_way_cut { src; dst; until } when wide until ->
+        Some
+          { ev with
+            fault = Schedule.One_way_cut { src; dst; until = halved until } }
+    | Schedule.Slow_node { dc; factor; until } when wide until ->
+        Some
+          { ev with
+            fault = Schedule.Slow_node { dc; factor; until = halved until } }
+    | Schedule.Flap { src; dst; period; until } when wide until ->
+        Some
+          { ev with
+            fault = Schedule.Flap { src; dst; period; until = halved until } }
+    | Schedule.Dup_storm { prob; until } when wide until ->
+        Some { ev with fault = Schedule.Dup_storm { prob; until = halved until } }
     | _ -> None
   in
   let rec shorten_pass () =

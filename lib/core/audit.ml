@@ -51,6 +51,7 @@ type t = {
   mutable rounds_total : int; (* prepare+accept over Committed *)
   mutable committed_rw : int; (* Committed only (not read-only) *)
   mutable fast_paths : int; (* Committed with fast_path *)
+  mutable hedges : int; (* service requests answered by a fallback dc *)
 }
 
 let create () =
@@ -69,7 +70,12 @@ let create () =
     rounds_total = 0;
     committed_rw = 0;
     fast_paths = 0;
+    hedges = 0;
   }
+
+let note_hedge t = t.hedges <- t.hedges + 1
+
+let hedges t = t.hedges
 
 let bump tbl key by =
   Hashtbl.replace tbl key (by + Option.value (Hashtbl.find_opt tbl key) ~default:0)

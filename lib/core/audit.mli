@@ -83,4 +83,12 @@ val mean_rounds : t -> float
 val fast_path_rate : t -> float
 (** Fraction of committed transactions that attempted the fast path. *)
 
+val note_hedge : t -> unit
+(** A service request ([begin]/[read]) was answered by a fallback
+    datacenter after the local one failed or timed out — under
+    {!Config.t.hedged_reads} this is a hedged failover. Called by the
+    client, counted here so the chaos report can surface it. *)
+
+val hedges : t -> int
+
 val pp_reason : Format.formatter -> abort_reason -> unit

@@ -34,29 +34,48 @@ let dc t = t.env.Proposer.dc
 let now t = Engine.now (Rpc.engine t.env.Proposer.rpc)
 
 (* Datacenters to try for a service request: local first (the paper's
-   co-location optimization), then the others in random order. *)
+   co-location optimization), then the others in random order — or, under
+   [hedged_reads], nearest first by estimated RTT so a hedged retry lands
+   on the most likely responder. Unsampled destinations sort last (no
+   evidence ⇒ no preference); the sort is stable so they keep topology
+   order among themselves and draw no RNG. *)
 let service_order t =
   let others =
     Array.of_list (List.filter (fun d -> d <> t.env.Proposer.dc) t.env.Proposer.dcs)
   in
-  Rng.shuffle t.env.Proposer.rng others;
+  (match (t.env.Proposer.config.Config.hedged_reads, t.env.Proposer.rtt) with
+  | true, Some rtt ->
+      let far = 2.0 *. t.env.Proposer.config.Config.rpc_timeout in
+      let dist d = Option.value (Rtt.estimate rtt ~dst:d) ~default:far in
+      Array.stable_sort (fun a b -> Float.compare (dist a) (dist b)) others
+  | _ -> Rng.shuffle t.env.Proposer.rng others);
   t.env.Proposer.dc :: Array.to_list others
 
 (* Issue a request with datacenter fallback (§2.2: "If a Transaction
    Client cannot access the Transaction Service within its own datacenter,
-   it can access the Transaction Service in another datacenter"). *)
+   it can access the Transaction Service in another datacenter"). Each
+   destination is given its adaptive timeout when the flag is on — the
+   hedged-failover delay — and the full fixed [rpc_timeout] otherwise.
+   Replies feed the RTT estimator; a reply from a non-local datacenter is
+   a counted failover. *)
 let request_with_fallback t req ~describe =
   let config = t.env.Proposer.config in
   let rec go attempts = function
     | [] -> raise (Unavailable describe)
     | _ when attempts <= 0 -> raise (Unavailable describe)
     | dst :: rest -> (
+        let started = now t in
         match
           Rpc.call t.env.Proposer.rpc ~src:t.env.Proposer.dc ~dst
-            ~timeout:config.rpc_timeout req
+            ~timeout:(Proposer.timeout_for t.env ~dst) req
         with
         | Some (Messages.Failed _) | None -> go (attempts - 1) rest
-        | Some resp -> resp)
+        | Some resp ->
+            (match t.env.Proposer.rtt with
+            | Some rtt -> Rtt.observe rtt ~dst (now t -. started)
+            | None -> ());
+            if dst <> t.env.Proposer.dc then Audit.note_hedge t.audit;
+            resp)
   in
   go config.read_attempts (service_order t)
 
@@ -114,7 +133,7 @@ let try_claim t txn ~pos =
     | Some leader -> (
         match
           Rpc.call t.env.Proposer.rpc ~src:t.env.Proposer.dc ~dst:leader
-            ~timeout:config.rpc_timeout
+            ~timeout:(Proposer.timeout_for t.env ~dst:leader)
             (Messages.Claim_leadership
                { group = txn.group; pos; claimant = txn.txn_id })
         with

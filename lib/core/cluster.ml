@@ -128,6 +128,59 @@ let calm t =
   fault t "storm cleared";
   Network.clear_overrides t.net
 
+(* Gray-failure injectors: directed link cuts, slow-but-alive
+   datacenters, flapping links, duplicating links. All are pure network
+   state — no service is stopped — which is exactly what makes them
+   "gray": every health signal except latency/reachability looks fine. *)
+
+let cut_oneway t ~src ~dst =
+  fault t "one-way cut %s->%s" (Topology.name t.topo src)
+    (Topology.name t.topo dst);
+  Network.cut_oneway t.net ~src ~dst
+
+let heal_oneway t ~src ~dst =
+  fault t "one-way cut %s->%s healed" (Topology.name t.topo src)
+    (Topology.name t.topo dst);
+  Network.heal_oneway t.net ~src ~dst
+
+let heal_oneways t =
+  fault t "all one-way cuts healed";
+  Network.clear_oneway_cuts t.net
+
+let slow_node t dc ~factor =
+  fault t "slow node %s (x%g)" (Topology.name t.topo dc) factor;
+  Network.set_slowdown t.net dc factor
+
+let clear_slowdown t dc =
+  fault t "slow node %s recovered" (Topology.name t.topo dc);
+  Network.clear_slowdown t.net dc
+
+let clear_slowdowns t =
+  fault t "all slowdowns cleared";
+  Network.clear_slowdowns t.net
+
+let flap_link t ~src ~dst ~period =
+  fault t "flapping link %s->%s (period %gs)" (Topology.name t.topo src)
+    (Topology.name t.topo dst) period;
+  Network.flap_link t.net ~src ~dst ~period
+
+let clear_flap t ~src ~dst =
+  fault t "flap %s->%s cleared" (Topology.name t.topo src)
+    (Topology.name t.topo dst);
+  Network.clear_flap t.net ~src ~dst
+
+let clear_flaps t =
+  fault t "all flaps cleared";
+  Network.clear_flaps t.net
+
+let dup_storm t ~prob =
+  fault t "duplication storm: p=%g on all links" prob;
+  Network.set_duplication_all t.net prob
+
+let clear_duplication t =
+  fault t "duplication storm cleared";
+  Network.clear_duplication t.net
+
 let logs_agree t ~group =
   let logs = Array.map (fun s -> Wal.dump (Service.wal s) ~group) t.services in
   let by_pos = Hashtbl.create 64 in

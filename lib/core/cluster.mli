@@ -88,6 +88,39 @@ val storm : t -> loss:float -> jitter:float -> unit
 val calm : t -> unit
 (** End a storm: drop all link-quality overrides. *)
 
+(** {2 Gray failures}
+
+    Faults where every datacenter stays up and correct but the network
+    misbehaves asymmetrically: directed cuts, slow-but-alive nodes,
+    flapping and duplicating links ({!Mdds_net.Network}'s gray-failure
+    state). *)
+
+val cut_oneway : t -> src:int -> dst:int -> unit
+(** Drop messages [src]→[dst]; the reverse direction still flows. *)
+
+val heal_oneway : t -> src:int -> dst:int -> unit
+val heal_oneways : t -> unit
+
+val slow_node : t -> int -> factor:float -> unit
+(** Multiply every link delay into and out of the datacenter by
+    [factor >= 1] (a slow-but-alive datacenter). *)
+
+val clear_slowdown : t -> int -> unit
+val clear_slowdowns : t -> unit
+
+val flap_link : t -> src:int -> dst:int -> period:float -> unit
+(** Alternate the directed link up/down with a square wave of the given
+    period (first half-period up). *)
+
+val clear_flap : t -> src:int -> dst:int -> unit
+val clear_flaps : t -> unit
+
+val dup_storm : t -> prob:float -> unit
+(** Duplicate every delivered message with the given probability on all
+    links (both copies arrive, independently delayed). *)
+
+val clear_duplication : t -> unit
+
 (** {1 Checking (test oracles)} *)
 
 val logs_agree : t -> group:string -> (unit, string) result

@@ -15,6 +15,10 @@ type t = {
   prepare_linger : float;
   read_attempts : int;
   initial_leader : int;
+  adaptive_timeouts : bool;
+  adaptive_floor : float;
+  adaptive_multiplier : float;
+  hedged_reads : bool;
 }
 
 let default =
@@ -33,6 +37,10 @@ let default =
     prepare_linger = 0.01;
     read_attempts = 3;
     initial_leader = 0;
+    adaptive_timeouts = false;
+    adaptive_floor = 0.05;
+    adaptive_multiplier = 3.0;
+    hedged_reads = false;
   }
 
 let basic = { default with protocol = Basic }

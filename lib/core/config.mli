@@ -59,6 +59,26 @@ type t = {
   initial_leader : int;
       (** [Leader] protocol: the datacenter clients prefer as transaction
           manager; on unreachability they probe the next one (round-robin). *)
+  adaptive_timeouts : bool;
+      (** [false] (paper behaviour, default): every call and broadcast
+          waits the fixed [rpc_timeout]. [true]: per-destination adaptive
+          timeouts from an EWMA of observed RTTs ({!Rtt}), clamped to
+          [[adaptive_floor, rpc_timeout]] — a slow-but-alive or silent
+          datacenter is given up on after a few believed RTTs instead of
+          the full fixed window. Off ⇒ byte-identical figures. *)
+  adaptive_floor : float;
+      (** Lower clamp of the adaptive timeout (seconds); guards against
+          an over-confident estimator starving a genuinely slow reply. *)
+  adaptive_multiplier : float;
+      (** Adaptive timeout = [adaptive_multiplier × ewma RTT], clamped. *)
+  hedged_reads : bool;
+      (** [false] (paper behaviour, default): [begin]/[read] fall back to
+          the other datacenters in random order after full timeouts.
+          [true]: fall back in nearest-first order (lowest estimated RTT
+          first) after the adaptive per-destination delay — the hedged
+          failover that keeps reads live while a local datacenter is slow
+          or half-cut. Requires {!adaptive_timeouts} to shorten the
+          per-destination wait; the ordering alone needs only samples. *)
 }
 
 val default : t

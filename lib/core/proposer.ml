@@ -15,10 +15,38 @@ type env = {
   rng : Rng.t;
   trace : Trace.t;
   trace_source : string;
+  rtt : Rtt.t option;
 }
 
 let make_env ~rpc ~config ~dc ~dcs ~rng ~trace =
-  { rpc; config; dc; dcs; rng; trace; trace_source = Printf.sprintf "prop.dc%d" dc }
+  let rtt =
+    if config.Config.adaptive_timeouts || config.Config.hedged_reads then
+      Some
+        (Rtt.create ~multiplier:config.Config.adaptive_multiplier
+           ~floor:config.Config.adaptive_floor ~cap:config.Config.rpc_timeout
+           ~dcs:(List.length dcs) ())
+    else None
+  in
+  { rpc; config; dc; dcs; rng; trace; trace_source = Printf.sprintf "prop.dc%d" dc; rtt }
+
+(* Adaptive timeouts are only *used* when the flag is on; with only
+   hedged_reads set the estimator still collects samples (for ordering)
+   but every wait stays the paper's fixed rpc_timeout. *)
+let timeout_for env ~dst =
+  match env.rtt with
+  | Some rtt when env.config.Config.adaptive_timeouts -> Rtt.timeout rtt ~dst
+  | _ -> env.config.Config.rpc_timeout
+
+let broadcast_timeout env =
+  match env.rtt with
+  | Some rtt when env.config.Config.adaptive_timeouts ->
+      Rtt.broadcast_timeout rtt ~dsts:env.dcs
+  | _ -> env.config.Config.rpc_timeout
+
+let observer env =
+  match env.rtt with
+  | None -> None
+  | Some rtt -> Some (fun ~dst ~rtt:sample -> Rtt.observe rtt ~dst sample)
 
 type choice = Propose of Txn.entry | Stop of Txn.entry | Retry
 
@@ -61,7 +89,8 @@ let broadcast_apply env ~group ~pos entry =
     (fun dst -> if dst <> env.dc then Rpc.notify env.rpc ~src:env.dc ~dst msg)
     env.dcs;
   ignore
-    (Rpc.call env.rpc ~src:env.dc ~dst:env.dc ~timeout:env.config.rpc_timeout msg)
+    (Rpc.call env.rpc ~src:env.dc ~dst:env.dc ~timeout:(timeout_for env ~dst:env.dc)
+       msg)
 
 (* One accept round: true iff a majority voted for (ballot, entry).
    Also returns the highest nextBal seen in rejections, for ballot
@@ -69,7 +98,8 @@ let broadcast_apply env ~group ~pos entry =
 let accept_round env ~group ~pos ~ballot entry =
   let acks = ref 0 in
   let replies =
-    Rpc.broadcast env.rpc ~src:env.dc ~dsts:env.dcs ~timeout:env.config.rpc_timeout
+    Rpc.broadcast env.rpc ~src:env.dc ~dsts:env.dcs
+      ~timeout:(broadcast_timeout env) ?observe:(observer env)
       ~enough:(fun responses ->
         acks :=
           List.length
@@ -97,7 +127,8 @@ let accept_round env ~group ~pos ~ballot entry =
    highest nextBal hint otherwise. *)
 let prepare_round env ~group ~pos ~ballot =
   let replies =
-    Rpc.broadcast env.rpc ~src:env.dc ~dsts:env.dcs ~timeout:env.config.rpc_timeout
+    Rpc.broadcast env.rpc ~src:env.dc ~dsts:env.dcs
+      ~timeout:(broadcast_timeout env) ?observe:(observer env)
       ~linger:env.config.prepare_linger
       ~enough:(fun responses ->
         List.length

@@ -1,0 +1,46 @@
+(* Per-destination EWMA round-trip estimator backing the adaptive timeout
+   (Config.adaptive_timeouts) and hedged-read ordering
+   (Config.hedged_reads). Pure arithmetic — no RNG, no clock — so
+   creating one never perturbs a deterministic run. *)
+
+type t = {
+  floor : float;
+  cap : float;
+  alpha : float;
+  multiplier : float;
+  ewma : float array; (* per destination; nan = no sample yet *)
+}
+
+let default_alpha = 0.125 (* TCP's 1/8: smooth but responsive *)
+
+let create ?(alpha = default_alpha) ?(multiplier = 3.0) ~floor ~cap ~dcs () =
+  if floor <= 0.0 || cap < floor then
+    invalid_arg "Rtt.create: need 0 < floor <= cap";
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Rtt.create: alpha not in (0,1]";
+  if multiplier < 1.0 then invalid_arg "Rtt.create: multiplier < 1";
+  { floor; cap; alpha; multiplier; ewma = Array.make dcs Float.nan }
+
+let observe t ~dst sample =
+  if sample >= 0.0 && dst >= 0 && dst < Array.length t.ewma then
+    let old = t.ewma.(dst) in
+    t.ewma.(dst) <-
+      (if Float.is_nan old then sample
+       else ((1.0 -. t.alpha) *. old) +. (t.alpha *. sample))
+
+let estimate t ~dst =
+  if dst < 0 || dst >= Array.length t.ewma then None
+  else
+    let e = t.ewma.(dst) in
+    if Float.is_nan e then None else Some e
+
+let clamp t x = Float.min t.cap (Float.max t.floor x)
+
+(* An unsampled destination gets the full cap: adaptivity only ever
+   tightens a timeout after evidence, never guesses short. *)
+let timeout t ~dst =
+  match estimate t ~dst with
+  | None -> t.cap
+  | Some e -> clamp t (t.multiplier *. e)
+
+let broadcast_timeout t ~dsts =
+  List.fold_left (fun acc dst -> Float.max acc (timeout t ~dst)) t.floor dsts

@@ -49,14 +49,26 @@ type t = {
   mutable recoveries : int;
   mutable scrubbed : int;
   mutable relearned : int;
+  mutable dup_applies : int;
+  mutable dup_claims : int;
+  mutable dup_submits : int;
 }
 
 type recovery_stats = { recoveries : int; scrubbed : int; relearned : int }
+
+type dedup_stats = { dup_applies : int; dup_claims : int; dup_submits : int }
 
 let dc t = t.dc
 let store t = t.store
 let wal t = t.wal
 let learns t = t.learns
+
+let dedup_stats (t : t) =
+  {
+    dup_applies = t.dup_applies;
+    dup_claims = t.dup_claims;
+    dup_submits = t.dup_submits;
+  }
 
 let keys_of t ~group =
   match Hashtbl.find_opt t.group_keys group with
@@ -229,7 +241,12 @@ let handle_claim t ~group ~pos ~claimant =
     | None -> None
   in
   match owner () with
-  | Some winner -> Messages.Claim_reply { first = String.equal winner claimant }
+  | Some winner ->
+      (* A replayed claim from the registered owner (duplicated link or
+         client retry) re-reads the durable register; the answer is the
+         original grant, never a second one. *)
+      if String.equal winner claimant then t.dup_claims <- t.dup_claims + 1;
+      Messages.Claim_reply { first = String.equal winner claimant }
   | None ->
       if
         Store.check_and_write t.store ~key ~test_attribute:"owner"
@@ -268,7 +285,37 @@ let handle_submit t ~group (record : Txn.record) =
           let last = Wal.last_position t.wal ~group in
           match ensure_applied t ~group ~upto:last with
           | Error _ -> Messages.Submit_reply { result = Messages.No_quorum }
-          | Ok () ->
+          | Ok () -> (
+              (* A duplicated or replayed submission (duplicating link,
+                 client retry) must not be sequenced a second time — the
+                 same transaction at two positions is an L2 violation
+                 (found by gray-failure chaos seed 2: dup-storm under the
+                 leader protocol). The log is the durable record of what
+                 was already sequenced: answer from it. A committed record
+                 always sits above its read position (positions up to it
+                 were decided when it was built), so the scan is short. *)
+              let already_at =
+                let lo =
+                  1
+                  + max record.Txn.read_position
+                      (Wal.compacted_position t.wal ~group)
+                in
+                let rec find pos =
+                  if pos > last then None
+                  else
+                    match Wal.entry t.wal ~group ~pos with
+                    | Some entry
+                      when Txn.mem_entry ~txn_id:record.Txn.txn_id entry ->
+                        Some pos
+                    | _ -> find (pos + 1)
+                in
+                find lo
+              in
+              match already_at with
+              | Some pos ->
+                  t.dup_submits <- t.dup_submits + 1;
+                  Messages.Submit_reply { result = Messages.Accepted_at pos }
+              | None ->
               (* Fine-grained conflict check against committed state: a
                  read is stale if its key was overwritten after the
                  transaction's read position (the §7 sketch: "check each
@@ -322,7 +369,7 @@ let handle_submit t ~group (record : Txn.record) =
                        still be completed by someone else. *)
                     if !exposed then
                       Messages.Submit_reply { result = Messages.In_doubt }
-                    else Messages.Submit_reply { result = Messages.No_quorum })
+                    else Messages.Submit_reply { result = Messages.No_quorum }))
       in
       attempt 5)
 
@@ -435,8 +482,15 @@ let handle t ~src:_ request =
       handle_accept t ~group ~pos ~ballot ~entry
   | Messages.Apply { group; pos; entry } ->
       (* An apply at or below the compaction point is stale news: the
-         entry's effects are already part of the checkpoint. *)
-      if not (compacted t ~group ~pos) then Wal.append t.wal ~group ~pos entry;
+         entry's effects are already part of the checkpoint. Above it,
+         [Wal.append] is idempotent — a duplicated or replayed apply for
+         an already-recorded position is counted and absorbed, never
+         applied twice (safety under duplicating links). *)
+      if not (compacted t ~group ~pos) then begin
+        if Wal.entry t.wal ~group ~pos <> None then
+          t.dup_applies <- t.dup_applies + 1;
+        Wal.append t.wal ~group ~pos entry
+      end;
       Messages.Applied
   | Messages.Claim_leadership { group; pos; _ } when compacted t ~group ~pos ->
       (* Compaction deleted this position's claim row, and the claim is a
@@ -674,6 +728,9 @@ let start ?(storage = Store.Sync_always) ~rpc ~config ~dc ~dcs ~trace () =
       recoveries = 0;
       scrubbed = 0;
       relearned = 0;
+      dup_applies = 0;
+      dup_claims = 0;
+      dup_submits = 0;
     }
   in
   Rpc.serve rpc ~node:dc ~processing:config.processing_delay (fun ~src request ->

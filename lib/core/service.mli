@@ -54,6 +54,25 @@ val recovery_stats : t -> recovery_stats
 (** Crash-recovery telemetry (PROTOCOL.md §7), reported by the chaos
     runner. *)
 
+type dedup_stats = {
+  dup_applies : int;
+      (** Apply notifications for a position the log already holds —
+          duplicated one-way messages (or proposer retries) absorbed by
+          {!Mdds_wal.Wal.append}'s idempotence instead of applied twice. *)
+  dup_claims : int;
+      (** Leadership claims replayed by the registered owner; answered
+          from the durable first-wins register, never re-granted. *)
+  dup_submits : int;
+      (** Submissions whose transaction the log already holds — a
+          duplicated or replayed [Submit] is answered with the original
+          position instead of being sequenced twice (an L2 violation;
+          found by gray-failure chaos under the leader protocol). *)
+}
+
+val dedup_stats : t -> dedup_stats
+(** Duplicate-delivery telemetry (gray-failure chaos: duplicating links),
+    reported by the chaos runner. *)
+
 val compact : t -> group:string -> upto:int -> (unit, [ `Not_applied ]) result
 (** Checkpoint: discard the applied log prefix 1..[upto] and its Paxos
     acceptor state. Refused if the prefix is not fully applied. Replicas

@@ -8,7 +8,11 @@ type stats = {
   dropped_loss : int;
   dropped_down : int;
   dropped_cut : int;
+  dropped_oneway : int;
+  duplicated : int;
 }
+
+type flap = { period : float; since : float }
 
 type 'msg t = {
   engine : Engine.t;
@@ -18,6 +22,11 @@ type 'msg t = {
   down : bool array;
   overrides : (int * int, Topology.link) Hashtbl.t;
   mutable group_of : int array option; (* partition group per node, if any *)
+  oneway_cuts : (int * int, unit) Hashtbl.t; (* directed src -> dst cuts *)
+  flaps : (int * int, flap) Hashtbl.t; (* directed flapping links *)
+  slowdown : float array; (* per-node delay multiplier; 1.0 = healthy *)
+  dup_links : (int * int, float) Hashtbl.t; (* directed dup probability *)
+  mutable dup_active : int; (* links with dup > 0: gates the extra RNG draw *)
   mutable sent : int;
   mutable delivered : int;
   sent_by : int array;
@@ -25,6 +34,8 @@ type 'msg t = {
   mutable dropped_loss : int;
   mutable dropped_down : int;
   mutable dropped_cut : int;
+  mutable dropped_oneway : int;
+  mutable duplicated : int;
 }
 
 let create engine topo =
@@ -35,6 +46,11 @@ let create engine topo =
     boxes = Hashtbl.create 64;
     down = Array.make (Topology.size topo) false;
     overrides = Hashtbl.create 16;
+    oneway_cuts = Hashtbl.create 8;
+    flaps = Hashtbl.create 8;
+    slowdown = Array.make (Topology.size topo) 1.0;
+    dup_links = Hashtbl.create 8;
+    dup_active = 0;
     sent_by = Array.make (Topology.size topo) 0;
     delivered_to = Array.make (Topology.size topo) 0;
     group_of = None;
@@ -43,6 +59,8 @@ let create engine topo =
     dropped_loss = 0;
     dropped_down = 0;
     dropped_cut = 0;
+    dropped_oneway = 0;
+    duplicated = 0;
   }
 
 let engine t = t.engine
@@ -62,6 +80,19 @@ let cut t src dst =
   | None -> false
   | Some groups -> groups.(src) <> groups.(dst)
 
+(* A flapping link alternates between up and down half-periods, phase
+   anchored at injection time (deterministic in the clock, no RNG). The
+   first half-period is up, so traffic right at injection still passes. *)
+let flap_down t src dst =
+  match Hashtbl.find_opt t.flaps (src, dst) with
+  | None -> false
+  | Some { period; since } ->
+      let phase = (Engine.now t.engine -. since) /. (period /. 2.0) in
+      int_of_float phase land 1 = 1
+
+let oneway_blocked t src dst =
+  Hashtbl.mem t.oneway_cuts (src, dst) || flap_down t src dst
+
 let link t ~src ~dst =
   match Hashtbl.find_opt t.overrides (src, dst) with
   | Some link -> link
@@ -73,30 +104,51 @@ let clear_link_override t ~src ~dst = Hashtbl.remove t.overrides (src, dst)
 
 let clear_overrides t = Hashtbl.reset t.overrides
 
+let dup_prob t src dst =
+  if t.dup_active = 0 then 0.0
+  else Option.value (Hashtbl.find_opt t.dup_links (src, dst)) ~default:0.0
+
+(* Sample a one-way flight and schedule the delivery. Every gray-failure
+   state is re-checked at delivery time: the destination may have failed,
+   a partition or a directed cut may have appeared, or a flapping link
+   may be in a down half-period, while the message was in flight. *)
+let deliver t ~src ~dst link box msg =
+  let jitter = Rng.uniform t.rng (1.0 -. link.Topology.jitter) (1.0 +. link.Topology.jitter) in
+  let delay = link.Topology.delay *. jitter *. t.slowdown.(src) *. t.slowdown.(dst) in
+  Engine.schedule t.engine
+    ~at:(Engine.now t.engine +. delay)
+    (fun () ->
+      if t.down.(dst) then t.dropped_down <- t.dropped_down + 1
+      else if cut t src dst then t.dropped_cut <- t.dropped_cut + 1
+      else if oneway_blocked t src dst then
+        t.dropped_oneway <- t.dropped_oneway + 1
+      else begin
+        t.delivered <- t.delivered + 1;
+        t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
+        Mailbox.push box msg
+      end)
+
 let send t ~src ~dst ~port msg =
   t.sent <- t.sent + 1;
   t.sent_by.(src) <- t.sent_by.(src) + 1;
   if t.down.(src) || t.down.(dst) then t.dropped_down <- t.dropped_down + 1
   else if cut t src dst then t.dropped_cut <- t.dropped_cut + 1
+  else if oneway_blocked t src dst then
+    t.dropped_oneway <- t.dropped_oneway + 1
   else
     let link = link t ~src ~dst in
     if Rng.bool t.rng link.loss then t.dropped_loss <- t.dropped_loss + 1
     else begin
-      let jitter = Rng.uniform t.rng (1.0 -. link.jitter) (1.0 +. link.jitter) in
-      let delay = link.delay *. jitter in
       let box = endpoint t ~node:dst ~port in
-      Engine.schedule t.engine
-        ~at:(Engine.now t.engine +. delay)
-        (fun () ->
-          (* Re-check at delivery: the destination may have failed, or a
-             partition appeared, while the message was in flight. *)
-          if t.down.(dst) then t.dropped_down <- t.dropped_down + 1
-          else if cut t src dst then t.dropped_cut <- t.dropped_cut + 1
-          else begin
-            t.delivered <- t.delivered + 1;
-            t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
-            Mailbox.push box msg
-          end)
+      deliver t ~src ~dst link box msg;
+      (* Duplicate delivery: an independently delayed second copy. The
+         extra RNG draw only happens while some link has a non-zero dup
+         probability, so fault-free runs keep a byte-identical stream. *)
+      let p = dup_prob t src dst in
+      if p > 0.0 && Rng.bool t.rng p then begin
+        t.duplicated <- t.duplicated + 1;
+        deliver t ~src ~dst link box msg
+      end
     end
 
 let set_down t node =
@@ -117,6 +169,56 @@ let partition t groups =
 
 let heal t = t.group_of <- None
 
+(* --- gray failures ------------------------------------------------- *)
+
+let cut_oneway t ~src ~dst = Hashtbl.replace t.oneway_cuts (src, dst) ()
+
+let heal_oneway t ~src ~dst = Hashtbl.remove t.oneway_cuts (src, dst)
+
+let clear_oneway_cuts t = Hashtbl.reset t.oneway_cuts
+
+let set_slowdown t node factor =
+  if factor < 1.0 then invalid_arg "Network.set_slowdown: factor < 1";
+  t.slowdown.(node) <- factor
+
+let clear_slowdown t node = t.slowdown.(node) <- 1.0
+
+let clear_slowdowns t = Array.fill t.slowdown 0 (Array.length t.slowdown) 1.0
+
+let flap_link t ~src ~dst ~period =
+  if period <= 0.0 then invalid_arg "Network.flap_link: period <= 0";
+  Hashtbl.replace t.flaps (src, dst) { period; since = Engine.now t.engine }
+
+let clear_flap t ~src ~dst = Hashtbl.remove t.flaps (src, dst)
+
+let clear_flaps t = Hashtbl.reset t.flaps
+
+let set_duplication t ~src ~dst p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Network.set_duplication: p not in [0,1]";
+  let had = Hashtbl.mem t.dup_links (src, dst) in
+  if p = 0.0 then begin
+    if had then begin
+      Hashtbl.remove t.dup_links (src, dst);
+      t.dup_active <- t.dup_active - 1
+    end
+  end
+  else begin
+    Hashtbl.replace t.dup_links (src, dst) p;
+    if not had then t.dup_active <- t.dup_active + 1
+  end
+
+let set_duplication_all t p =
+  let n = Topology.size t.topo in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then set_duplication t ~src ~dst p
+    done
+  done
+
+let clear_duplication t =
+  Hashtbl.reset t.dup_links;
+  t.dup_active <- 0
+
 let stats t =
   {
     sent = t.sent;
@@ -124,6 +226,8 @@ let stats t =
     dropped_loss = t.dropped_loss;
     dropped_down = t.dropped_down;
     dropped_cut = t.dropped_cut;
+    dropped_oneway = t.dropped_oneway;
+    duplicated = t.duplicated;
   }
 
 let sent_by t node = t.sent_by.(node)

@@ -1,10 +1,18 @@
 (** Simulated datagram transport between datacenters.
 
     Matches the paper's communication model (§2.2): messages are
-    UDP-like — unordered across links, possibly lost, never corrupted or
-    duplicated; "either the message arrives before a known timeout or it is
-    lost". Datacenters can go offline and come back without notice, and
-    the network can be partitioned; both drop traffic silently.
+    UDP-like — unordered across links, possibly lost, never corrupted;
+    "either the message arrives before a known timeout or it is lost".
+    Datacenters can go offline and come back without notice, and the
+    network can be partitioned; both drop traffic silently.
+
+    Beyond the paper's clean-failure model, the transport can also inject
+    {e gray failures}: one-way (directed) link cuts, flapping links that
+    alternate up/down half-periods, slow-but-alive datacenters (per-node
+    delay multipliers) and duplicate delivery (per-link probability of a
+    second, independently delayed copy). All of these compose with
+    outages, partitions and link-quality overrides; with none active, the
+    transport's RNG stream is byte-identical to the clean model.
 
     Messages are addressed to a (node, port) pair; each such pair owns a
     {!Mdds_sim.Mailbox}. *)
@@ -17,6 +25,10 @@ type stats = {
   dropped_loss : int;  (** Lost to random link loss. *)
   dropped_down : int;  (** Dropped because an endpoint was offline. *)
   dropped_cut : int;  (** Dropped by a partition. *)
+  dropped_oneway : int;
+      (** Dropped by a directed cut or a flapping link's down
+          half-period. *)
+  duplicated : int;  (** Extra copies injected by duplicate delivery. *)
 }
 
 val create : Mdds_sim.Engine.t -> Topology.t -> 'msg t
@@ -30,7 +42,9 @@ val endpoint : 'msg t -> node:int -> port:string -> 'msg Mdds_sim.Mailbox.t
 
 val send : 'msg t -> src:int -> dst:int -> port:string -> 'msg -> unit
 (** Fire-and-forget send. Sampled delay; silently dropped on loss, outage
-    of either endpoint (checked at send *and* delivery time) or partition. *)
+    of either endpoint, partition, directed cut or flap down-phase (all
+    checked at send *and* delivery time). May deliver twice under an
+    active duplication probability. *)
 
 (** {1 Fault injection} *)
 
@@ -63,6 +77,50 @@ val clear_link_override : 'msg t -> src:int -> dst:int -> unit
 
 val clear_overrides : 'msg t -> unit
 (** Drop every link override (end of a storm). *)
+
+(** {2 Gray failures}
+
+    The degraded-network regime that dominates real multi-datacenter
+    outages: routes that fail in one direction only, links that flap,
+    datacenters that are slow but alive, and duplicate delivery. None of
+    these mark a node down — [is_down] stays false — which is exactly
+    what makes them gray. *)
+
+val cut_oneway : 'msg t -> src:int -> dst:int -> unit
+(** Drop all traffic [src → dst]; the reverse direction is untouched
+    (asymmetric route failure). Counted in [dropped_oneway]. *)
+
+val heal_oneway : 'msg t -> src:int -> dst:int -> unit
+val clear_oneway_cuts : 'msg t -> unit
+
+val set_slowdown : 'msg t -> int -> float -> unit
+(** Multiply the delay of every message into {e and} out of this node by
+    [factor >= 1] (slow-but-alive datacenter). Composes multiplicatively
+    when both endpoints are slowed. *)
+
+val clear_slowdown : 'msg t -> int -> unit
+val clear_slowdowns : 'msg t -> unit
+
+val flap_link : 'msg t -> src:int -> dst:int -> period:float -> unit
+(** Make the directed link alternate up/down half-periods of
+    [period / 2] seconds, phase-anchored at the call (starts up).
+    Messages sent or in flight during a down half-period are dropped and
+    counted in [dropped_oneway]. Deterministic in the clock — no RNG. *)
+
+val clear_flap : 'msg t -> src:int -> dst:int -> unit
+val clear_flaps : 'msg t -> unit
+
+val set_duplication : 'msg t -> src:int -> dst:int -> float -> unit
+(** With probability [p], a message on this directed link is delivered
+    twice, the second copy with an independently sampled delay (counted
+    in [duplicated]). [p = 0] clears the link. The duplication RNG draw
+    only happens while some link has [p > 0], so runs without duplication
+    keep a byte-identical RNG stream. *)
+
+val set_duplication_all : 'msg t -> float -> unit
+(** Set the duplication probability on every directed link. *)
+
+val clear_duplication : 'msg t -> unit
 
 val stats : 'msg t -> stats
 

@@ -103,10 +103,12 @@ let call t ~src ~dst ~timeout req =
       Network.send t.net ~src ~dst ~port:service_port
         (Request { id; reply_to = src; src; oneway = false; payload = req }))
 
-let broadcast t ~src ~dsts ~timeout ?(linger = 0.0) ?(enough = fun _ -> false) req =
+let broadcast t ~src ~dsts ~timeout ?(linger = 0.0) ?(enough = fun _ -> false)
+    ?observe req =
   let results = ref [] in
   let finished = ref false in
   let lingering = ref false in
+  let started = Engine.now (engine t) in
   Engine.suspend (fun wake ->
       let ids = List.map (fun _ -> fresh_id t) dsts in
       let timers = ref [] in
@@ -145,6 +147,9 @@ let broadcast t ~src ~dsts ~timeout ?(linger = 0.0) ?(enough = fun _ -> false) r
           ignore
             (register t id (fun resp ->
                  if not !finished then begin
+                   (match observe with
+                   | None -> ()
+                   | Some f -> f ~dst ~rtt:(Engine.now (engine t) -. started));
                    results := (dst, resp) :: !results;
                    if List.length !results = List.length dsts || enough !results
                    then satisfied ()

@@ -46,6 +46,7 @@ val broadcast :
   timeout:float ->
   ?linger:float ->
   ?enough:((int * 'resp) list -> bool) ->
+  ?observe:(dst:int -> rtt:float -> unit) ->
   'req ->
   (int * 'resp) list
 (** Send the request to every destination in parallel and collect
@@ -53,7 +54,10 @@ val broadcast :
     the timeout fires; returns whatever was collected (possibly early).
     [linger] keeps collecting for that many extra seconds after [enough]
     first holds, so near-simultaneous responses beyond the quorum are still
-    seen (Paxos-CP's tally wants more than a bare majority, §5). *)
+    seen (Paxos-CP's tally wants more than a bare majority, §5).
+    [observe] is invoked once per counted reply with the destination and
+    its observed round-trip time (the adaptive timeout estimator's feed);
+    late or duplicate replies are never observed. *)
 
 val notify : ('req, 'resp) t -> src:int -> dst:int -> 'req -> unit
 (** One-way message: no reply is sent or awaited (used for the apply phase,

@@ -111,7 +111,8 @@ let test_connected_majority () =
             minority := List.hd parts
         | Schedule.Heal -> minority := []
         | Schedule.Restart _ | Schedule.Dirty_crash _ | Schedule.Torn_write _
-        | Schedule.Storm _ | Schedule.Compact _ -> ());
+        | Schedule.Storm _ | Schedule.Compact _ | Schedule.One_way_cut _
+        | Schedule.Slow_node _ | Schedule.Flap _ | Schedule.Dup_storm _ -> ());
         check ())
       s
   done
@@ -172,6 +173,109 @@ let test_explicit_schedule () =
   | Some v -> Alcotest.failf "explicit schedule run failed: %s" v
 
 (* ------------------------------------------------------------------ *)
+(* Gray failures: an explicit schedule drawing every new fault kind must
+   pass all oracles — including the bounded-unavailability one — and the
+   report must carry a meaningful availability timeline and per-fault
+   time-to-recovery. The dup-storm window is made aggressive enough that
+   duplicated deliveries demonstrably reached the services. *)
+
+let test_gray_failures () =
+  let spec = Runner.spec ~seed:7 "VVV" in
+  let schedule =
+    Schedule.of_string
+      "((2 (one-way-cut 0 1 5)) (4 (slow-node 2 4 8)) (6 (flap 1 2 0.4 10)) \
+       (9 (dup-storm 0.5 14)) (12 (one-way-cut 2 0 16)))"
+  in
+  (match Schedule.validate ~dcs:3 schedule with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "gray schedule invalid: %s" m);
+  let report = Runner.run ~schedule spec in
+  (match report.Runner.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "gray-failure run violated an oracle: %s@.repro: %s" v
+        (Runner.repro report));
+  let stats = report.Runner.net_stats in
+  Alcotest.(check bool)
+    "one-way cut or flap dropped traffic" true
+    (stats.Network.dropped_oneway > 0);
+  Alcotest.(check bool) "messages were duplicated" true (stats.Network.duplicated > 0);
+  Alcotest.(check bool)
+    "timeline covers run + heal windows" true
+    (Array.length report.Runner.timeline
+    >= int_of_float (spec.Runner.duration /. spec.Runner.probe_window));
+  Alcotest.(check bool) "some windows were up" true (Runner.up_windows report > 0);
+  Alcotest.(check int)
+    "one ttr entry per fault"
+    (List.length schedule)
+    (List.length report.Runner.recovery_times);
+  List.iter
+    (fun (_, ttr) ->
+      match ttr with
+      | None -> Alcotest.fail "a fault never saw a probe commit after it"
+      | Some t -> Alcotest.(check bool) "ttr non-negative" true (t >= 0.0))
+    report.Runner.recovery_times
+
+(* Duplicated deliveries must be absorbed idempotently: under a
+   full-duration dup-storm, replayed Apply notifications hit the services
+   (counted by the dedup telemetry) while every safety oracle still
+   passes — nothing is applied or granted twice. *)
+
+let test_dup_storm_idempotence () =
+  let spec = Runner.spec ~seed:3 "VVV" in
+  let schedule = Schedule.of_string "((1 (dup-storm 0.8 19)))" in
+  let report = Runner.run ~schedule spec in
+  (match report.Runner.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "dup-storm run violated an oracle: %s@.repro: %s" v
+        (Runner.repro report));
+  Alcotest.(check bool)
+    "duplicates were injected" true
+    (report.Runner.net_stats.Network.duplicated > 0);
+  Alcotest.(check bool)
+    "services saw and absorbed replayed applies" true
+    (report.Runner.dedup.Mdds_core.Service.dup_applies > 0)
+
+(* The shrinker understands the new kinds: a violation that requires a
+   one-way cut shrinks to a schedule that still contains one, and window
+   halving applies to gray-failure windows too. *)
+
+let test_shrink_gray () =
+  let spec = Runner.spec ~seed:5 "VVV" in
+  let oracle cluster =
+    if (Network.stats (Cluster.network cluster)).Network.dropped_oneway > 0 then
+      Error "injected: a message was dropped by a directed cut or flap"
+    else Ok ()
+  in
+  let report = Runner.run ~extra_oracle:oracle spec in
+  (* Seed 5 must draw at least one one-way cut or flap with traffic for
+     this test to bite; if not, fall back to an explicit schedule. *)
+  let report =
+    if Runner.failed report then report
+    else
+      Runner.run
+        ~schedule:(Schedule.of_string "((2 (crash 1)) (3 (one-way-cut 0 1 12)) (5 (compact 0)) (8 (recover 1)))")
+        ~extra_oracle:oracle spec
+  in
+  Alcotest.(check bool) "run fails" true (Runner.failed report);
+  let fails sch =
+    Runner.failed (Runner.run ~schedule:sch ~extra_oracle:oracle spec)
+  in
+  let minimal, _runs = Shrink.minimize ~fails report.Runner.schedule in
+  Alcotest.(check bool) "minimal still fails" true (fails minimal);
+  Alcotest.(check bool)
+    "minimal keeps a gray fault" true
+    (List.exists
+       (fun { Schedule.fault; _ } ->
+         match fault with
+         | Schedule.One_way_cut _ | Schedule.Flap _ -> true
+         | _ -> false)
+       minimal);
+  let replayed = Schedule.of_string (Schedule.to_string minimal) in
+  Alcotest.(check bool) "replay equals minimal" true (replayed = minimal)
+
+(* ------------------------------------------------------------------ *)
 (* Regression: restart with a warm cache. Each service builds up decoded
    WAL/acceptor caches under traffic, then restarts (dropping the
    volatile view), keeps serving, is compacted (pruning the view) and
@@ -213,6 +317,12 @@ let () =
             test_shrinker;
           Alcotest.test_case "restart with warm cache stays coherent" `Quick
             test_restart_warm_cache;
+          Alcotest.test_case "gray failures pass oracles with timeline" `Quick
+            test_gray_failures;
+          Alcotest.test_case "dup-storm deliveries absorbed idempotently"
+            `Quick test_dup_storm_idempotence;
+          Alcotest.test_case "shrinker keeps gray faults" `Quick
+            test_shrink_gray;
         ] );
       ( "soak",
         [ Alcotest.test_case "battery: 21 seed/topology/protocol combos" `Slow

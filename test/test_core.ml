@@ -9,6 +9,8 @@ module Messages = Mdds_core.Messages
 module Config = Mdds_core.Config
 module Combine = Mdds_core.Combine
 module Audit = Mdds_core.Audit
+module Proposer = Mdds_core.Proposer
+module Rtt = Mdds_core.Rtt
 module Ballot = Mdds_paxos.Ballot
 module Acceptor = Mdds_paxos.Acceptor
 module Topology = Mdds_net.Topology
@@ -575,6 +577,142 @@ let test_audit_aggregates () =
     (List.length (Audit.commit_latencies audit ~promotions:(Some 2)));
   Alcotest.(check int) "txn latencies" 4 (List.length (Audit.txn_latencies audit))
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive timeouts and duplicate-delivery idempotence.                *)
+
+let prop_rtt_bounded =
+  (* Whatever samples the estimator sees — including samples for
+     out-of-range destinations, which it must ignore — every derived
+     timeout stays inside [floor, rpc_timeout]. *)
+  QCheck.Test.make ~name:"adaptive timeout stays within [floor, cap]" ~count:300
+    QCheck.(list (pair (int_bound 4) (float_range 0.0 10.0)))
+    (fun samples ->
+      let floor = 0.05 and cap = 2.0 in
+      let rtt = Rtt.create ~floor ~cap ~dcs:3 () in
+      List.iter (fun (dst, s) -> Rtt.observe rtt ~dst s) samples;
+      let dsts = [ 0; 1; 2 ] in
+      let bounded t = t >= floor && t <= cap in
+      List.for_all (fun dst -> bounded (Rtt.timeout rtt ~dst)) dsts
+      && bounded (Rtt.broadcast_timeout rtt ~dsts))
+
+let prop_rtt_monotone =
+  (* The timeout moves toward the evidence: a sample above the current
+     estimate never lowers it, a sample below never raises it (clamping
+     preserves monotonicity). *)
+  QCheck.Test.make ~name:"ewma timeout moves toward the samples" ~count:300
+    QCheck.(pair (list (float_range 0.001 5.0)) (float_range 0.001 5.0))
+    (fun (warmup, sample) ->
+      let rtt = Rtt.create ~floor:0.01 ~cap:10.0 ~dcs:1 () in
+      List.iter (fun s -> Rtt.observe rtt ~dst:0 s) warmup;
+      let before = Rtt.timeout rtt ~dst:0 in
+      let est = Rtt.estimate rtt ~dst:0 in
+      Rtt.observe rtt ~dst:0 sample;
+      let after = Rtt.timeout rtt ~dst:0 in
+      match est with
+      | None -> after <= before (* first sample only tightens from cap *)
+      | Some e -> if sample >= e then after >= before else after <= before)
+
+let test_timeout_fallback_exact () =
+  (* With the flags off the client must behave byte-identically to the
+     paper's fixed timeout: no estimator is built and [timeout_for]
+     returns [rpc_timeout] exactly. *)
+  let engine = Mdds_sim.Engine.create ~seed:1 () in
+  let net = Mdds_net.Network.create engine (Topology.ec2 "VVV") in
+  let rpc = Mdds_net.Rpc.create net in
+  let mk config =
+    Proposer.make_env ~rpc ~config ~dc:0 ~dcs:[ 0; 1; 2 ]
+      ~rng:(Mdds_sim.Rng.create 1)
+      ~trace:(Mdds_sim.Trace.create engine)
+  in
+  let off = mk Config.default in
+  Alcotest.(check bool) "no estimator when flags off" true (off.Proposer.rtt = None);
+  Alcotest.(check (float 0.0)) "timeout_for is exactly rpc_timeout"
+    Config.default.Config.rpc_timeout
+    (Proposer.timeout_for off ~dst:1);
+  Alcotest.(check (float 0.0)) "broadcast_timeout is exactly rpc_timeout"
+    Config.default.Config.rpc_timeout
+    (Proposer.broadcast_timeout off);
+  let on = mk { Config.default with Config.adaptive_timeouts = true } in
+  (match on.Proposer.rtt with
+  | None -> Alcotest.fail "estimator missing with flag on"
+  | Some rtt ->
+      (* No samples yet: still the full rpc_timeout. *)
+      Alcotest.(check (float 0.0)) "unsampled destination gets the cap"
+        Config.default.Config.rpc_timeout
+        (Proposer.timeout_for on ~dst:1);
+      (* Fast observed RTTs tighten the timeout below the fixed one. *)
+      for _ = 1 to 50 do
+        Rtt.observe rtt ~dst:1 0.01
+      done;
+      Alcotest.(check bool) "samples tighten the timeout" true
+        (Proposer.timeout_for on ~dst:1 < Config.default.Config.rpc_timeout);
+      Alcotest.(check bool) "never below the floor" true
+        (Proposer.timeout_for on ~dst:1 >= Config.default.Config.adaptive_floor));
+  Alcotest.check_raises "floor > cap rejected"
+    (Invalid_argument "Rtt.create: need 0 < floor <= cap") (fun () ->
+      ignore (Rtt.create ~floor:3.0 ~cap:2.0 ~dcs:3 ()))
+
+let test_service_duplicate_apply_idempotent () =
+  (* A duplicated or replayed apply for an already-recorded position is
+     absorbed and counted, never applied twice. *)
+  with_service (fun _cluster service ->
+      let entry = [ record "t1" ~writes:[ ("x", "1") ] ] in
+      let apply () =
+        match Service.handle service ~src:1 (Messages.Apply { group; pos = 1; entry }) with
+        | Messages.Applied -> ()
+        | _ -> Alcotest.fail "apply"
+      in
+      apply ();
+      apply ();
+      apply ();
+      Alcotest.(check int) "replays counted" 2
+        (Service.dedup_stats service).Service.dup_applies;
+      (match Service.handle service ~src:0 (Messages.Get_read_position { group }) with
+      | Messages.Read_position { position = 1; _ } -> ()
+      | _ -> Alcotest.fail "log advanced past the duplicate");
+      match Service.handle service ~src:0 (Messages.Read { group; key = "x"; position = 1 }) with
+      | Messages.Value { value = Some "1" } -> ()
+      | _ -> Alcotest.fail "value applied once")
+
+let test_service_duplicate_submit_same_position () =
+  (* A duplicated or replayed submission (duplicating link, client retry
+     under the leader protocol) is answered with the position the
+     transaction already holds — sequencing it twice is an L2 violation
+     (found by gray-failure chaos seed 2). *)
+  with_service (fun _cluster service ->
+      let r = record "t1" ~writes:[ ("x", "1") ] in
+      let submit () =
+        match
+          Service.handle service ~src:0 (Messages.Submit { group; record = r })
+        with
+        | Messages.Submit_reply { result = Messages.Accepted_at pos } -> pos
+        | _ -> Alcotest.fail "submit accepted"
+      in
+      let first = submit () in
+      let replay = submit () in
+      Alcotest.(check int) "same position, not a second slot" first replay;
+      Alcotest.(check int) "replay counted" 1
+        (Service.dedup_stats service).Service.dup_submits)
+
+let test_service_duplicate_claim_first_wins () =
+  (* The leadership claim is a durable first-wins register: a replayed
+     claim from the registered owner gets the original grant back (and is
+     counted), a rival is still refused. *)
+  with_service (fun _cluster service ->
+      let claim claimant =
+        match
+          Service.handle service ~src:1
+            (Messages.Claim_leadership { group; pos = 1; claimant })
+        with
+        | Messages.Claim_reply { first } -> first
+        | _ -> Alcotest.fail "claim reply"
+      in
+      Alcotest.(check bool) "first claim granted" true (claim "dc1");
+      Alcotest.(check bool) "replayed claim re-granted, not re-won" true (claim "dc1");
+      Alcotest.(check bool) "rival refused" false (claim "dc2");
+      let stats = Service.dedup_stats service in
+      Alcotest.(check int) "replay counted" 1 stats.Service.dup_claims)
+
 let () =
   Alcotest.run "core"
     [
@@ -609,5 +747,21 @@ let () =
         [
           Alcotest.test_case "config" `Quick test_config;
           Alcotest.test_case "audit aggregates" `Quick test_audit_aggregates;
+        ] );
+      ( "adaptive-timeouts",
+        [
+          QCheck_alcotest.to_alcotest prop_rtt_bounded;
+          QCheck_alcotest.to_alcotest prop_rtt_monotone;
+          Alcotest.test_case "exact fallback with flags off" `Quick
+            test_timeout_fallback_exact;
+        ] );
+      ( "duplicate-delivery",
+        [
+          Alcotest.test_case "replayed apply absorbed" `Quick
+            test_service_duplicate_apply_idempotent;
+          Alcotest.test_case "replayed submit keeps its position" `Quick
+            test_service_duplicate_submit_same_position;
+          Alcotest.test_case "replayed claim re-granted" `Quick
+            test_service_duplicate_claim_first_wins;
         ] );
     ]

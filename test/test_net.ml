@@ -149,6 +149,104 @@ let test_partition_singleton_default () =
   Alcotest.(check int) "both dropped" 2 (Network.stats net).Network.dropped_cut
 
 (* ------------------------------------------------------------------ *)
+(* Gray failures.                                                       *)
+
+let test_oneway_cut_asymmetric () =
+  let engine, net = make_net () in
+  let box0 = Network.endpoint net ~node:0 ~port:"p" in
+  let box1 = Network.endpoint net ~node:1 ~port:"p" in
+  Network.cut_oneway net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 ~port:"p" "blocked";
+  Network.send net ~src:1 ~dst:0 ~port:"p" "flows";
+  Engine.run engine;
+  Alcotest.(check int) "cut direction dropped" 0 (Mailbox.length box1);
+  Alcotest.(check int) "reverse direction delivered" 1 (Mailbox.length box0);
+  Alcotest.(check int) "oneway accounting" 1
+    (Network.stats net).Network.dropped_oneway;
+  Network.heal_oneway net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 ~port:"p" "after-heal";
+  Engine.run engine;
+  Alcotest.(check int) "healed" 1 (Mailbox.length box1)
+
+let test_oneway_cut_in_flight () =
+  (* A message in flight when the directed cut lands is dropped at
+     delivery time, like outages and partitions. *)
+  let engine, net = make_net ~spec:"VOV" () in
+  let box1 = Network.endpoint net ~node:1 ~port:"p" in
+  Network.send net ~src:0 ~dst:1 ~port:"p" "doomed";
+  Engine.schedule engine ~at:0.001 (fun () -> Network.cut_oneway net ~src:0 ~dst:1);
+  Engine.run engine;
+  Alcotest.(check int) "dropped at delivery" 0 (Mailbox.length box1);
+  Alcotest.(check int) "counted" 1 (Network.stats net).Network.dropped_oneway
+
+let test_duplication () =
+  let engine, net = make_net () in
+  let box1 = Network.endpoint net ~node:1 ~port:"p" in
+  Network.set_duplication net ~src:0 ~dst:1 1.0;
+  Network.send net ~src:0 ~dst:1 ~port:"p" "twice";
+  Engine.run engine;
+  Alcotest.(check int) "delivered twice" 2 (Mailbox.length box1);
+  Alcotest.(check int) "duplicated counter" 1 (Network.stats net).Network.duplicated;
+  Network.clear_duplication net;
+  Network.send net ~src:0 ~dst:1 ~port:"p" "once";
+  Engine.run engine;
+  Alcotest.(check int) "cleared: single delivery" 3 (Mailbox.length box1)
+
+let test_slowdown_delays () =
+  let engine, net = make_net () in
+  let box1 = Network.endpoint net ~node:1 ~port:"p" in
+  let normal = ref 0.0 and slowed = ref 0.0 in
+  Engine.spawn engine (fun () ->
+      ignore (Mailbox.recv box1);
+      normal := Engine.now engine;
+      ignore (Mailbox.recv box1);
+      slowed := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 ~port:"p" "baseline";
+  Engine.run engine;
+  let baseline = !normal in
+  Network.set_slowdown net 1 4.0;
+  let sent_at = Engine.now engine in
+  Network.send net ~src:0 ~dst:1 ~port:"p" "slow";
+  Engine.run engine;
+  let slow_delay = !slowed -. sent_at in
+  (* Jitter is +/-10%, so a 4x multiplier is well outside noise. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "slowdown multiplies delay (%.6f vs %.6f)" slow_delay baseline)
+    true
+    (slow_delay > 3.0 *. baseline);
+  Network.clear_slowdown net 1;
+  Alcotest.check_raises "factor < 1 rejected"
+    (Invalid_argument "Network.set_slowdown: factor < 1") (fun () ->
+      Network.set_slowdown net 1 0.5)
+
+let test_flap_phases () =
+  (* A flapping link is a square wave anchored at injection: up for the
+     first half-period, down for the second. *)
+  let engine, net = make_net () in
+  let box1 = Network.endpoint net ~node:1 ~port:"p" in
+  Engine.schedule engine ~at:1.0 (fun () ->
+      Network.flap_link net ~src:0 ~dst:1 ~period:1.0);
+  (* t=1.2: up phase (1.0..1.5). t=1.7: down phase (1.5..2.0). t=2.1: up
+     again. The V-V delay (<1ms) keeps each send inside its phase. *)
+  Engine.schedule engine ~at:1.2 (fun () ->
+      Network.send net ~src:0 ~dst:1 ~port:"p" "up-1");
+  Engine.schedule engine ~at:1.7 (fun () ->
+      Network.send net ~src:0 ~dst:1 ~port:"p" "down");
+  Engine.schedule engine ~at:2.1 (fun () ->
+      Network.send net ~src:0 ~dst:1 ~port:"p" "up-2");
+  Engine.run engine;
+  Alcotest.(check int) "up phases delivered, down phase dropped" 2
+    (Mailbox.length box1);
+  Alcotest.(check int) "flap drop counted as oneway" 1
+    (Network.stats net).Network.dropped_oneway;
+  Network.clear_flap net ~src:0 ~dst:1;
+  Engine.schedule engine ~at:2.7 (fun () ->
+      (* Would be a down phase (2.5..3.0) were the flap still active. *)
+      Network.send net ~src:0 ~dst:1 ~port:"p" "cleared");
+  Engine.run engine;
+  Alcotest.(check int) "cleared flap delivers" 3 (Mailbox.length box1)
+
+(* ------------------------------------------------------------------ *)
 (* RPC.                                                                 *)
 
 let make_rpc ?(spec = "VVV") ?(loss = 0.0) ?(seed = 1) () =
@@ -330,6 +428,53 @@ let test_rpc_late_response_dropped () =
   Alcotest.(check (option string)) "first timed out" None !first;
   Alcotest.(check (option string)) "second correct" (Some "quick-by-2-from-0") !second
 
+let test_rpc_duplicate_reply_dropped () =
+  (* Regression for the "late or duplicate reply: drop" branch: a
+     duplicated response must resolve its pending call exactly once,
+     never confuse a later call, and never leak a waiter or timer. *)
+  let engine, net, rpc = make_rpc () in
+  echo_server rpc ~node:1;
+  (* Duplicate every reply on the 1 -> 0 direction; requests (0 -> 1)
+     are untouched. *)
+  Network.set_duplication net ~src:1 ~dst:0 1.0;
+  let first = ref None and second = ref None in
+  Engine.spawn engine (fun () ->
+      first := Rpc.call rpc ~src:0 ~dst:1 ~timeout:1.0 "a";
+      second := Rpc.call rpc ~src:0 ~dst:1 ~timeout:1.0 "b");
+  Engine.run engine;
+  Alcotest.(check (option string)) "first resolves once, correctly"
+    (Some "a-by-1-from-0") !first;
+  Alcotest.(check (option string)) "duplicate does not bleed into next call"
+    (Some "b-by-1-from-0") !second;
+  Alcotest.(check bool) "replies were duplicated" true
+    ((Network.stats net).Network.duplicated >= 2);
+  Alcotest.(check int) "no leaked waiters or timers" 0 (Engine.pending engine)
+
+let test_rpc_broadcast_duplicate_replies () =
+  (* Under total duplication (requests and replies both delivered twice)
+     a broadcast still counts each destination once and invokes the RTT
+     observer exactly once per counted reply. *)
+  let engine, net, rpc = make_rpc ~spec:"VVV" () in
+  for node = 0 to 2 do
+    echo_server rpc ~node
+  done;
+  Network.set_duplication_all net 1.0;
+  let observed = ref [] and got = ref [] in
+  Engine.spawn engine (fun () ->
+      got :=
+        Rpc.broadcast rpc ~src:0 ~dsts:[ 0; 1; 2 ] ~timeout:1.0
+          ~observe:(fun ~dst ~rtt:_ -> observed := dst :: !observed)
+          "m");
+  Engine.run engine;
+  Alcotest.(check (list int)) "each destination counted once" [ 0; 1; 2 ]
+    (List.sort compare (List.map fst !got));
+  Alcotest.(check (list int)) "observer fired once per counted reply"
+    [ 0; 1; 2 ]
+    (List.sort compare !observed);
+  Alcotest.(check bool) "duplicates happened" true
+    ((Network.stats net).Network.duplicated > 0);
+  Alcotest.(check int) "quiescent heap" 0 (Engine.pending engine)
+
 let () =
   Alcotest.run "net"
     [
@@ -349,6 +494,14 @@ let () =
           Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
           Alcotest.test_case "partition singleton" `Quick test_partition_singleton_default;
         ] );
+      ( "gray failures",
+        [
+          Alcotest.test_case "one-way cut is asymmetric" `Quick test_oneway_cut_asymmetric;
+          Alcotest.test_case "one-way cut during flight" `Quick test_oneway_cut_in_flight;
+          Alcotest.test_case "duplicate delivery" `Quick test_duplication;
+          Alcotest.test_case "slow node multiplies delay" `Quick test_slowdown_delays;
+          Alcotest.test_case "flapping link phases" `Quick test_flap_phases;
+        ] );
       ( "rpc",
         [
           Alcotest.test_case "call" `Quick test_rpc_call;
@@ -363,5 +516,9 @@ let () =
           Alcotest.test_case "late responses dropped" `Quick test_rpc_late_response_dropped;
           Alcotest.test_case "completed calls cancel their timers" `Quick
             test_rpc_timer_cancellation_bounds_heap;
+          Alcotest.test_case "duplicate replies dropped" `Quick
+            test_rpc_duplicate_reply_dropped;
+          Alcotest.test_case "broadcast under total duplication" `Quick
+            test_rpc_broadcast_duplicate_replies;
         ] );
     ]

@@ -75,7 +75,7 @@ let bench_combine =
   let own = List.hd records and candidates = List.tl records in
   Test.make ~name:"paxos-cp/combination-search"
     (Staged.stage (fun () ->
-         ignore (Mdds_core.Combine.best ~own ~candidates ~exhaustive_limit:4)))
+         ignore (Mdds_core.Combine.best ~own ~candidates ~exhaustive_limit:4 ())))
 
 (* Combination search at larger candidate counts. 8 candidates with a
    raised limit keeps the incremental exhaustive planner on deep
@@ -86,7 +86,40 @@ let bench_combine_at n ~exhaustive_limit =
   let own = List.hd records and candidates = List.tl records in
   Test.make ~name:(Printf.sprintf "paxos-cp/combination-search-%d" n)
     (Staged.stage (fun () ->
-         ignore (Mdds_core.Combine.best ~own ~candidates ~exhaustive_limit)))
+         ignore (Mdds_core.Combine.best ~own ~candidates ~exhaustive_limit ())))
+
+(* Interner hot path: repeat lookups of already-interned keys, the shape
+   every [make_record] takes after warm-up. Single-domain first, then the
+   same hot set hammered from 4 domains at once — the sharded snapshot
+   read path should keep the contended number within sight of the
+   uncontended one, where the old single-mutex interner serialized every
+   lookup. The contended run prices 3 extra domains' worth of lookups too,
+   so compare per-lookup cost: contended/(4 × hit) is the real slowdown. *)
+let intern_hot_keys =
+  Array.init 256 (fun i -> Printf.sprintf "hot%03d" i)
+
+let bench_intern_hit =
+  Array.iter (fun k -> ignore (Mdds_types.Txn.Intern.id k)) intern_hot_keys;
+  Test.make ~name:"txn/intern-hit"
+    (Staged.stage (fun () ->
+         for i = 0 to Array.length intern_hot_keys - 1 do
+           ignore (Mdds_types.Txn.Intern.id intern_hot_keys.(i))
+         done))
+
+let bench_intern_contended =
+  Array.iter (fun k -> ignore (Mdds_types.Txn.Intern.id k)) intern_hot_keys;
+  let lookups () =
+    for _round = 1 to 4 do
+      for i = 0 to Array.length intern_hot_keys - 1 do
+        ignore (Mdds_types.Txn.Intern.id intern_hot_keys.(i))
+      done
+    done
+  in
+  Test.make ~name:"txn/intern-contended-4dom"
+    (Staged.stage (fun () ->
+         let others = Array.init 3 (fun _ -> Domain.spawn lookups) in
+         lookups ();
+         Array.iter Domain.join others))
 
 let bench_footprint_build =
   (* Record construction now pays for interning + footprint sorting once;
@@ -344,6 +377,8 @@ let micro_tests =
       bench_combine;
       bench_combine_at 8 ~exhaustive_limit:8;
       bench_combine_at 12 ~exhaustive_limit:4;
+      bench_intern_hit;
+      bench_intern_contended;
       bench_footprint_build;
       bench_reads_from;
       bench_check_1sr_large;
@@ -449,10 +484,18 @@ let emit_json ~path ~jobs ~figures ~micro =
   close_out out;
   Printf.printf "\nwrote %s\n" path
 
+(* Scheduler visibility (--verbose): cumulative pool stats and the combine
+   planner's budget cutover count, on stderr so stdout (figure tables, the
+   JSON progress lines) stays byte-comparable across runs. *)
+let print_verbose_stats () =
+  Pool.pp_stats Format.err_formatter (Pool.stats ());
+  Format.eprintf "combine: %d budget cutovers to greedy@."
+    (Mdds_core.Combine.cutovers ())
+
 (* Time each figure twice — pinned to one domain, then on the pool — and
    record both; the parallel pass double-checks output identity is not our
    problem here (CI diffs the actual tables), only wall clock. *)
-let run_json ~jobs ~quick ids =
+let run_json ~jobs ~quick ~out ids =
   let ids = if ids = [] then List.map (fun (id, _, _) -> id) Figures.all else ids in
   (* Micros first, from a compacted heap: figure regeneration leaves a
      large major heap behind, and measuring the micros on top of it
@@ -474,17 +517,29 @@ let run_json ~jobs ~quick ids =
         (id, seq_s, par_s))
       ids
   in
-  emit_json ~path:"BENCH_harness.json" ~jobs ~figures ~micro
+  emit_json ~path:out ~jobs ~figures ~micro
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Hand-rolled flag parsing: [--jobs N | -j N] [--json] [--quick] [ids...]. *)
+  (* Hand-rolled flag parsing:
+     [--jobs N | -j N] [--json] [--quick] [--out PATH] [--verbose] [ids...]. *)
+  let out = ref "BENCH_harness.json" in
+  let verbose = ref false in
   let rec parse (json, quick, jobs, ids) = function
     | [] -> (json, quick, jobs, List.rev ids)
     | "--json" :: rest -> parse (true, quick, jobs, ids) rest
     | "--quick" :: rest -> parse (json, true, jobs, ids) rest
+    | "--verbose" :: rest ->
+        verbose := true;
+        parse (json, quick, jobs, ids) rest
+    | "--out" :: path :: rest ->
+        out := path;
+        parse (json, quick, jobs, ids) rest
+    | "--out" :: [] ->
+        Printf.eprintf "--out needs a path\n";
+        exit 2
     | ("--jobs" | "-j") :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 -> parse (json, quick, Some n, ids) rest
@@ -509,17 +564,18 @@ let () =
       (String.concat " " known_figures);
     exit 2
   end;
-  if json then
-    run_json ~jobs:effective_jobs ~quick
-      (List.filter (fun id -> id <> "micro") ids)
-  else
-    match ids with
-    | [] ->
-        Printf.printf
-          "Reproducing every figure of the evaluation (three seeds each, %d domains).\n"
-          effective_jobs;
-        Figures.run_ids [];
-        ignore (run_micro ~quick ())
-    | ids ->
-        Figures.run_ids (List.filter (fun id -> id <> "micro") ids);
-        if List.mem "micro" ids then ignore (run_micro ~quick ())
+  (if json then
+     run_json ~jobs:effective_jobs ~quick ~out:!out
+       (List.filter (fun id -> id <> "micro") ids)
+   else
+     match ids with
+     | [] ->
+         Printf.printf
+           "Reproducing every figure of the evaluation (three seeds each, %d domains).\n"
+           effective_jobs;
+         Figures.run_ids [];
+         ignore (run_micro ~quick ())
+     | ids ->
+         Figures.run_ids (List.filter (fun id -> id <> "micro") ids);
+         if List.mem "micro" ids then ignore (run_micro ~quick ()));
+  if !verbose then print_verbose_stats ()

@@ -27,6 +27,20 @@ let jobs_arg =
     & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "MDDS_JOBS") ~doc)
 
+let verbose_arg =
+  let doc =
+    "After the run, print domain-pool scheduler statistics (tasks per \
+     domain, busy/idle time, batches) and the combination planner's \
+     budget-cutover count on stderr. Stdout is unaffected, so output \
+     stays byte-comparable."
+  in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let print_scheduler_stats () =
+  Mdds_parallel.Pool.pp_stats Format.err_formatter (Mdds_parallel.Pool.stats ());
+  Format.eprintf "combine: %d budget cutovers to greedy@."
+    (Mdds_core.Combine.cutovers ())
+
 let topology_arg =
   let doc =
     "Datacenter spec: one character per datacenter, V = Virginia AZ, O = \
@@ -241,7 +255,7 @@ let chaos_cmd =
           ~doc:"Trace events to print after a violation.")
   in
   let run topology protocol seed seeds duration faults explicit_schedule
-      shrink trace_tail jobs =
+      shrink trace_tail jobs verbose =
     Mdds_parallel.Pool.set_jobs jobs;
     let seeds = match seeds with None -> [ seed ] | Some s -> s in
     let kinds = Option.value faults ~default:Schedule.all_kinds in
@@ -290,6 +304,7 @@ let chaos_cmd =
             Format.printf "%a" Schedule.pp minimal;
             Format.printf "  repro:    %s@." (Runner.repro final))))
       specs reports;
+    if verbose then print_scheduler_stats ();
     if !failures > 0 then (
       Format.printf "%d of %d seeds FAILED@." !failures (List.length seeds);
       exit 1)
@@ -299,7 +314,7 @@ let chaos_cmd =
     Term.(
       const run $ topology_arg $ protocol_arg $ seed_arg $ seeds_arg
       $ duration_arg $ faults_arg $ schedule_arg $ shrink_arg $ trace_tail_arg
-      $ jobs_arg)
+      $ jobs_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -321,16 +336,17 @@ let figures_cmd =
     let doc = "Figure ids (default: all). See 'mdds list'." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run ids jobs =
+  let run ids jobs verbose =
     Mdds_parallel.Pool.set_jobs jobs;
-    try Figures.run_ids ids
-    with Invalid_argument msg ->
-      prerr_endline msg;
-      exit 2
+    (try Figures.run_ids ids
+     with Invalid_argument msg ->
+       prerr_endline msg;
+       exit 2);
+    if verbose then print_scheduler_stats ()
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce figures from the paper's evaluation (§6).")
-    Term.(const run $ ids_arg $ jobs_arg)
+    Term.(const run $ ids_arg $ jobs_arg $ verbose_arg)
 
 let list_cmd =
   let run () =

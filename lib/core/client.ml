@@ -200,9 +200,9 @@ let commit_cp t txn (record : Txn.record) =
             let voted = List.filter_map (fun (r : _ Tally.response) ->
                 Option.map snd r.vote) votes
             in
-            Combine.best ~own:record
+            Combine.best ~probe_budget:config.combine_probe_budget ~own:record
               ~candidates:(Combine.candidates_of_votes ~own:record voted)
-              ~exhaustive_limit:config.exhaustive_combination_limit
+              ~exhaustive_limit:config.exhaustive_combination_limit ()
           else own
         in
         exposed := true;

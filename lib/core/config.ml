@@ -8,6 +8,7 @@ type t = {
   enable_combination : bool;
   enable_fast_path : bool;
   exhaustive_combination_limit : int;
+  combine_probe_budget : int;
   max_rounds : int;
   backoff_min : float;
   backoff_max : float;
@@ -30,6 +31,7 @@ let default =
     enable_combination = true;
     enable_fast_path = true;
     exhaustive_combination_limit = 4;
+    combine_probe_budget = Combine.default_probe_budget;
     max_rounds = 25;
     backoff_min = 0.002;
     backoff_max = 0.040;

@@ -32,6 +32,11 @@ type t = {
   exhaustive_combination_limit : int;
       (** Max candidate transactions for the exhaustive ordering search;
           beyond it, the greedy single pass is used (§5). *)
+  combine_probe_budget : int;
+      (** Insertion probes the exhaustive combination search may spend
+          before cutting over to the greedy pass (see {!Combine.best}).
+          The default never triggers at the default
+          [exhaustive_combination_limit]; it only guards raised limits. *)
   max_rounds : int;
       (** Ballot attempts per log position before reporting the system
           unavailable (liveness valve; Paxos alone cannot guarantee

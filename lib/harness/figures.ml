@@ -9,8 +9,35 @@ let default_seeds = [ 11; 22; 33 ]
    independent cells of a figure's (config × seed) grid run in parallel on
    the domain pool; Pool.map preserves input order and each trial is a pure
    function of its spec, so figures are byte-identical to a sequential run
-   whatever the domain count. *)
-let run_trials specs = Pool.map Experiment.run specs
+   whatever the domain count.
+
+   Trials within one batch differ widely in wall time (a 1500-txn fig8
+   trial vs a 400-txn groups trial), so each spec carries a cost estimate —
+   transactions to decide × topology size, a proxy for messages simulated —
+   and the pool dispenses longest-estimated-first. Dispatch order never
+   affects results, only tail latency of the batch. *)
+let trial_cost (s : Experiment.spec) =
+  float_of_int s.Experiment.workload.Ycsb.total_txns
+  *. float_of_int (String.length s.Experiment.topology)
+
+let run_trials specs = Pool.map ~cost:trial_cost Experiment.run specs
+
+(* Run several groups of specs as ONE pool batch and slice the results
+   back per group. Figures used to put each cell (or each protocol) on the
+   pool separately, which serialized a figure into many small barriers;
+   flattening the whole grid lets the cost-aware scheduler fill every
+   domain across cell boundaries. Order within and across groups is
+   preserved, so aggregation sees exactly the sequences it used to. *)
+let run_grouped groups =
+  let flat = run_trials (List.concat groups) in
+  let rec slice flat = function
+    | [] -> []
+    | g :: rest ->
+        let k = List.length g in
+        List.filteri (fun i _ -> i < k) flat
+        :: slice (List.filteri (fun i _ -> i >= k) flat) rest
+  in
+  slice flat groups
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation over seeds.                                              *)
@@ -95,16 +122,28 @@ let aggregate runs =
     txn_lat = Stats.summarize (List.rev !txn_lats);
   }
 
-let run_pair ?(seeds = default_seeds) ~topology ~workload () =
-  (* Both protocols' (config, seed) cells go to the pool in one batch. *)
+(* One (topology, workload, loss) cell of a figure grid -> (basic, cp)
+   aggregates. All cells of the list become a single pool batch: per cell,
+   basic's seeds then CP's, cells in input order. *)
+let run_pairs ?(seeds = default_seeds) cells =
   let cp = { Config.default with protocol = Config.Cp } in
-  let specs config =
-    List.map (fun seed -> Experiment.spec ~seed ~config ~workload topology) seeds
+  let groups =
+    List.concat_map
+      (fun (topology, workload, loss) ->
+        let specs config =
+          List.map
+            (fun seed -> Experiment.spec ~seed ~config ~workload ?loss topology)
+            seeds
+        in
+        [ specs Config.basic; specs cp ])
+      cells
   in
-  let results = run_trials (specs Config.basic @ specs cp) in
-  let n = List.length seeds in
-  ( aggregate (List.filteri (fun i _ -> i < n) results),
-    aggregate (List.filteri (fun i _ -> i >= n) results) )
+  let rec pair_up = function
+    | basic :: cp :: rest -> (aggregate basic, aggregate cp) :: pair_up rest
+    | [] -> []
+    | [ _ ] -> assert false
+  in
+  pair_up (run_grouped groups)
 
 (* Commits with >= 3 promotions, for compact "r3+" columns. *)
 let late_commits agg =
@@ -126,11 +165,13 @@ let footnote fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
 let replica_clusters = [ ("2", "VV"); ("3", "VVV"); ("4", "VVVO"); ("5", "VVVOC") ]
 
 let fig4 ?seeds () =
-  List.map
-    (fun (label, topology) ->
-      let basic, cp = run_pair ?seeds ~topology ~workload:Ycsb.default () in
-      (label, topology, basic, cp))
-    replica_clusters
+  let pairs =
+    run_pairs ?seeds
+      (List.map (fun (_, t) -> (t, Ycsb.default, None)) replica_clusters)
+  in
+  List.map2
+    (fun (label, topology) (basic, cp) -> (label, topology, basic, cp))
+    replica_clusters pairs
 
 let fig4a ?seeds () =
   heading "Figure 4(a)" "commits out of 500 vs number of replicas";
@@ -182,11 +223,12 @@ let fig4b ?seeds () =
 let combo_clusters = [ "VV"; "OV"; "VVV"; "COV"; "VVVO"; "VVVOC" ]
 
 let fig5 ?seeds () =
-  List.map
-    (fun topology ->
-      let basic, cp = run_pair ?seeds ~topology ~workload:Ycsb.default () in
-      (topology, basic, cp))
-    combo_clusters
+  let pairs =
+    run_pairs ?seeds
+      (List.map (fun t -> (t, Ycsb.default, None)) combo_clusters)
+  in
+  List.map2 (fun topology (basic, cp) -> (topology, basic, cp)) combo_clusters
+    pairs
 
 let fig5a ?seeds () =
   heading "Figure 5(a)" "commits out of 500 for different datacenter combinations";
@@ -239,11 +281,16 @@ let fig5b ?seeds () =
 
 let fig6 ?seeds () =
   heading "Figure 6" "commits out of 500 vs total attributes (data contention), VVV";
+  let attrs = [ 20; 50; 100; 200; 500 ] in
+  let pairs =
+    run_pairs ?seeds
+      (List.map
+         (fun attributes -> ("VVV", { Ycsb.default with attributes }, None))
+         attrs)
+  in
   let rows =
-    List.map
-      (fun attributes ->
-        let workload = { Ycsb.default with attributes } in
-        let basic, cp = run_pair ?seeds ~topology:"VVV" ~workload () in
+    List.map2
+      (fun attributes (basic, cp) ->
         [
           string_of_int attributes;
           Table.fmt_f basic.commits;
@@ -252,7 +299,7 @@ let fig6 ?seeds () =
           Table.fmt_f (late_commits cp +. (if Array.length cp.by_round > 2 then cp.by_round.(2) else 0.));
           Table.fmt_f cp.aborts_conflict;
         ])
-      [ 20; 50; 100; 200; 500 ]
+      attrs pairs
   in
   Table.print
     ~header:[ "attributes"; "paxos"; "paxos-cp"; "cp r0"; "cp r1"; "cp r2+"; "cp conflicts" ]
@@ -267,13 +314,20 @@ let fig6 ?seeds () =
 
 let fig7 ?seeds () =
   heading "Figure 7" "commits out of 500 vs target throughput (single YCSB instance), VVV";
+  let rates = [ 1.; 2.; 4.; 8.; 16. ] in
+  let pairs =
+    run_pairs ?seeds
+      (List.map
+         (fun rate_total ->
+           ( "VVV",
+             { Ycsb.default with
+               rate = rate_total /. float_of_int Ycsb.default.threads },
+             None ))
+         rates)
+  in
   let rows =
-    List.map
-      (fun rate_total ->
-        let workload =
-          { Ycsb.default with rate = rate_total /. float_of_int Ycsb.default.threads }
-        in
-        let basic, cp = run_pair ?seeds ~topology:"VVV" ~workload () in
+    List.map2
+      (fun rate_total (basic, cp) ->
         [
           Printf.sprintf "%.0f tps" rate_total;
           Table.fmt_f basic.commits;
@@ -281,7 +335,7 @@ let fig7 ?seeds () =
           round_col cp 0; round_col cp 1;
           Table.fmt_f (late_commits cp +. (if Array.length cp.by_round > 2 then cp.by_round.(2) else 0.));
         ])
-      [ 1.; 2.; 4.; 8.; 16. ]
+      rates pairs
   in
   Table.print
     ~header:[ "throughput"; "paxos"; "paxos-cp"; "cp r0"; "cp r1"; "cp r2+" ]
@@ -401,11 +455,15 @@ let text_stats ?(seeds = default_seeds) () =
 let text_messages ?(seeds = default_seeds) () =
   heading "Text (§5)"
     "message complexity: Paxos-CP requires no extra messages per log position";
-  let run config =
-    run_trials
+  let grouped =
+    run_grouped
       (List.map
-         (fun seed -> Experiment.spec ~seed ~config ~workload:Ycsb.default "VVV")
-         seeds)
+         (fun config ->
+           List.map
+             (fun seed ->
+               Experiment.spec ~seed ~config ~workload:Ycsb.default "VVV")
+             seeds)
+         [ Config.basic; Config.default ])
   in
   let per_position runs =
     (* Messages per decided log position: total datagrams divided by log
@@ -418,8 +476,11 @@ let text_messages ?(seeds = default_seeds) () =
     let fast = mean_of (fun (r : Experiment.result) -> r.fast_path_rate) runs in
     (msgs, msgs /. commits, rounds, fast)
   in
-  let b_msgs, b_per, b_rounds, b_fast = per_position (run Config.basic) in
-  let c_msgs, c_per, c_rounds, c_fast = per_position (run Config.default) in
+  let basic_runs, cp_runs =
+    match grouped with [ b; c ] -> (b, c) | _ -> assert false
+  in
+  let b_msgs, b_per, b_rounds, b_fast = per_position basic_runs in
+  let c_msgs, c_per, c_rounds, c_fast = per_position cp_runs in
   Table.print
     ~header:[ "protocol"; "messages"; "messages/commit"; "rounds/commit"; "fast-path" ]
     [
@@ -448,18 +509,32 @@ let ext_leader ?(seeds = default_seeds) () =
   let workload =
     { Ycsb.default with threads = 6; client_dcs = [ 0; 1; 2 ] }
   in
-  let rows =
+  let protocols =
+    [
+      ("paxos", Config.basic);
+      ("paxos-cp", Config.default);
+      ("leader", Config.leader);
+    ]
+  in
+  let grid =
     List.concat_map
       (fun topology ->
-        List.map
-          (fun (name, config) ->
-            let runs =
-              run_trials
-                (List.map
-                   (fun seed -> Experiment.spec ~seed ~config ~workload topology)
-                   seeds)
-            in
-            let agg = aggregate runs in
+        List.map (fun (name, config) -> (topology, name, config)) protocols)
+      [ "VVV"; "VOC" ]
+  in
+  let grouped =
+    run_grouped
+      (List.map
+         (fun (topology, _, config) ->
+           List.map
+             (fun seed -> Experiment.spec ~seed ~config ~workload topology)
+             seeds)
+         grid)
+  in
+  let rows =
+    List.map2
+      (fun (topology, name, _) runs ->
+        let agg = aggregate runs in
             let msgs_per_commit =
               mean_of
                 (fun (r : Experiment.result) ->
@@ -477,12 +552,7 @@ let ext_leader ?(seeds = default_seeds) () =
               Table.fmt_f msgs_per_commit;
               Printf.sprintf "%.0f%%" (100. *. leader_share);
             ])
-          [
-            ("paxos", Config.basic);
-            ("paxos-cp", Config.default);
-            ("leader", Config.leader);
-          ])
-      [ "VVV"; "VOC" ]
+      grid grouped
   in
   Table.print
     ~header:
@@ -495,18 +565,31 @@ let ext_leader ?(seeds = default_seeds) () =
 
 (* Ablation of Paxos-CP's mechanisms: what do combination, promotion and
    the fast path each contribute? *)
+let ablation_configs =
+  [
+    ("basic paxos", Config.basic);
+    ("cp: promotion only", { Config.default with enable_combination = false });
+    ("cp: promotions <= 1", { Config.default with max_promotions = Some 1 });
+    ("cp: promotions <= 2", { Config.default with max_promotions = Some 2 });
+    ("cp: no fast path", { Config.default with enable_fast_path = false });
+    ("paxos-cp (full)", Config.default);
+  ]
+
 let ext_ablation ?(seeds = default_seeds) () =
   heading "Extension" "Paxos-CP mechanism ablation, VVV, 100 attributes";
+  let grouped =
+    run_grouped
+      (List.map
+         (fun (_, config) ->
+           List.map
+             (fun seed ->
+               Experiment.spec ~seed ~config ~workload:Ycsb.default "VVV")
+             seeds)
+         ablation_configs)
+  in
   let rows =
-    List.map
-      (fun (name, config) ->
-        let runs =
-          run_trials
-            (List.map
-               (fun seed ->
-                 Experiment.spec ~seed ~config ~workload:Ycsb.default "VVV")
-               seeds)
-        in
+    List.map2
+      (fun (name, _) runs ->
         let agg = aggregate runs in
         [
           name;
@@ -516,14 +599,7 @@ let ext_ablation ?(seeds = default_seeds) () =
           string_of_int agg.max_promotions;
           Table.fmt_ms agg.lat_all.Stats.mean;
         ])
-      [
-        ("basic paxos", Config.basic);
-        ("cp: promotion only", { Config.default with enable_combination = false });
-        ("cp: promotions <= 1", { Config.default with max_promotions = Some 1 });
-        ("cp: promotions <= 2", { Config.default with max_promotions = Some 2 });
-        ("cp: no fast path", { Config.default with enable_fast_path = false });
-        ("paxos-cp (full)", Config.default);
-      ]
+      ablation_configs grouped
   in
   Table.print
     ~header:[ "configuration"; "commits"; "conflicts"; "combined"; "max-prom"; "commit ms" ]
@@ -536,18 +612,14 @@ let ext_ablation ?(seeds = default_seeds) () =
 (* Sensitivity to message loss: the protocols under degrading networks. *)
 let ext_loss ?(seeds = default_seeds) () =
   heading "Extension" "sensitivity to message loss, VVV";
+  let losses = [ 0.0; 0.01; 0.05; 0.1 ] in
+  let pairs =
+    run_pairs ~seeds
+      (List.map (fun loss -> ("VVV", Ycsb.default, Some loss)) losses)
+  in
   let rows =
-    List.map
-      (fun loss ->
-        let run config =
-          aggregate
-            (run_trials
-               (List.map
-                  (fun seed ->
-                    Experiment.spec ~seed ~config ~workload:Ycsb.default ~loss "VVV")
-                  seeds))
-        in
-        let basic = run Config.basic and cp = run Config.default in
+    List.map2
+      (fun loss (basic, cp) ->
         [
           Printf.sprintf "%.1f%%" (100. *. loss);
           Table.fmt_f basic.commits;
@@ -555,7 +627,7 @@ let ext_loss ?(seeds = default_seeds) () =
           Table.fmt_ms basic.lat_all.Stats.mean;
           Table.fmt_ms cp.lat_all.Stats.mean;
         ])
-      [ 0.0; 0.01; 0.05; 0.1 ]
+      losses pairs
   in
   Table.print
     ~header:[ "loss"; "paxos"; "paxos-cp"; "paxos ms"; "cp ms" ]
@@ -617,10 +689,25 @@ let ext_retry ?(seeds = default_seeds) () =
       float_of_int !attempts_total /. float_of_int (intents * threads),
       Stats.mean !durations )
   in
+  let strategies =
+    [ ("paxos + app retries", Config.basic); ("paxos-cp", Config.default) ]
+  in
+  (* Both strategies' seeds go to the pool as one batch; every trial has
+     the same intents × threads load, so no cost estimate is needed. *)
+  let flat =
+    Pool.map
+      (fun (config, seed) -> run_one config seed)
+      (List.concat_map
+         (fun (_, config) -> List.map (fun seed -> (config, seed)) seeds)
+         strategies)
+  in
+  let n = List.length seeds in
   let rows =
-    List.map
-      (fun (name, config) ->
-        let runs = Pool.map (run_one config) seeds in
+    List.mapi
+      (fun i (name, _) ->
+        let runs =
+          List.filteri (fun j _ -> j >= i * n && j < (i + 1) * n) flat
+        in
         let avg f = Stats.mean (List.map f runs) in
         [
           name;
@@ -628,7 +715,7 @@ let ext_retry ?(seeds = default_seeds) () =
           Table.fmt_f (avg (fun (_, a, _) -> a));
           Table.fmt_ms (avg (fun (_, _, d) -> d));
         ])
-      [ ("paxos + app retries", Config.basic); ("paxos-cp", Config.default) ]
+      strategies
   in
   Table.print
     ~header:[ "strategy"; "eventual commits"; "attempts/intent"; "time-to-commit ms" ]
@@ -645,13 +732,20 @@ let ext_retry ?(seeds = default_seeds) () =
 let ext_groups ?seeds () =
   heading "Extension (§2.1)"
     "independent transaction groups: fixed 8 tps load spread over N groups";
+  let group_counts = [ 1; 2; 4; 8 ] in
+  let pairs =
+    run_pairs ?seeds
+      (List.map
+         (fun groups ->
+           ( "VVV",
+             { Ycsb.default with
+               groups; rate = 2.0; threads = 4; total_txns = 400 },
+             None ))
+         group_counts)
+  in
   let rows =
-    List.map
-      (fun groups ->
-        let workload =
-          { Ycsb.default with groups; rate = 2.0; threads = 4; total_txns = 400 }
-        in
-        let basic, cp = run_pair ?seeds ~topology:"VVV" ~workload () in
+    List.map2
+      (fun groups (basic, cp) ->
         [
           string_of_int groups;
           Table.fmt_f basic.commits;
@@ -659,7 +753,7 @@ let ext_groups ?seeds () =
           Table.fmt_ms basic.lat_all.Stats.mean;
           Table.fmt_ms cp.lat_all.Stats.mean;
         ])
-      [ 1; 2; 4; 8 ]
+      group_counts pairs
   in
   Table.print
     ~header:[ "groups"; "paxos (of 400)"; "paxos-cp"; "paxos ms"; "cp ms" ]
@@ -673,23 +767,31 @@ let ext_groups ?seeds () =
    the natural extension (hot keys sharpen read/write conflicts). *)
 let ext_skew ?seeds () =
   heading "Extension" "access skew (YCSB zipfian) vs commits, VVV, 100 attributes";
+  let dists =
+    [
+      ("uniform", Mdds_workload.Distribution.Uniform);
+      ("zipfian 0.5", Mdds_workload.Distribution.Zipfian 0.5);
+      ("zipfian 0.9", Mdds_workload.Distribution.Zipfian 0.9);
+      ("zipfian 0.99", Mdds_workload.Distribution.Zipfian 0.99);
+    ]
+  in
+  let pairs =
+    run_pairs ?seeds
+      (List.map
+         (fun (_, distribution) ->
+           ("VVV", { Ycsb.default with distribution }, None))
+         dists)
+  in
   let rows =
-    List.map
-      (fun (label, distribution) ->
-        let workload = { Ycsb.default with distribution } in
-        let basic, cp = run_pair ?seeds ~topology:"VVV" ~workload () in
+    List.map2
+      (fun (label, _) (basic, cp) ->
         [
           label;
           Table.fmt_f basic.commits;
           Table.fmt_f cp.commits;
           Table.fmt_f cp.aborts_conflict;
         ])
-      [
-        ("uniform", Mdds_workload.Distribution.Uniform);
-        ("zipfian 0.5", Mdds_workload.Distribution.Zipfian 0.5);
-        ("zipfian 0.9", Mdds_workload.Distribution.Zipfian 0.9);
-        ("zipfian 0.99", Mdds_workload.Distribution.Zipfian 0.99);
-      ]
+      dists pairs
   in
   Table.print ~header:[ "distribution"; "paxos"; "paxos-cp"; "cp conflicts" ] rows;
   footnote

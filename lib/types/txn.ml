@@ -13,62 +13,113 @@ type write = { key : key; value : string }
    over key names. Interning each distinct key once turns those string
    comparisons into int comparisons over small sorted arrays.
 
-   The table is process-global and mutex-protected: records are built on
+   The table is process-global and *sharded*: records are built on
    whatever domain runs the trial (the harness fans trials out over a
    domain pool), and a footprint must mean the same thing on every domain
-   that can observe the record. Ids are assigned in first-intern order, so
-   they are not deterministic across runs — nothing may ever derive
-   *output* from an id, only set membership and equality, which are
-   assignment-independent. Key-name iteration happens over the footprint's
-   own sorted string arrays, never via reverse lookup, for the same
-   reason. *)
-module Intern = struct
-  let mutex = Mutex.create ()
-  let ids : (string, int) Hashtbl.t = Hashtbl.create 1024
-  let names : string array ref = ref (Array.make 1024 "")
-  let next = ref 0
+   that can observe the record, so ids come from one global atomic counter
+   — dense, unique, identical on every domain. The original single
+   mutex-protected table serialized every concurrent [make_record]; keys
+   now hash to one of 64 stripes, and each stripe serves repeat lookups
+   (the overwhelmingly common case — key universes are small and hot)
+   from a *frozen snapshot* table read without any lock: the snapshot
+   hashtable is never mutated after its pointer is published through an
+   [Atomic], so concurrent readers race with nobody. Misses fall back to
+   the stripe's small mutex-protected pending table; when the pending
+   table grows past a threshold it is merged into a fresh snapshot and
+   republished (geometric, so total copying is O(K log K) over K keys).
 
-  let id_locked key =
-    match Hashtbl.find_opt ids key with
-    | Some id -> id
-    | None ->
-        let id = !next in
-        incr next;
-        if id >= Array.length !names then begin
-          let grown = Array.make (2 * Array.length !names) "" in
-          Array.blit !names 0 grown 0 (Array.length !names);
-          names := grown
-        end;
-        !names.(id) <- key;
-        Hashtbl.replace ids key id;
-        id
+   Ids are assigned in first-intern order, so they are not deterministic
+   across runs — nothing may ever derive *output* from an id, only set
+   membership and equality, which are assignment-independent. Key-name
+   iteration happens over the footprint's own sorted string arrays, never
+   via reverse lookup, for the same reason. *)
+module Intern = struct
+  let stripe_count = 64 (* power of two *)
+
+  type stripe = {
+    mutex : Mutex.t;
+    snapshot : (string, int) Hashtbl.t Atomic.t;
+        (* Frozen: never mutated once published. Lock-free read path. *)
+    mutable pending : (string, int) Hashtbl.t;  (* under [mutex] *)
+  }
+
+  let stripes =
+    Array.init stripe_count (fun _ ->
+        {
+          mutex = Mutex.create ();
+          snapshot = Atomic.make (Hashtbl.create 1);
+          pending = Hashtbl.create 8;
+        })
+
+  let next = Atomic.make 0
+
+  (* Reverse table for [name]: ids are dense, so an array, grown under its
+     own mutex. Never on the hot path — [name] is diagnostics only. *)
+  let names_mutex = Mutex.create ()
+  let names : string array ref = ref (Array.make 1024 "")
+
+  let record_name id key =
+    Mutex.lock names_mutex;
+    if id >= Array.length !names then begin
+      let grown = Array.make (max (2 * Array.length !names) (id + 1)) "" in
+      Array.blit !names 0 grown 0 (Array.length !names);
+      names := grown
+    end;
+    !names.(id) <- key;
+    Mutex.unlock names_mutex
+
+  let stripe_of key = stripes.(Hashtbl.hash key land (stripe_count - 1))
+
+  let id_slow s key =
+    Mutex.lock s.mutex;
+    let r =
+      match Hashtbl.find_opt s.pending key with
+      | Some id -> id
+      | None -> (
+          (* Re-probe the snapshot under the lock: a merge may have moved
+             the key out of pending while we waited. *)
+          match Hashtbl.find_opt (Atomic.get s.snapshot) key with
+          | Some id -> id
+          | None ->
+              let id = Atomic.fetch_and_add next 1 in
+              Hashtbl.replace s.pending key id;
+              record_name id key;
+              let snap = Atomic.get s.snapshot in
+              if Hashtbl.length s.pending >= 16 + (Hashtbl.length snap / 4)
+              then begin
+                let merged =
+                  Hashtbl.create
+                    (2 * (Hashtbl.length snap + Hashtbl.length s.pending))
+                in
+                Hashtbl.iter (Hashtbl.replace merged) snap;
+                Hashtbl.iter (Hashtbl.replace merged) s.pending;
+                Atomic.set s.snapshot merged;
+                s.pending <- Hashtbl.create 8
+              end;
+              id)
+    in
+    Mutex.unlock s.mutex;
+    r
 
   let id key =
-    Mutex.lock mutex;
-    let r = id_locked key in
-    Mutex.unlock mutex;
-    r
+    let s = stripe_of key in
+    match Hashtbl.find_opt (Atomic.get s.snapshot) key with
+    | Some id -> id
+    | None -> id_slow s key
 
-  (* Intern a batch under one lock acquisition (record construction). *)
-  let ids_of_list keys =
-    Mutex.lock mutex;
-    let r = List.map id_locked keys in
-    Mutex.unlock mutex;
-    r
+  let ids_of_list keys = List.map id keys
 
   let name id =
-    Mutex.lock mutex;
+    Mutex.lock names_mutex;
     let r =
-      if id >= 0 && id < !next then Some !names.(id) else None
+      if id >= 0 && id < Array.length !names && !names.(id) <> "" then
+        Some !names.(id)
+      else None
     in
-    Mutex.unlock mutex;
+    Mutex.unlock names_mutex;
     r
 
-  let count () =
-    Mutex.lock mutex;
-    let r = !next in
-    Mutex.unlock mutex;
-    r
+  let count () = Atomic.get next
 end
 
 (* ------------------------------------------------------------------ *)

@@ -23,10 +23,19 @@ type key = string
     stable for the lifetime of the process but their numeric values depend
     on first-intern order, which is not deterministic under the domain
     pool — use them only for equality and set membership, never to derive
-    output (ordering of printed keys, messages, figures). *)
+    output (ordering of printed keys, messages, figures).
+
+    The table is sharded 64 ways by key hash; repeat lookups (the hot
+    path) read a frozen snapshot without taking any lock, so concurrent
+    [make_record] calls on different domains no longer serialize on one
+    mutex. Ids come from a single atomic counter, so a key's id is
+    globally consistent: footprints built on different domains compare
+    correctly. *)
 module Intern : sig
   val id : key -> int
-  (** The id of [key], interning it on first use. Thread-safe. *)
+  (** The id of [key], interning it on first use. Safe to call from any
+      domain concurrently; lock-free when [key] is already in the calling
+      stripe's published snapshot. *)
 
   val name : int -> key option
   (** Reverse lookup; [None] if the id was never assigned. *)

@@ -218,14 +218,14 @@ let test_service_restart_keeps_promises () =
 
 let test_combine_includes_own () =
   let own = record "own" ~reads:[ "a" ] in
-  let result = Combine.best ~own ~candidates:[] ~exhaustive_limit:4 in
+  let result = Combine.best ~own ~candidates:[] ~exhaustive_limit:4 () in
   Alcotest.(check bool) "own alone" true (Txn.equal_entry result [ own ])
 
 let test_combine_compatible () =
   let own = record "own" ~reads:[ "a" ] ~writes:[ ("a", "1") ] in
   let c1 = record "c1" ~reads:[ "b" ] ~writes:[ ("b", "1") ] in
   let c2 = record "c2" ~reads:[ "c" ] ~writes:[ ("c", "1") ] in
-  let result = Combine.best ~own ~candidates:[ c1; c2 ] ~exhaustive_limit:4 in
+  let result = Combine.best ~own ~candidates:[ c1; c2 ] ~exhaustive_limit:4 () in
   Alcotest.(check int) "all three" 3 (List.length result);
   Alcotest.(check bool) "valid" true (Txn.valid_combination result);
   Alcotest.(check bool) "contains own" true (Txn.mem_entry ~txn_id:"own" result)
@@ -235,7 +235,7 @@ let test_combine_ordering_matters () =
      would drop it, the exhaustive search keeps it by reordering. *)
   let own = record "own" ~writes:[ ("a", "1") ] in
   let c = record "c" ~reads:[ "a" ] ~writes:[ ("b", "1") ] in
-  let result = Combine.best ~own ~candidates:[ c ] ~exhaustive_limit:4 in
+  let result = Combine.best ~own ~candidates:[ c ] ~exhaustive_limit:4 () in
   Alcotest.(check int) "both kept" 2 (List.length result);
   match result with
   | [ first; second ] ->
@@ -248,14 +248,14 @@ let test_combine_conflicting_dropped () =
      reads what they write — no valid two-element ordering. *)
   let own = record "own" ~reads:[ "x" ] ~writes:[ ("y", "1") ] in
   let cand = record "c" ~reads:[ "y" ] ~writes:[ ("x", "1") ] in
-  let result = Combine.best ~own ~candidates:[ cand ] ~exhaustive_limit:4 in
+  let result = Combine.best ~own ~candidates:[ cand ] ~exhaustive_limit:4 () in
   Alcotest.(check bool) "own only" true (Txn.equal_entry result [ own ])
 
 let test_combine_dedup () =
   let own = record "own" in
   let c = record "c" in
   let result =
-    Combine.best ~own ~candidates:[ c; c; record "own" ] ~exhaustive_limit:4
+    Combine.best ~own ~candidates:[ c; c; record "own" ] ~exhaustive_limit:4 ()
   in
   Alcotest.(check int) "deduplicated" 2 (List.length result)
 
@@ -265,9 +265,42 @@ let test_combine_greedy_beyond_limit () =
     List.init 8 (fun i ->
         record (Printf.sprintf "c%d" i) ~writes:[ (Printf.sprintf "k%d" i, "1") ])
   in
-  let result = Combine.best ~own ~candidates ~exhaustive_limit:4 in
+  let result = Combine.best ~own ~candidates ~exhaustive_limit:4 () in
   Alcotest.(check int) "greedy keeps all disjoint" 9 (List.length result);
   Alcotest.(check bool) "valid" true (Txn.valid_combination result)
+
+let test_combine_budget_cutover () =
+  (* 8 independent candidates at a raised limit: the exhaustive planner's
+     tree is ~10^6 probes, far past any sane budget, so [best] must abandon
+     it, count the cutover, and answer with the greedy pass — which keeps
+     every disjoint candidate here, so the answer is still maximal. *)
+  let own = record "own" ~writes:[ ("o", "1") ] in
+  let candidates =
+    List.init 8 (fun i ->
+        record (Printf.sprintf "c%d" i) ~writes:[ (Printf.sprintf "k%d" i, "1") ])
+  in
+  let before = Combine.cutovers () in
+  let budgeted =
+    Combine.best ~probe_budget:100 ~own ~candidates ~exhaustive_limit:8 ()
+  in
+  Alcotest.(check int) "cutover counted" (before + 1) (Combine.cutovers ());
+  Alcotest.(check bool) "budgeted answer = greedy answer" true
+    (Txn.equal_entry budgeted
+       (* greedy == best at limit 0 (candidates always exceed it) *)
+       (Combine.best ~own ~candidates ~exhaustive_limit:0 ()));
+  Alcotest.(check bool) "still valid" true (Txn.valid_combination budgeted);
+  Alcotest.(check int) "still maximal here" 9 (List.length budgeted);
+  (* The default budget is sized to never trigger at the production
+     exhaustive limit (worst case 3536 probes vs 8192): the same shape at
+     limit 4 — four independent candidates, the most expensive shape —
+     must stay on the exhaustive path. *)
+  let at_default = Combine.cutovers () in
+  ignore
+    (Combine.best ~own
+       ~candidates:(List.filteri (fun i _ -> i < 4) candidates)
+       ~exhaustive_limit:4 ());
+  Alcotest.(check int) "no cutover at the default limit" at_default
+    (Combine.cutovers ())
 
 let test_candidates_of_votes () =
   let own = record "own" in
@@ -335,7 +368,7 @@ let prop_combine_exhaustive_is_optimal =
       match records with
       | [] -> true
       | own :: candidates ->
-          let result = Combine.best ~own ~candidates ~exhaustive_limit:4 in
+          let result = Combine.best ~own ~candidates ~exhaustive_limit:4 () in
           List.length result = brute_force_best ~own ~candidates)
 
 let prop_combine_always_valid =
@@ -356,7 +389,7 @@ let prop_combine_always_valid =
       match records with
       | [] -> true
       | own :: candidates ->
-          let result = Combine.best ~own ~candidates ~exhaustive_limit:3 in
+          let result = Combine.best ~own ~candidates ~exhaustive_limit:3 () in
           Txn.valid_combination result
           && Txn.mem_entry ~txn_id:own.Txn.txn_id result)
 
@@ -455,7 +488,7 @@ let prop_combine_identical_ordering =
       match records with
       | [] -> true
       | own :: candidates ->
-          ordering_ids (Combine.best ~own ~candidates ~exhaustive_limit:4)
+          ordering_ids (Combine.best ~own ~candidates ~exhaustive_limit:4 ())
           = ordering_ids (ref_best ~own ~candidates ~exhaustive_limit:4))
 
 let prop_combine_identical_ordering_deep =
@@ -468,7 +501,7 @@ let prop_combine_identical_ordering_deep =
       match records with
       | [] -> true
       | own :: candidates ->
-          ordering_ids (Combine.best ~own ~candidates ~exhaustive_limit:6)
+          ordering_ids (Combine.best ~probe_budget:max_int ~own ~candidates ~exhaustive_limit:6 ())
           = ordering_ids (ref_best ~own ~candidates ~exhaustive_limit:6))
 
 (* ------------------------------------------------------------------ *)
@@ -737,6 +770,7 @@ let () =
           Alcotest.test_case "conflicting dropped" `Quick test_combine_conflicting_dropped;
           Alcotest.test_case "dedup" `Quick test_combine_dedup;
           Alcotest.test_case "greedy beyond limit" `Quick test_combine_greedy_beyond_limit;
+          Alcotest.test_case "budget cutover to greedy" `Quick test_combine_budget_cutover;
           Alcotest.test_case "candidates of votes" `Quick test_candidates_of_votes;
           QCheck_alcotest.to_alcotest prop_combine_always_valid;
           QCheck_alcotest.to_alcotest prop_combine_exhaustive_is_optimal;

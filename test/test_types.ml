@@ -161,6 +161,76 @@ let prop_combination_prefix_closed =
       in
       List.for_all Txn.valid_combination (prefixes [] entry))
 
+(* ------------------------------------------------------------------ *)
+(* The sharded interner under concurrency: ids must be globally
+   consistent — whichever domain interns a key first, every domain sees
+   the same id, reverse lookup works, and no id is ever assigned twice. *)
+
+let test_intern_cross_domain () =
+  let n = 200 in
+  let keys = Array.init n (Printf.sprintf "xdom-key-%d") in
+  let before = Txn.Intern.count () in
+  let intern_all order = Array.map (fun k -> (k, Txn.Intern.id k)) order in
+  let reversed = Array.init n (fun i -> keys.(n - 1 - i)) in
+  let evens_first =
+    Array.init n (fun i ->
+        keys.(if i < n / 2 then 2 * i else (2 * (i - (n / 2))) + 1))
+  in
+  (* Three domains race on the same fresh key set in different orders while
+     the caller interns too; every key is contended at least once. *)
+  let d1 = Domain.spawn (fun () -> intern_all keys) in
+  let d2 = Domain.spawn (fun () -> intern_all reversed) in
+  let d3 = Domain.spawn (fun () -> intern_all evens_first) in
+  let here = intern_all keys in
+  let views = [ here; Domain.join d1; Domain.join d2; Domain.join d3 ] in
+  let canonical = Hashtbl.create n in
+  Array.iter (fun (k, id) -> Hashtbl.replace canonical k id) here;
+  List.iter
+    (Array.iter (fun (k, id) ->
+         Alcotest.(check int)
+           (Printf.sprintf "id of %s consistent across domains" k)
+           (Hashtbl.find canonical k) id))
+    views;
+  let distinct = Hashtbl.create n in
+  Array.iter (fun (_, id) -> Hashtbl.replace distinct id ()) here;
+  Alcotest.(check int) "no id assigned twice" n (Hashtbl.length distinct);
+  Alcotest.(check int) "exactly n fresh ids minted" (before + n)
+    (Txn.Intern.count ());
+  Array.iter
+    (fun (k, id) ->
+      Alcotest.(check (option string)) "reverse lookup" (Some k)
+        (Txn.Intern.name id))
+    here
+
+let raw_record_gen =
+  (* Raw construction inputs (not a built record): the point of the
+     cross-domain property is that make_record — and hence interning —
+     happens on the spawned domain. A wide key pool keeps a fresh-intern
+     mix in every run alongside re-interned keys. *)
+  let open QCheck.Gen in
+  let key = map (Printf.sprintf "xq%d") (int_bound 60) in
+  let* txn_id = map (Printf.sprintf "t%d") small_nat in
+  let* reads = list_size (0 -- 4) key in
+  let* writes = list_size (0 -- 4) (pair key (map string_of_int small_nat)) in
+  return (txn_id, reads, writes)
+
+let prop_cross_domain_footprints =
+  QCheck.Test.make ~name:"footprints built on different domains intersect correctly"
+    ~count:50
+    (QCheck.make QCheck.Gen.(pair raw_record_gen raw_record_gen))
+    (fun (a, b) ->
+      let build (txn_id, reads, writes) =
+        Txn.make_record ~txn_id ~origin:0 ~read_position:0 ~reads
+          ~writes:(List.map (fun (key, value) -> { Txn.key; value }) writes)
+      in
+      let d1 = Domain.spawn (fun () -> build a) in
+      let d2 = Domain.spawn (fun () -> build b) in
+      let t = Domain.join d1 and s = Domain.join d2 in
+      Txn.reads_from t s = ref_reads_from t s
+      && Txn.reads_from s t = ref_reads_from s t
+      && Txn.conflicts_with_any t [ s ] = ref_conflicts_with_any t [ s ]
+      && Txn.valid_combination [ t; s ] = ref_valid_combination [ t; s ])
+
 let () =
   Alcotest.run "types"
     [
@@ -184,5 +254,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_conflicts_matches_reference;
           QCheck_alcotest.to_alcotest prop_valid_combination_matches_reference;
           QCheck_alcotest.to_alcotest prop_footprint_decode_rebuild;
+        ] );
+      ( "intern-sharded",
+        [
+          Alcotest.test_case "cross-domain id consistency" `Quick
+            test_intern_cross_domain;
+          QCheck_alcotest.to_alcotest prop_cross_domain_footprints;
         ] );
     ]

@@ -366,6 +366,65 @@ let bench_rpc_call =
              done);
          Mdds_sim.Engine.run engine))
 
+(* Throughput mode (DESIGN.md §14). batch-fill: six clients submit into
+   one service inside a fill window wider than the RPC processing jitter,
+   so the drainer Combine-validates one multi-transaction batch — the
+   whole admission path (dedup scan, staleness, footprint overlap) in one
+   number. pipelined: batching off, depth 4 — four concurrent commits ride
+   overlapping sequenced log positions instead of serializing on the
+   apply watermark. *)
+let throughput_batch_config =
+  { (Mdds_core.Config.throughput ~pipeline_depth:1 Mdds_core.Config.leader)
+    with batch_fill = 0.15 }
+
+let bench_batch_fill =
+  Test.make ~name:"service/batch-fill"
+    (Staged.stage (fun () ->
+         let topo = Mdds_net.Topology.ec2 "VVV" in
+         let cluster =
+           Mdds_core.Cluster.create ~seed:7 ~config:throughput_batch_config topo
+         in
+         for i = 0 to 5 do
+           let client = Mdds_core.Cluster.client cluster ~dc:0 in
+           Mdds_core.Cluster.spawn cluster (fun () ->
+               let txn = Mdds_core.Client.begin_ client ~group:"bench" in
+               Mdds_core.Client.write txn (Printf.sprintf "k%d" i) "v";
+               ignore (Mdds_core.Client.commit txn))
+         done;
+         Mdds_core.Cluster.run cluster))
+
+let throughput_pipeline_config =
+  Mdds_core.Config.throughput ~batch_max:1 ~pipeline_depth:4
+    Mdds_core.Config.leader
+
+let bench_commit_pipelined =
+  Test.make ~name:"e2e/one-commit-pipelined-depth4"
+    (Staged.stage (fun () ->
+         let topo = Mdds_net.Topology.ec2 "VVV" in
+         let cluster =
+           Mdds_core.Cluster.create ~seed:7 ~config:throughput_pipeline_config
+             topo
+         in
+         for i = 0 to 3 do
+           let client = Mdds_core.Cluster.client cluster ~dc:0 in
+           Mdds_core.Cluster.spawn cluster (fun () ->
+               let txn = Mdds_core.Client.begin_ client ~group:"bench" in
+               Mdds_core.Client.write txn (Printf.sprintf "k%d" i) "v";
+               ignore (Mdds_core.Client.commit txn))
+         done;
+         Mdds_core.Cluster.run cluster))
+
+let bench_saturation_point =
+  (* A short over-saturated open-loop burst through the full measurement
+     harness (fresh cluster, arrivals past capacity, drain, oracle check)
+     — the inner loop of `mdds throughput` priced as one number. *)
+  Test.make ~name:"throughput/saturation-point"
+    (Staged.stage (fun () ->
+         ignore
+           (Mdds_harness.Throughput.run_point ~seed:7
+              ~mode:(Mdds_harness.Throughput.batched ()) ~rate:200.0 ~txns:40
+              ())))
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -394,6 +453,9 @@ let micro_tests =
       bench_contention "e2e/contended-flat-backoff" contention_flat;
       bench_contention "e2e/contended-decorrelated-backoff"
         contention_decorrelated;
+      bench_batch_fill;
+      bench_commit_pipelined;
+      bench_saturation_point;
     ]
 
 (* Returns [(name, ns_per_run option)] sorted by name, printing as it goes.
@@ -455,7 +517,24 @@ let time_run f =
   f ();
   Unix.gettimeofday () -. t0
 
-let emit_json ~path ~jobs ~figures ~micro =
+(* The PR-8 saturation comparison gating the bench guard's throughput
+   floor: both modes at one over-saturated offered rate (well past the
+   baseline's ~20 committed/s capacity on VVV), goodput measured by the
+   open-loop harness. Deterministic in (seed, txns), so only the quota
+   (txns) distinguishes a --quick run. *)
+let run_throughput ~quick =
+  let module Throughput = Mdds_harness.Throughput in
+  let rate = 150.0 in
+  let txns = if quick then 300 else 1200 in
+  Printf.printf "\n-- timing throughput saturation (%d txns at %.0f/s) --\n%!"
+    txns rate;
+  let point mode = Throughput.run_point ~seed:42 ~mode ~rate ~txns () in
+  let base = point Throughput.baseline in
+  let batched = point (Throughput.batched ()) in
+  Throughput.pp_table Format.std_formatter [ base; batched ];
+  (rate, txns, base, batched)
+
+let emit_json ~path ~jobs ~figures ~micro ~throughput =
   let out = open_out path in
   let p fmt = Printf.fprintf out fmt in
   p "{\n";
@@ -472,6 +551,21 @@ let emit_json ~path ~jobs ~figures ~micro =
         (if i = List.length figures - 1 then "" else ","))
     figures;
   p "  ],\n";
+  (let module Throughput = Mdds_harness.Throughput in
+   let rate, txns, base, batched = throughput in
+   let cps (pt : Throughput.point) = pt.Throughput.committed_per_s in
+   let p50 (pt : Throughput.point) =
+     pt.Throughput.latency.Mdds_harness.Stats.p50 *. 1000.
+   in
+   let ok (pt : Throughput.point) = Result.is_ok pt.Throughput.verified in
+   p "  \"throughput\": {\"rate\": %.1f, \"txns\": %d, \
+      \"baseline_committed_per_s\": %.3f, \"batched_committed_per_s\": %.3f, \
+      \"ratio\": %.2f, \"baseline_p50_ms\": %.1f, \"batched_p50_ms\": %.1f, \
+      \"verified\": %b},\n"
+     rate txns (cps base) (cps batched)
+     (if cps base > 0. then cps batched /. cps base else 0.)
+     (p50 base) (p50 batched)
+     (ok base && ok batched));
   p "  \"micro\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -504,6 +598,7 @@ let run_json ~jobs ~quick ~out ids =
      below are whole-run wall clocks and don't care. *)
   Gc.compact ();
   let micro = run_micro ~quick () in
+  let throughput = run_throughput ~quick in
   let figures =
     List.map
       (fun id ->
@@ -517,7 +612,7 @@ let run_json ~jobs ~quick ~out ids =
         (id, seq_s, par_s))
       ids
   in
-  emit_json ~path:out ~jobs ~figures ~micro
+  emit_json ~path:out ~jobs ~figures ~micro ~throughput
 
 (* ------------------------------------------------------------------ *)
 

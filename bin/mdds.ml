@@ -254,8 +254,18 @@ let chaos_cmd =
       & info [ "trace-tail" ] ~docv:"N"
           ~doc:"Trace events to print after a violation.")
   in
+  let throughput_arg =
+    Arg.(
+      value & flag
+      & info [ "throughput" ]
+          ~doc:
+            "Add the throughput schedule dimension: force the leader \
+             protocol and draw batch_max/pipeline_depth per seed \
+             (DESIGN.md \xc2\xa714), so the soak exercises batched and \
+             pipelined commit under every fault kind.")
+  in
   let run topology protocol seed seeds duration faults explicit_schedule
-      shrink trace_tail jobs verbose =
+      shrink trace_tail throughput jobs verbose =
     Mdds_parallel.Pool.set_jobs jobs;
     let seeds = match seeds with None -> [ seed ] | Some s -> s in
     let kinds = Option.value faults ~default:Schedule.all_kinds in
@@ -272,8 +282,20 @@ let chaos_cmd =
     (* Independent seeds fan out over the domain pool; reporting (and any
        shrinking, which is sequential by nature) happens afterwards in
        seed order, so the output is identical to a sequential run. *)
+    let workload =
+      if throughput then
+        Some
+          (Runner.throughput_workload ~dcs:(String.length topology) ~duration)
+      else None
+    in
     let specs =
-      List.map (fun seed -> Runner.spec ~config ~duration ~kinds ~seed topology) seeds
+      List.map
+        (fun seed ->
+          let config =
+            if throughput then Runner.throughput_config ~seed config else config
+          in
+          Runner.spec ~config ~duration ~kinds ?workload ~seed topology)
+        seeds
     in
     let reports = Runner.run_many ?schedule:explicit_schedule specs in
     List.iter2
@@ -314,7 +336,7 @@ let chaos_cmd =
     Term.(
       const run $ topology_arg $ protocol_arg $ seed_arg $ seeds_arg
       $ duration_arg $ faults_arg $ schedule_arg $ shrink_arg $ trace_tail_arg
-      $ jobs_arg $ verbose_arg)
+      $ throughput_arg $ jobs_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -326,6 +348,114 @@ let chaos_cmd =
           availability timeline with per-fault time-to-recovery and a \
           bounded-unavailability bound — and automatic schedule \
           shrinking.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* mdds throughput                                                     *)
+
+let throughput_cmd =
+  let module Throughput = Mdds_harness.Throughput in
+  let rates_conv =
+    let parse s =
+      let parts =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun r -> r <> "")
+      in
+      match List.map float_of_string_opt parts with
+      | [] -> Error (`Msg "empty rate list")
+      | l when List.for_all (function Some r -> r > 0.0 | None -> false) l ->
+          Ok (List.map Option.get l)
+      | _ -> Error (`Msg (Printf.sprintf "bad rate list %S (expected e.g. 10,40,160)" s))
+    in
+    let print ppf rs =
+      Format.pp_print_string ppf
+        (String.concat "," (List.map (Printf.sprintf "%g") rs))
+    in
+    Arg.conv (parse, print)
+  in
+  let rates_arg =
+    let doc =
+      "Comma-separated offered rates (txns per virtual second). The sweep \
+       runs every rate under both modes; pick a range that straddles the \
+       baseline's saturation point (about 20/s on VVV)."
+    in
+    Arg.(
+      value
+      & opt rates_conv [ 10.0; 20.0; 40.0; 80.0; 160.0 ]
+      & info [ "rates" ] ~docv:"R1,R2,.." ~doc)
+  in
+  let tp_txns_arg =
+    let doc =
+      "Transactions offered per measured point (the open-loop generator \
+       scales to 1e4..1e6; CI smoke uses a few hundred)."
+    in
+    Arg.(value & opt int 400 & info [ "n"; "txns" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    Arg.(value & opt int 8
+         & info [ "batch" ] ~docv:"N" ~doc:"batch_max of the batched mode.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 4
+         & info [ "depth" ] ~docv:"K"
+             ~doc:"pipeline_depth of the batched mode.")
+  in
+  let baseline_only_arg =
+    Arg.(value & flag
+         & info [ "baseline-only" ]
+             ~doc:"Sweep only the unbatched baseline mode.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"Also write the sweep as a JSON array to $(docv).")
+  in
+  let run topology seed txns rates batch depth baseline_only out jobs verbose =
+    Mdds_parallel.Pool.set_jobs jobs;
+    if batch < 1 || depth < 1 then (
+      Format.eprintf "mdds: --batch and --depth must be positive@.";
+      exit 124);
+    let modes =
+      if baseline_only then [ Throughput.baseline ]
+      else
+        [ Throughput.baseline;
+          Throughput.batched ~batch_max:batch ~pipeline_depth:depth () ]
+    in
+    let points = Throughput.sweep ~seed ~topology ~modes ~rates ~txns () in
+    Throughput.pp_table Format.std_formatter points;
+    List.iter
+      (fun mode ->
+        match Throughput.saturation points mode with
+        | None -> ()
+        | Some p ->
+            Format.printf "%s saturates at %.1f committed/s (offered %.0f/s)@."
+              mode.Throughput.label p.Throughput.committed_per_s
+              p.Throughput.rate)
+      modes;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Throughput.to_json points);
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    if verbose then print_scheduler_stats ();
+    if List.exists (fun p -> Result.is_error p.Throughput.verified) points then
+      exit 1
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ seed_arg $ tp_txns_arg $ rates_arg $ batch_arg
+      $ depth_arg $ baseline_only_arg $ out_arg $ jobs_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:
+         "Open-loop saturation sweep: offered-rate curves for the unbatched \
+          baseline vs throughput mode (transaction batching + k-deep \
+          pipelined log positions), with commit-latency percentiles and \
+          full oracle checking per point (DESIGN.md \xc2\xa714).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -362,4 +492,7 @@ let () =
      Patterson et al., VLDB 2012)."
   in
   let info = Cmd.info "mdds" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; chaos_cmd; figures_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; chaos_cmd; throughput_cmd; figures_cmd; list_cmd ]))

@@ -76,6 +76,20 @@ val default_config : Mdds_core.Config.protocol -> Mdds_core.Config.t
     and hedged reads on, so every soak seed exercises the gray-failure
     client machinery). *)
 
+val throughput_config : seed:int -> Mdds_core.Config.t -> Mdds_core.Config.t
+(** The throughput schedule dimension (DESIGN.md §14): force the leader
+    protocol and draw [batch_max ∈ {1,2,4,8}], [pipeline_depth ∈ {1,2,4}]
+    deterministically from [seed] (on a stream distinct from the engine's
+    and the fault schedule's), never both 1 — so a soak over a seed range
+    exercises every batching/pipelining combination under every fault
+    kind. *)
+
+val throughput_workload :
+  dcs:int -> duration:float -> Mdds_workload.Ycsb.config
+(** A denser soak workload for the throughput dimension: arrivals cluster
+    inside one commit round-trip, so batches fill and pipelined positions
+    overlap while faults land. *)
+
 type report = {
   run_spec : spec;
   schedule : Schedule.t;
@@ -95,6 +109,12 @@ type report = {
       (** Duplicate-delivery counters summed over all services: replayed
           applies absorbed, replayed claims answered from the register,
           replayed submissions answered with their original position. *)
+  throughput : Mdds_core.Service.throughput_stats;
+      (** Batched-path counters summed over all services (all zero unless
+          the spec's config enables {!Mdds_core.Config.throughput_mode},
+          e.g. via {!throughput_config}): positions proposed by the
+          batched path, transactions they carried, pipelined rounds and
+          window stalls. *)
   hedges : int;
       (** Service requests answered by a fallback datacenter
           ({!Mdds_core.Audit.hedges}): hedged failovers under the default

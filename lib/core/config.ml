@@ -20,6 +20,9 @@ type t = {
   adaptive_floor : float;
   adaptive_multiplier : float;
   hedged_reads : bool;
+  batch_max : int;
+  batch_fill : float;
+  pipeline_depth : int;
 }
 
 let default =
@@ -43,6 +46,9 @@ let default =
     adaptive_floor = 0.05;
     adaptive_multiplier = 3.0;
     hedged_reads = false;
+    batch_max = 1;
+    batch_fill = 0.005;
+    pipeline_depth = 1;
   }
 
 let basic = { default with protocol = Basic }
@@ -50,6 +56,11 @@ let basic = { default with protocol = Basic }
 let with_protocol protocol t = { t with protocol }
 
 let leader = { default with protocol = Leader }
+
+let throughput_mode t = t.batch_max > 1 || t.pipeline_depth > 1
+
+let throughput ?(batch_max = 8) ?(pipeline_depth = 4) t =
+  { t with protocol = Leader; batch_max; pipeline_depth }
 
 let protocol_name = function
   | Basic -> "paxos"

@@ -84,6 +84,23 @@ type t = {
           failover that keeps reads live while a local datacenter is slow
           or half-cut. Requires {!adaptive_timeouts} to shorten the
           per-destination wait; the ordering alone needs only samples. *)
+  batch_max : int;
+      (** [Leader] protocol throughput mode: max queued transactions the
+          manager combines into one log position ({!Mdds_core.Combine}'s
+          validity rule orders them). [1] (default) disables batching —
+          every submission is proposed alone, byte-identical to the paper
+          path. *)
+  batch_fill : float;
+      (** Fill-or-timeout: once the manager has at least one queued
+          transaction but fewer than [batch_max], it waits at most this
+          many seconds for more before proposing (only read when
+          [batch_max > 1]). *)
+  pipeline_depth : int;
+      (** [Leader] protocol throughput mode: concurrent in-flight log
+          positions the manager may keep open (Multi-Paxos pipelining;
+          positions assigned eagerly, applies stay in log order via the
+          WAL watermark, failures fall back to in-order single-position
+          resolution). [1] (default) disables pipelining. *)
 }
 
 val default : t
@@ -94,6 +111,16 @@ val basic : t
 
 val leader : t
 (** [default] with [protocol = Leader]. *)
+
+val throughput_mode : t -> bool
+(** True iff batching or pipelining is enabled ([batch_max > 1] or
+    [pipeline_depth > 1]). Off in {!default}/{!basic}/{!leader}, so all
+    paper figures take the unbatched path unchanged. *)
+
+val throughput : ?batch_max:int -> ?pipeline_depth:int -> t -> t
+(** Steady-state throughput mode: [Leader] protocol with batching
+    (default [batch_max = 8]) and pipelining (default
+    [pipeline_depth = 4]) enabled. *)
 
 val with_protocol : protocol -> t -> t
 

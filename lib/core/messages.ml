@@ -11,7 +11,13 @@ type request =
   | Get_read_position of { group : string }
   | Read of { group : string; key : string; position : int }
   | Prepare of { group : string; pos : int; ballot : Ballot.t }
-  | Accept of { group : string; pos : int; ballot : Ballot.t; entry : Txn.entry }
+  | Accept of {
+      group : string;
+      pos : int;
+      ballot : Ballot.t;
+      entry : Txn.entry;
+      sequenced : bool;
+    }
   | Apply of { group : string; pos : int; entry : Txn.entry }
   | Claim_leadership of { group : string; pos : int; claimant : string }
   | Submit of { group : string; record : Txn.record }
@@ -35,9 +41,10 @@ let pp_request ppf = function
       Format.fprintf ppf "read(%s,%s@%d)" group key position
   | Prepare { group; pos; ballot } ->
       Format.fprintf ppf "prepare(%s,%d,%a)" group pos Ballot.pp ballot
-  | Accept { group; pos; ballot; entry } ->
-      Format.fprintf ppf "accept(%s,%d,%a,%a)" group pos Ballot.pp ballot
+  | Accept { group; pos; ballot; entry; sequenced } ->
+      Format.fprintf ppf "accept(%s,%d,%a,%a%s)" group pos Ballot.pp ballot
         Txn.pp_entry entry
+        (if sequenced then ",seq" else "")
   | Apply { group; pos; entry } ->
       Format.fprintf ppf "apply(%s,%d,%a)" group pos Txn.pp_entry entry
   | Claim_leadership { group; pos; claimant } ->

@@ -24,7 +24,19 @@ type request =
   | Read of { group : string; key : string; position : int }
       (** Read [key] as of log position [position] (property (A2)). *)
   | Prepare of { group : string; pos : int; ballot : Ballot.t }
-  | Accept of { group : string; pos : int; ballot : Ballot.t; entry : Txn.entry }
+  | Accept of {
+      group : string;
+      pos : int;
+      ballot : Ballot.t;
+      entry : Txn.entry;
+      sequenced : bool;
+    }
+      (** [sequenced]: a pipelined round-0 accept (throughput mode). The
+          acceptor must grant it only if its current vote at [pos - 1] is
+          this very ballot — the same leader's round-0 ballot — so that a
+          quorum at [pos] proves the leader's previous in-flight entry is
+          chosen (the pipeline ordering invariant, DESIGN.md §14).
+          Ordinary accepts carry [false] and behave exactly as before. *)
   | Apply of { group : string; pos : int; entry : Txn.entry }
       (** One-way: write the decided entry to the log (Figure 3, step 6). *)
   | Claim_leadership of { group : string; pos : int; claimant : string }

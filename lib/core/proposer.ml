@@ -95,7 +95,7 @@ let broadcast_apply env ~group ~pos entry =
 (* One accept round: true iff a majority voted for (ballot, entry).
    Also returns the highest nextBal seen in rejections, for ballot
    selection on retry. *)
-let accept_round env ~group ~pos ~ballot entry =
+let accept_round ?(sequenced = false) env ~group ~pos ~ballot entry =
   let acks = ref 0 in
   let replies =
     Rpc.broadcast env.rpc ~src:env.dc ~dsts:env.dcs
@@ -107,7 +107,7 @@ let accept_round env ~group ~pos ~ballot entry =
                (function _, Messages.Accept_reply { ok = true; _ } -> true | _ -> false)
                responses);
         !acks >= quorum env)
-      (Messages.Accept { group; pos; ballot; entry })
+      (Messages.Accept { group; pos; ballot; entry; sequenced })
   in
   let oks, max_seen =
     List.fold_left
@@ -219,6 +219,29 @@ let run env ~group ~pos ?fast ~choose () =
         end
       in
       attempt (Ballot.make ~round:1 ~proposer:env.dc) 1
+
+(* Pipelined fast round (throughput mode): one round-0 accept for an
+   eagerly assigned position, with no full-protocol fallback — the
+   manager's window resolution owns recovery, in log order, so an
+   out-of-order failure here must not start a rival instance. [sequenced]
+   accepts are granted only by acceptors whose vote at [pos - 1] is this
+   same round-0 ballot; combined with the one-round-0-vote rule a quorum
+   here proves every earlier in-flight position is chosen with this
+   leader's entry, which is why success may be reported out of order. *)
+let run_fast env ~group ~pos ~sequenced entry =
+  Trace.record env.trace ~source:env.trace_source ~category:"fast"
+    "pos %d: pipelined accept round at ballot 0%s" pos
+    (if sequenced then " (sequenced)" else "");
+  let ok, _seen =
+    accept_round ~sequenced env ~group ~pos
+      ~ballot:(Ballot.fast ~proposer:env.dc) entry
+  in
+  if ok then begin
+    Trace.record env.trace ~source:env.trace_source ~category:"decide"
+      "pos %d decided via pipelined fast path (%d txns)" pos (List.length entry);
+    broadcast_apply env ~group ~pos entry
+  end;
+  ok
 
 let learn env ~group ~pos =
   let choose votes =

@@ -93,6 +93,16 @@ val run :
     caller is responsible for having claimed leadership before passing
     [?fast]. [choose] receives the quorum's last-vote responses. *)
 
+val run_fast :
+  env -> group:string -> pos:int -> sequenced:bool -> Txn.entry -> bool
+(** Throughput mode (DESIGN.md §14): one round-0 accept for an eagerly
+    assigned pipelined position, true iff a quorum voted (the entry is then
+    chosen and apply was broadcast). No full-protocol fallback — on false
+    the caller's window resolution recovers the position in log order.
+    With [sequenced], acceptors grant only if their vote at [pos - 1] is
+    the same round-0 ballot, so success proves the whole in-flight prefix
+    is chosen with this leader's entries (safe to report out of order). *)
+
 val learn : env -> group:string -> pos:int -> Txn.entry option
 (** Drive the instance for a position whose value this datacenter missed,
     returning the chosen value ([None] if no quorum is reachable or no

@@ -18,6 +18,47 @@ type acceptor_cached = {
 (* Interned row-key prefixes per group (replaces per-message sprintf). *)
 type group_keys = { paxos_prefix : string; claim_prefix : string }
 
+(* ------------------------------------------------------------------ *)
+(* Throughput mode (DESIGN.md §14): the manager's pending queue and
+   pipelined proposal window. All volatile — a restart drops it, exactly
+   like the submission locks; clients of orphaned submissions time out as
+   they would against a down manager. *)
+
+(* One queued submission. The handler fiber that received the Submit
+   suspends on [p_wakers]; whichever fiber resolves the outcome (a
+   pipelined slot completing, the drainer's window resolution, or the
+   batch admission check) wakes every waiter — including duplicate
+   Submits for the same txn id that attached while it was in flight. *)
+type pending = {
+  p_record : Txn.record;
+  mutable p_result : Messages.submit_result option;
+  mutable p_wakers : (unit -> unit) list;
+  mutable p_tries : int;  (* log positions lost before giving up *)
+  mutable p_exposed : bool;  (* an accept carrying this record went out *)
+}
+
+type slot_state = Sl_pending | Sl_won | Sl_failed
+
+(* One in-flight pipelined log position. *)
+type slot = {
+  sl_pos : int;
+  sl_entry : Txn.entry;
+  sl_pendings : pending list;
+  mutable sl_state : slot_state;
+}
+
+type batcher = {
+  bt_group : string;
+  bt_queue : pending Queue.t;  (* fresh submissions, FIFO *)
+  bt_requeue : pending Queue.t;  (* lost-position retries, drained first *)
+  bt_by_id : (string, pending) Hashtbl.t;  (* queued or in flight *)
+  mutable bt_window : slot list;  (* in-flight positions, ascending *)
+  mutable bt_next_pos : int;  (* next position while the window is open *)
+  mutable bt_running : bool;  (* drainer fiber alive *)
+  mutable bt_wake : (unit -> unit) option;  (* drainer's parked wakeup *)
+  mutable bt_stopped : bool;  (* set by restart; orphaned drainer exits *)
+}
+
 type t = {
   dc : int;
   source : string;  (* "svc.dc<N>", interned for trace calls *)
@@ -52,11 +93,26 @@ type t = {
   mutable dup_applies : int;
   mutable dup_claims : int;
   mutable dup_submits : int;
+  batchers : (string, batcher) Hashtbl.t;
+      (* Throughput mode only (Config.throughput_mode): per-group pending
+         queue + pipelined window. Untouched — never even allocated into —
+         when the mode is off, so the default path stays byte-identical. *)
+  mutable batches : int;
+  mutable batched_txns : int;
+  mutable pipelined_rounds : int;
+  mutable pipeline_stalls : int;
 }
 
 type recovery_stats = { recoveries : int; scrubbed : int; relearned : int }
 
 type dedup_stats = { dup_applies : int; dup_claims : int; dup_submits : int }
+
+type throughput_stats = {
+  batches : int;
+  batched_txns : int;
+  pipelined_rounds : int;
+  pipeline_stalls : int;
+}
 
 let dc t = t.dc
 let store t = t.store
@@ -68,6 +124,14 @@ let dedup_stats (t : t) =
     dup_applies = t.dup_applies;
     dup_claims = t.dup_claims;
     dup_submits = t.dup_submits;
+  }
+
+let throughput_stats (t : t) =
+  {
+    batches = t.batches;
+    batched_txns = t.batched_txns;
+    pipelined_rounds = t.pipelined_rounds;
+    pipeline_stalls = t.pipeline_stalls;
   }
 
 let keys_of t ~group =
@@ -158,13 +222,35 @@ let rec handle_prepare t ~group ~pos ~ballot =
         Messages.Promise { vote }
       else handle_prepare t ~group ~pos ~ballot (* state changed: retry *)
 
-let rec handle_accept t ~group ~pos ~ballot ~entry =
-  let state, nb = load_acceptor t ~group ~pos in
-  let state', ok = Acceptor.on_accept state ballot entry in
-  if not ok then Messages.Accept_reply { ok = false; next_bal = state.next_bal }
-  else if save_acceptor t ~group ~pos ~expected_nb:nb state' then
-    Messages.Accept_reply { ok = true; next_bal = state'.next_bal }
-  else handle_accept t ~group ~pos ~ballot ~entry
+(* Grant condition for a sequenced (pipelined) round-0 accept: our current
+   vote at the previous position is the very same round-0 ballot. Acceptors
+   cast at most one round-0 vote per position, so a quorum of sequenced
+   grants at [pos] is a quorum of round-0 votes at [pos - 1] for the same
+   leader — i.e. proof the leader's previous in-flight entry is chosen.
+   That induction is what lets the manager keep [pipeline_depth] positions
+   open and still report completions out of order (DESIGN.md §14). Anything
+   else — no vote yet, an overwritten vote, a compacted predecessor — is
+   refused; refusal costs only the fast round, the window resolution
+   recovers through the full protocol. *)
+let sequenced_ok t ~group ~pos ~ballot =
+  pos > 1
+  && pos - 1 > Wal.compacted_position t.wal ~group
+  &&
+  match (fst (load_acceptor t ~group ~pos:(pos - 1))).Acceptor.vote with
+  | Some (prev, _) -> Ballot.equal prev ballot
+  | None -> false
+
+let rec handle_accept t ~group ~pos ~ballot ~entry ~sequenced =
+  if sequenced && not (sequenced_ok t ~group ~pos ~ballot) then
+    let state, _ = load_acceptor t ~group ~pos in
+    Messages.Accept_reply { ok = false; next_bal = state.Acceptor.next_bal }
+  else
+    let state, nb = load_acceptor t ~group ~pos in
+    let state', ok = Acceptor.on_accept state ballot entry in
+    if not ok then Messages.Accept_reply { ok = false; next_bal = state.next_bal }
+    else if save_acceptor t ~group ~pos ~expected_nb:nb state' then
+      Messages.Accept_reply { ok = true; next_bal = state'.next_bal }
+    else handle_accept t ~group ~pos ~ballot ~entry ~sequenced
 
 (* ------------------------------------------------------------------ *)
 (* Log catch-up (§4.1 Fault Tolerance and Recovery).                   *)
@@ -276,7 +362,7 @@ let submit_lock t ~group =
       Hashtbl.replace t.submit_locks group lock;
       lock
 
-let handle_submit t ~group (record : Txn.record) =
+let handle_submit_single t ~group (record : Txn.record) =
   Mdds_sim.Semaphore.with_permit (submit_lock t ~group) (fun () ->
       let rec attempt tries =
         if tries <= 0 then Messages.Submit_reply { result = Messages.No_quorum }
@@ -372,6 +458,423 @@ let handle_submit t ~group (record : Txn.record) =
                     else Messages.Submit_reply { result = Messages.No_quorum }))
       in
       attempt 5)
+
+(* ------------------------------------------------------------------ *)
+(* Throughput mode (DESIGN.md §14): the batched/pipelined submit path.
+
+   One drainer fiber per group owns proposal order. Submissions queue;
+   the drainer drains them (fill-or-timeout) into Combine-valid batches,
+   one batch per log position, and — in the Multi-Paxos steady state —
+   keeps up to [pipeline_depth] positions in flight at once via
+   {!Proposer.run_fast}'s sequenced round-0 accepts. A failed round
+   stalls the pipeline: every open position is resolved in log order
+   through the full protocol before new positions open. Data applies
+   always stay in log order behind the WAL watermark regardless of the
+   order rounds complete in. *)
+
+let batcher t ~group =
+  match Hashtbl.find_opt t.batchers group with
+  | Some b -> b
+  | None ->
+      let b =
+        {
+          bt_group = group;
+          bt_queue = Queue.create ();
+          bt_requeue = Queue.create ();
+          bt_by_id = Hashtbl.create 32;
+          bt_window = [];
+          bt_next_pos = 0;
+          bt_running = false;
+          bt_wake = None;
+          bt_stopped = false;
+        }
+      in
+      Hashtbl.replace t.batchers group b;
+      b
+
+let wake_batcher b =
+  match b.bt_wake with
+  | Some w ->
+      b.bt_wake <- None;
+      w ()
+  | None -> ()
+
+(* Park the drainer until a slot completes or a submission arrives. *)
+let wait_batcher b =
+  Mdds_sim.Engine.suspend (fun wake -> b.bt_wake <- Some wake)
+
+let resolve_pending b p result =
+  if p.p_result = None then begin
+    p.p_result <- Some result;
+    Hashtbl.remove b.bt_by_id p.p_record.Txn.txn_id;
+    let wakers = List.rev p.p_wakers in
+    p.p_wakers <- [];
+    List.iter (fun w -> w ()) wakers
+  end
+
+(* The submit handler's side: block until some drainer/slot fiber
+   resolves the outcome. The client's own timeout bounds the wait. *)
+let await_pending p =
+  (match p.p_result with
+  | None -> Mdds_sim.Engine.suspend (fun wake -> p.p_wakers <- wake :: p.p_wakers)
+  | Some _ -> ());
+  match p.p_result with
+  | Some result -> Messages.Submit_reply { result }
+  | None -> Messages.Submit_reply { result = Messages.No_quorum }
+
+(* Outcomes for a decided position: members commit at it; the rest lost
+   the position and go back to the queue, where the next admission pass
+   decides between retry and a truthful Stale_read. *)
+let deliver_decided b ~pos entry pendings =
+  List.iter
+    (fun p ->
+      if Txn.mem_entry ~txn_id:p.p_record.Txn.txn_id entry then
+        resolve_pending b p (Messages.Accepted_at pos)
+      else begin
+        p.p_tries <- p.p_tries + 1;
+        if p.p_tries >= 5 then resolve_pending b p Messages.No_quorum
+        else Queue.push p b.bt_requeue
+      end)
+    pendings
+
+(* Admission: drain the queues (lost-position retries first) into the next
+   batch. Replayed submissions are answered from the log (the PR-6 dedup
+   rule); stale reads are checked against the applied state *plus* every
+   not-yet-applied entry above the watermark — in-flight window slots
+   included, since their writes are ahead of any position this batch can
+   get; and the combination invariant (no record reads a key an earlier
+   batch member writes) is enforced with the PR-5 write-union. A record
+   failing only the combination rule is deferred to a later position, not
+   aborted — exactly the outcome it would get submitting alone. *)
+let build_batch (t : t) b =
+  let group = b.bt_group in
+  let wal_last = Wal.last_position t.wal ~group in
+  let watermark = Wal.apply_available t.wal ~group in
+  let overhang =
+    let rec collect pos acc =
+      if pos > wal_last then acc
+      else
+        collect (pos + 1)
+          (match Wal.entry t.wal ~group ~pos with
+          | Some e -> (pos, e) :: acc
+          | None -> acc)
+    in
+    collect (watermark + 1)
+      (List.map (fun s -> (s.sl_pos, s.sl_entry)) b.bt_window)
+  in
+  let union = Txn.Write_union.create () in
+  let batch = ref [] in
+  let size = ref 0 in
+  let deferred = ref [] in
+  let take () =
+    match Queue.take_opt b.bt_requeue with
+    | Some p -> Some p
+    | None -> Queue.take_opt b.bt_queue
+  in
+  let exception Full in
+  (try
+     let rec admit () =
+       if !size >= t.config.Config.batch_max then raise Full;
+       match take () with
+       | None -> ()
+       | Some p ->
+           let r = p.p_record in
+           let already_at =
+             let lo =
+               1 + max r.Txn.read_position (Wal.compacted_position t.wal ~group)
+             in
+             let rec find pos =
+               if pos > wal_last then None
+               else
+                 match Wal.entry t.wal ~group ~pos with
+                 | Some entry when Txn.mem_entry ~txn_id:r.Txn.txn_id entry ->
+                     Some pos
+                 | _ -> find (pos + 1)
+             in
+             find lo
+           in
+           (match already_at with
+           | Some pos ->
+               t.dup_submits <- t.dup_submits + 1;
+               resolve_pending b p (Messages.Accepted_at pos)
+           | None ->
+               let stale =
+                 Array.exists
+                   (fun key ->
+                     match Wal.data_version t.wal ~group ~key ~at:watermark with
+                     | Some version -> version > r.Txn.read_position
+                     | None -> false)
+                   (Txn.read_keys r)
+                 || List.exists
+                      (fun (pos, entry) ->
+                        pos > r.Txn.read_position
+                        && List.exists (fun s -> Txn.reads_from r s) entry)
+                      overhang
+               in
+               if stale then resolve_pending b p Messages.Stale_read
+               else if Txn.Write_union.reads_overlap union r then
+                 deferred := p :: !deferred
+               else begin
+                 Txn.Write_union.add union r;
+                 batch := p :: !batch;
+                 incr size
+               end);
+           admit ()
+     in
+     admit ()
+   with Full -> ());
+  List.iter (fun p -> Queue.push p b.bt_requeue) (List.rev !deferred);
+  List.rev !batch
+
+(* No leadership streak: the single-position path, synchronous in the
+   drainer, with the batch as the proposed value — the same full protocol
+   (and the same exposure accounting) as the unbatched manager. *)
+let propose_sync (t : t) b ~pos batch =
+  let group = b.bt_group in
+  let entry = List.map (fun p -> p.p_record) batch in
+  let choose votes =
+    let winning = Mdds_paxos.Tally.find_winning votes ~own:entry in
+    List.iter
+      (fun p ->
+        if Txn.mem_entry ~txn_id:p.p_record.Txn.txn_id winning then
+          p.p_exposed <- true)
+      batch;
+    Proposer.Propose winning
+  in
+  match Proposer.run t.env ~group ~pos ~choose () with
+  | Proposer.Decided entry', _ ->
+      if Txn.equal_entry entry' entry then Hashtbl.replace t.won group pos;
+      deliver_decided b ~pos entry' batch
+  | Proposer.Observed entry', _ -> deliver_decided b ~pos entry' batch
+  | Proposer.Unavailable, _ ->
+      List.iter
+        (fun p ->
+          resolve_pending b p
+            (if p.p_exposed then Messages.In_doubt else Messages.No_quorum))
+        batch
+
+(* A pipelined round failed (refused sequenced accept, timeout, or a rival
+   bumped nextBal): stall the pipeline and resolve every open position in
+   log order through the full protocol. Each resolution adopts whatever
+   the prepare quorum reveals — except our own sequenced round-0 vote once
+   the prefix has diverged. Such a vote is provably unchosen: a sequenced
+   round-0 quorum at the position would need a round-0 quorum at the
+   previous position for the same leader, which the divergence rules out
+   (any rival decision's prepare quorum intersects every round-0 quorum
+   and would have adopted our value). Proposing it verbatim would commit
+   transactions whose stale-read checks ran against a prefix that never
+   committed, so we propose a re-validated subset instead — possibly the
+   empty no-op entry — at the higher ballot. This is the one deliberate
+   deviation from adopt-the-highest-vote, justified by the sequenced
+   invariant (PROTOCOL.md, "Batching and pipelining"). *)
+let resolve_window (t : t) b =
+  t.pipeline_stalls <- t.pipeline_stalls + 1;
+  let group = b.bt_group in
+  let slots = List.sort (fun a b -> Int.compare a.sl_pos b.sl_pos) b.bt_window in
+  b.bt_window <- [];
+  let prefix_ok = ref true in
+  let unavailable = ref false in
+  List.iter
+    (fun slot ->
+      match slot.sl_state with
+      | Sl_won -> () (* completed concurrently; outcomes already delivered *)
+      | Sl_pending | Sl_failed ->
+          if !unavailable then
+            (* No quorum below this position: everything above is exposed
+               and unknowable, like any post-accept give-up. *)
+            List.iter
+              (fun p -> resolve_pending b p Messages.In_doubt)
+              slot.sl_pendings
+          else begin
+            ignore (ensure_applied t ~group ~upto:(slot.sl_pos - 1));
+            let fast_ballot = Ballot.fast ~proposer:t.dc in
+            let revalidated () =
+              let watermark = Wal.apply_available t.wal ~group in
+              let union = Txn.Write_union.create () in
+              List.filter
+                (fun (r : Txn.record) ->
+                  let stale =
+                    Array.exists
+                      (fun key ->
+                        match
+                          Wal.data_version t.wal ~group ~key ~at:watermark
+                        with
+                        | Some version -> version > r.Txn.read_position
+                        | None -> false)
+                      (Txn.read_keys r)
+                  in
+                  let ok =
+                    (not stale) && not (Txn.Write_union.reads_overlap union r)
+                  in
+                  if ok then Txn.Write_union.add union r;
+                  ok)
+                slot.sl_entry
+            in
+            let choose votes =
+              let highest =
+                List.fold_left
+                  (fun acc (r : Txn.entry Mdds_paxos.Tally.response) ->
+                    match (acc, r.Mdds_paxos.Tally.vote) with
+                    | None, v -> v
+                    | Some _, None -> acc
+                    | Some (bb, _), (Some (bv, _) as v) ->
+                        if Ballot.compare bv bb > 0 then v else acc)
+                  None votes
+              in
+              match highest with
+              | Some (bb, e)
+                when not
+                       (Ballot.equal bb fast_ballot
+                       && Txn.equal_entry e slot.sl_entry) ->
+                  Proposer.Propose e
+              | _ ->
+                  if !prefix_ok then Proposer.Propose slot.sl_entry
+                  else Proposer.Propose (revalidated ())
+            in
+            match Proposer.run t.env ~group ~pos:slot.sl_pos ~choose () with
+            | Proposer.Decided entry, _ | Proposer.Observed entry, _ ->
+                if Txn.equal_entry entry slot.sl_entry then
+                  Hashtbl.replace t.won group slot.sl_pos
+                else prefix_ok := false;
+                deliver_decided b ~pos:slot.sl_pos entry slot.sl_pendings
+            | Proposer.Unavailable, _ ->
+                unavailable := true;
+                List.iter
+                  (fun p -> resolve_pending b p Messages.In_doubt)
+                  slot.sl_pendings
+          end)
+    slots
+
+let rec drain (t : t) b =
+  if b.bt_stopped then b.bt_running <- false
+  else begin
+    (* Completed slots leave the window as soon as their outcome is
+       delivered; their entries are in the WAL (synchronous local apply in
+       [run_fast]) and keep feeding admission's overhang checks. *)
+    b.bt_window <- List.filter (fun s -> s.sl_state <> Sl_won) b.bt_window;
+    if List.exists (fun s -> s.sl_state = Sl_failed) b.bt_window then begin
+      resolve_window t b;
+      drain t b
+    end
+    else begin
+      let inflight = List.length b.bt_window in
+      let queued = Queue.length b.bt_queue + Queue.length b.bt_requeue in
+      if queued = 0 && inflight = 0 then b.bt_running <- false
+      else if queued = 0 || inflight >= t.config.Config.pipeline_depth then begin
+        wait_batcher b;
+        drain t b
+      end
+      else begin
+        (* Fill-or-timeout: wait briefly for a fuller batch. *)
+        if
+          t.config.Config.batch_max > 1
+          && queued < t.config.Config.batch_max
+          && t.config.Config.batch_fill > 0.
+        then Mdds_sim.Engine.sleep t.config.Config.batch_fill;
+        launch t b;
+        drain t b
+      end
+    end
+  end
+
+and launch (t : t) b =
+  let group = b.bt_group in
+  (* Slots may have completed (or failed) during the fill wait: re-settle
+     the window first. A failure means resolution must run before any new
+     position opens — launching over an unresolved gap through the full
+     protocol would decide a position whose admission checks assumed a
+     prefix that may never commit. *)
+  b.bt_window <- List.filter (fun s -> s.sl_state <> Sl_won) b.bt_window;
+  if List.exists (fun s -> s.sl_state = Sl_failed) b.bt_window then ()
+  else begin
+    (* Only catch up through the learner when nothing of ours is in
+       flight — learning one of our own open positions would race this
+       manager against itself (a round-1 prepare killing its own
+       round-0 accepts). *)
+    if b.bt_window = [] then
+      ignore (ensure_applied t ~group ~upto:(Wal.last_position t.wal ~group));
+    let batch = build_batch t b in
+    if batch <> [] then begin
+      let entry = List.map (fun p -> p.p_record) batch in
+      assert (Txn.valid_combination entry);
+      let pos =
+        if b.bt_window = [] then Wal.last_position t.wal ~group + 1
+        else b.bt_next_pos
+      in
+      b.bt_next_pos <- pos + 1;
+      t.batches <- t.batches + 1;
+      t.batched_txns <- t.batched_txns + List.length entry;
+      (* The window holds only Sl_pending slots here, so: non-empty window
+         ⇒ pipelined sequenced round; empty window ⇒ round-0 only on the
+         Multi-Paxos streak, else the synchronous single-position path. *)
+      let sequenced = b.bt_window <> [] in
+      let streak = Hashtbl.find_opt t.won group = Some (pos - 1) in
+      if sequenced || streak then begin
+        let slot =
+          {
+            sl_pos = pos;
+            sl_entry = entry;
+            sl_pendings = batch;
+            sl_state = Sl_pending;
+          }
+        in
+        b.bt_window <- b.bt_window @ [ slot ];
+        if sequenced then t.pipelined_rounds <- t.pipelined_rounds + 1;
+        List.iter (fun p -> p.p_exposed <- true) batch;
+        Mdds_sim.Engine.spawn (Rpc.engine t.env.Proposer.rpc) (fun () ->
+            let ok = Proposer.run_fast t.env ~group ~pos ~sequenced entry in
+            (match slot.sl_state with
+            | Sl_pending -> slot.sl_state <- (if ok then Sl_won else Sl_failed)
+            | Sl_won | Sl_failed -> ());
+            if ok && not b.bt_stopped then begin
+              (* Out-of-order success is safe to report: a sequenced quorum
+                 at this position proves every earlier open position is
+                 chosen with this manager's entry (see {!sequenced_ok}). *)
+              (match Hashtbl.find_opt t.won group with
+              | Some w when w >= pos -> ()
+              | _ -> Hashtbl.replace t.won group pos);
+              List.iter
+                (fun p -> resolve_pending b p (Messages.Accepted_at pos))
+                slot.sl_pendings
+            end;
+            wake_batcher b)
+      end
+      else propose_sync t b ~pos batch
+    end
+  end
+
+let handle_submit_batched t ~group (record : Txn.record) =
+  let b = batcher t ~group in
+  match Hashtbl.find_opt b.bt_by_id record.Txn.txn_id with
+  | Some p ->
+      (* Duplicate Submit while the original is queued or in flight
+         (duplicating link, or a client retrying into the same manager):
+         attach as an extra waiter; the one resolution answers both. *)
+      t.dup_submits <- t.dup_submits + 1;
+      await_pending p
+  | None ->
+      let p =
+        {
+          p_record = record;
+          p_result = None;
+          p_wakers = [];
+          p_tries = 0;
+          p_exposed = false;
+        }
+      in
+      Queue.push p b.bt_queue;
+      Hashtbl.replace b.bt_by_id record.Txn.txn_id p;
+      if not b.bt_running then begin
+        b.bt_running <- true;
+        Mdds_sim.Engine.spawn (Rpc.engine t.env.Proposer.rpc) (fun () ->
+            drain t b)
+      end
+      else wake_batcher b;
+      await_pending p
+
+let handle_submit t ~group record =
+  if Config.throughput_mode t.config then handle_submit_batched t ~group record
+  else handle_submit_single t ~group record
 
 (* ------------------------------------------------------------------ *)
 
@@ -478,8 +981,8 @@ let handle t ~src:_ request =
   | Messages.Accept { group; pos; _ } when quarantined t ~group ~pos ->
       Messages.Failed (Printf.sprintf "position %d recovering" pos)
   | Messages.Prepare { group; pos; ballot } -> handle_prepare t ~group ~pos ~ballot
-  | Messages.Accept { group; pos; ballot; entry } ->
-      handle_accept t ~group ~pos ~ballot ~entry
+  | Messages.Accept { group; pos; ballot; entry; sequenced } ->
+      handle_accept t ~group ~pos ~ballot ~entry ~sequenced
   | Messages.Apply { group; pos; entry } ->
       (* An apply at or below the compaction point is stale news: the
          entry's effects are already part of the checkpoint. Above it,
@@ -590,6 +1093,16 @@ let restart t =
   Hashtbl.reset t.acceptors;
   Hashtbl.reset t.suspect;
   Hashtbl.reset t.relearning;
+  (* Batchers are volatile: orphan every drainer and pending. Their
+     clients time out to Unknown, the same contract as any down node;
+     decided-but-unreported positions are recovered from the durable log
+     like any other entry. *)
+  Hashtbl.iter
+    (fun _ b ->
+      b.bt_stopped <- true;
+      wake_batcher b)
+    t.batchers;
+  Hashtbl.reset t.batchers;
   Wal.invalidate t.wal;
   List.iter
     (fun group ->
@@ -731,6 +1244,11 @@ let start ?(storage = Store.Sync_always) ~rpc ~config ~dc ~dcs ~trace () =
       dup_applies = 0;
       dup_claims = 0;
       dup_submits = 0;
+      batchers = Hashtbl.create 4;
+      batches = 0;
+      batched_txns = 0;
+      pipelined_rounds = 0;
+      pipeline_stalls = 0;
     }
   in
   Rpc.serve rpc ~node:dc ~processing:config.processing_delay (fun ~src request ->

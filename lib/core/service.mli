@@ -73,6 +73,24 @@ val dedup_stats : t -> dedup_stats
 (** Duplicate-delivery telemetry (gray-failure chaos: duplicating links),
     reported by the chaos runner. *)
 
+type throughput_stats = {
+  batches : int;
+      (** Log positions proposed by the batched path (each holds a
+          Combine-validated batch of 1..[batch_max] transactions). *)
+  batched_txns : int;  (** Transactions those positions carried. *)
+  pipelined_rounds : int;
+      (** Sequenced round-0 accept rounds launched with earlier positions
+          still in flight (the k-deep pipeline actually overlapping). *)
+  pipeline_stalls : int;
+      (** Times a failed round forced the window to be resolved in log
+          order through the full protocol before new positions opened. *)
+}
+
+val throughput_stats : t -> throughput_stats
+(** Throughput-mode telemetry (DESIGN.md §14). All zero unless
+    {!Config.throughput_mode} — the batched path is never entered
+    otherwise. *)
+
 val compact : t -> group:string -> upto:int -> (unit, [ `Not_applied ]) result
 (** Checkpoint: discard the applied log prefix 1..[upto] and its Paxos
     acceptor state. Refused if the prefix is not fully applied. Replicas

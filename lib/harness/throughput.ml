@@ -1,0 +1,191 @@
+module Config = Mdds_core.Config
+module Audit = Mdds_core.Audit
+module Cluster = Mdds_core.Cluster
+module Client = Mdds_core.Client
+module Service = Mdds_core.Service
+module Verify = Mdds_core.Verify
+module Topology = Mdds_net.Topology
+
+type mode = {
+  label : string;
+  batch_max : int;
+  pipeline_depth : int;
+}
+
+let baseline = { label = "baseline"; batch_max = 1; pipeline_depth = 1 }
+
+let batched ?(batch_max = 8) ?(pipeline_depth = 4) () =
+  {
+    label = Printf.sprintf "batch%d/depth%d" batch_max pipeline_depth;
+    batch_max;
+    pipeline_depth;
+  }
+
+type point = {
+  mode : mode;
+  rate : float;
+  txns : int;
+  committed : int;
+  aborted : int;
+  unknown : int;
+  committed_per_s : float;
+  latency : Stats.summary;
+  batches : int;
+  pipelined_rounds : int;
+  sim_duration : float;
+  wall_seconds : float;
+  verified : (unit, string) result;
+}
+
+let group = "tp"
+
+(* Both modes run the leader protocol so the comparison isolates
+   batching/pipelining; the baseline's [batch_max = pipeline_depth = 1]
+   keeps [Config.throughput_mode] off, i.e. the verbatim single path. *)
+let config_of_mode mode =
+  {
+    Config.leader with
+    batch_max = mode.batch_max;
+    pipeline_depth = mode.pipeline_depth;
+  }
+
+let run_point ?(seed = 42) ?(topology = "VVV") ?(conflict_every = 16) ~mode
+    ~rate ~txns () =
+  if rate <= 0.0 then invalid_arg "Throughput.run_point: rate must be positive";
+  if txns < 1 then invalid_arg "Throughput.run_point: txns must be positive";
+  let started = Unix.gettimeofday () in
+  let topo = Topology.ec2 topology in
+  let config = config_of_mode mode in
+  let cluster = Cluster.create ~seed ~config topo in
+  let dcs = Cluster.size cluster in
+  (* Open loop: arrival [i] fires at [i / rate] virtual seconds no matter
+     how far behind the service is — queues build at saturation instead of
+     the offered load silently adapting. *)
+  for i = 0 to txns - 1 do
+    let at = float_of_int i /. rate in
+    let dc = i mod dcs in
+    Cluster.spawn ~at cluster (fun () ->
+        let client = Cluster.client ~id:(Printf.sprintf "tp%06d" i) cluster ~dc in
+        let txn = Client.begin_ client ~group in
+        if conflict_every > 0 && i mod conflict_every = 0 then (
+          (* Shared-counter RMW: keeps the conflict/abort path honest. *)
+          let v =
+            match Client.read txn "ctr" with
+            | None -> 1
+            | Some s -> int_of_string s + 1
+          in
+          Client.write txn "ctr" (string_of_int v))
+        else begin
+          let key = Printf.sprintf "k%06d" i in
+          ignore (Client.read txn key);
+          Client.write txn key (string_of_int i)
+        end;
+        ignore (Client.commit txn))
+  done;
+  Cluster.run cluster;
+  let audit = Cluster.audit cluster in
+  let events = Audit.events audit in
+  let committed, aborted, unknown, last_commit =
+    List.fold_left
+      (fun (c, a, u, last) (e : Audit.event) ->
+        match e.outcome with
+        | Audit.Committed _ | Audit.Read_only_committed ->
+            (c + 1, a, u, Float.max last e.committed_at)
+        | Audit.Aborted _ -> (c, a + 1, u, last)
+        | Audit.Unknown -> (c, a, u + 1, last))
+      (0, 0, 0, 0.0) events
+  in
+  let committed_per_s =
+    if committed = 0 then 0.0 else float_of_int committed /. last_commit
+  in
+  let batches, pipelined_rounds =
+    List.fold_left
+      (fun (b, p) service ->
+        let s = Service.throughput_stats service in
+        (b + s.Service.batches, p + s.Service.pipelined_rounds))
+      (0, 0) (Cluster.services cluster)
+  in
+  {
+    mode;
+    rate;
+    txns;
+    committed;
+    aborted;
+    unknown;
+    committed_per_s;
+    latency = Stats.summarize (Audit.commit_latencies audit ~promotions:None);
+    batches;
+    pipelined_rounds;
+    sim_duration = Cluster.now cluster;
+    wall_seconds = Unix.gettimeofday () -. started;
+    verified = Verify.check cluster ~group;
+  }
+
+let sweep ?seed ?topology ?conflict_every ?(modes = [ baseline; batched () ])
+    ~rates ~txns () =
+  (* Independent cells fan out over the domain pool; each point is
+     deterministic in its parameters and results come back in input
+     order, so output is byte-identical whatever the job count. *)
+  let cells =
+    List.concat_map (fun mode -> List.map (fun rate -> (mode, rate)) rates) modes
+  in
+  Mdds_parallel.Pool.map
+    (fun (mode, rate) ->
+      run_point ?seed ?topology ?conflict_every ~mode ~rate ~txns ())
+    cells
+
+let saturation points mode =
+  List.fold_left
+    (fun best p ->
+      if p.mode.label <> mode.label then best
+      else
+        match best with
+        | Some b when b.committed_per_s >= p.committed_per_s -> best
+        | _ -> Some p)
+    None points
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "%-14s rate %7.1f/s  committed %d/%d  goodput %7.1f/s  p50 %a p99 %a  \
+     batches %d  pipelined %d  %s"
+    p.mode.label p.rate p.committed p.txns p.committed_per_s Stats.pp_ms
+    p.latency.Stats.p50 Stats.pp_ms p.latency.Stats.p99 p.batches
+    p.pipelined_rounds
+    (match p.verified with Ok () -> "ok" | Error e -> "VIOLATION: " ^ e)
+
+let pp_table ppf points =
+  Format.fprintf ppf "%-14s %9s %9s %9s %10s %9s %9s %8s %9s  %s@."
+    "mode" "rate/s" "offered" "committed" "goodput/s" "p50(ms)" "p99(ms)"
+    "batches" "pipelined" "verify";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-14s %9.1f %9d %9d %10.1f %9.1f %9.1f %8d %9d  %s@."
+        p.mode.label p.rate p.txns p.committed p.committed_per_s
+        (p.latency.Stats.p50 *. 1000.) (p.latency.Stats.p99 *. 1000.)
+        p.batches p.pipelined_rounds
+        (match p.verified with Ok () -> "ok" | Error e -> "VIOLATION: " ^ e))
+    points
+
+let to_json points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"mode\": %S, \"batch_max\": %d, \"pipeline_depth\": %d, \
+            \"rate\": %.3f, \"txns\": %d, \"committed\": %d, \"aborted\": %d, \
+            \"unknown\": %d, \"committed_per_s\": %.3f, \"p50_ms\": %.3f, \
+            \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f, \
+            \"batches\": %d, \"pipelined_rounds\": %d, \"sim_duration\": %.3f, \
+            \"verified\": %b}"
+           p.mode.label p.mode.batch_max p.mode.pipeline_depth p.rate p.txns
+           p.committed p.aborted p.unknown p.committed_per_s
+           (p.latency.Stats.p50 *. 1000.) (p.latency.Stats.p95 *. 1000.)
+           (p.latency.Stats.p99 *. 1000.) (p.latency.Stats.mean *. 1000.)
+           p.batches p.pipelined_rounds p.sim_duration
+           (match p.verified with Ok () -> true | Error _ -> false)))
+    points;
+  Buffer.add_string buf "\n  ]";
+  Buffer.contents buf

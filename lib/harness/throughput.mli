@@ -1,0 +1,83 @@
+(** Open-loop throughput measurement (DESIGN.md §14.4).
+
+    A closed-loop workload (every thread waits for its commit before
+    submitting the next) can never expose a saturation point: offered
+    load collapses to match capacity. This harness instead spawns one
+    client fiber per transaction at fixed virtual-time arrivals
+    ([i / rate] seconds), so the offered rate is independent of service
+    latency and queues actually build when the system saturates.
+
+    Each measured point runs a fresh deterministic cluster, drives
+    [txns] single-shot transactions over a mostly-disjoint keyspace
+    (a small fraction contend on one shared counter so the conflict
+    path stays exercised), drains, runs the full {!Mdds_core.Verify}
+    oracle suite, and reports committed throughput and the commit
+    latency distribution. A {!sweep} repeats that over a list of
+    offered rates for both the baseline ([batch_max = 1],
+    [pipeline_depth = 1]) and a batched/pipelined mode, giving the
+    throughput/latency-to-saturation curves of the PR-8 benchmark. *)
+
+type mode = {
+  label : string;
+  batch_max : int;
+  pipeline_depth : int;
+}
+
+val baseline : mode
+(** [batch_max = 1], [pipeline_depth = 1]: the verbatim pre-PR-8 path. *)
+
+val batched : ?batch_max:int -> ?pipeline_depth:int -> unit -> mode
+(** Throughput mode (defaults [batch_max = 8], [pipeline_depth = 4]). *)
+
+type point = {
+  mode : mode;
+  rate : float;  (** Offered load, transactions per virtual second. *)
+  txns : int;  (** Transactions offered. *)
+  committed : int;
+  aborted : int;
+  unknown : int;
+  committed_per_s : float;
+      (** Committed transactions divided by the virtual time of the last
+          commit — the measured goodput at this offered rate. *)
+  latency : Stats.summary;  (** Commit latency of committed txns. *)
+  batches : int;  (** Log positions proposed by the batched path. *)
+  pipelined_rounds : int;
+  sim_duration : float;  (** Virtual seconds until full drain. *)
+  wall_seconds : float;
+  verified : (unit, string) result;
+}
+
+val run_point :
+  ?seed:int ->
+  ?topology:string ->
+  ?conflict_every:int ->
+  mode:mode ->
+  rate:float ->
+  txns:int ->
+  unit ->
+  point
+(** One cluster, one offered rate. [conflict_every] (default 16): every
+    n-th transaction also reads-and-writes the shared counter key.
+    Deterministic in [(seed, topology, mode, rate, txns)]. *)
+
+val sweep :
+  ?seed:int ->
+  ?topology:string ->
+  ?conflict_every:int ->
+  ?modes:mode list ->
+  rates:float list ->
+  txns:int ->
+  unit ->
+  point list
+(** Every mode at every rate (default modes: [baseline] and
+    [batched ()]), in order — the saturation curves. *)
+
+val saturation : point list -> mode -> point option
+(** The point of peak committed throughput for a mode within a sweep. *)
+
+val pp_point : Format.formatter -> point -> unit
+val pp_table : Format.formatter -> point list -> unit
+
+val to_json : point list -> string
+(** The sweep as a JSON array (schema used by [mdds throughput --out]
+    and the ["throughput"] section of BENCH_harness.json). *)

@@ -243,6 +243,16 @@ let apply t ~group ~upto =
   if c.applied >= from then flush_meta t c;
   result
 
+(* Advance the apply watermark as far as contiguity allows and report it.
+   The throughput-mode batcher calls this between pipelined proposals: a
+   gap is expected there (one of its own in-flight positions, or a rival's
+   out-of-order apply) and must not trigger the learner — learning one of
+   our own undecided positions would have this manager racing itself. *)
+let apply_available t ~group =
+  (match apply t ~group ~upto:(last_position t ~group) with
+  | Ok () | Error (`Gap _) -> ());
+  applied_position t ~group
+
 let compact t ~group ~upto =
   let c = cache t ~group in
   load_meta t c;

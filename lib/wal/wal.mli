@@ -68,6 +68,14 @@ val apply : t -> group:string -> upto:int -> (unit, [ `Gap of int ]) result
     a combined entry win). Stops at the first missing entry, returning its
     position; the caller (Transaction Service) must learn it via Paxos. *)
 
+val apply_available : t -> group:string -> int
+(** Apply every entry the contiguous prefix allows (up to
+    {!last_position}) and return the resulting applied watermark. Unlike
+    the Transaction Service's catch-up, a gap is tolerated silently — the
+    throughput-mode batcher uses this between pipelined proposals, where a
+    gap is one of its own still-in-flight positions and must not be
+    "learned". *)
+
 val read_data : t -> group:string -> key:string -> at:int -> string option
 (** Value of [key] as of log position [at] — the most recent applied write
     with position ≤ [at]. Requires the log to be applied through [at] to be

@@ -35,6 +35,13 @@ import sys
 RATIO = 3.0
 SLOP_NS = 500.0
 
+# Throughput-mode floor (PR 8): at the over-saturated offered rate the
+# JSON records, batched+pipelined commit must sustain at least this many
+# times the unbatched baseline's committed txns/s. The measurement is
+# virtual-time (deterministic simulator), so unlike the wall-clock floors
+# below it is immune to host noise and can be tight.
+THROUGHPUT_FLOOR = 2.0
+
 # Parallel-speedup floor, enforced only when the measuring host can
 # plausibly meet it (jobs >= 4 and >= 4 recommended domains).
 AGGREGATE_FLOOR = 1.5
@@ -169,6 +176,44 @@ def check_speedup(doc):
     return ok
 
 
+def check_throughput(doc):
+    tp = doc.get("throughput")
+    if not tp:
+        print("\nthroughput floor: no throughput section in fresh run; skipping")
+        return True
+
+    base = tp.get("baseline_committed_per_s", 0.0)
+    batched = tp.get("batched_committed_per_s", 0.0)
+    ratio = batched / base if base > 0 else float("inf")
+    print(
+        f"\nthroughput: {base:.1f} committed/s baseline vs {batched:.1f} "
+        f"batched at {tp.get('rate', 0):.0f} offered/s "
+        f"({tp.get('txns', 0)} txns) = {ratio:.2f}x"
+    )
+    ok = True
+    if not tp.get("verified", False):
+        print(
+            "throughput floor: a saturation run failed its oracle check",
+            file=sys.stderr,
+        )
+        ok = False
+    if ratio < THROUGHPUT_FLOOR:
+        print(
+            f"throughput floor: batched mode sustains only {ratio:.2f}x the "
+            f"baseline's committed txns/s at saturation (floor "
+            f"{THROUGHPUT_FLOOR:.1f}x) — batching/pipelining is not paying "
+            "for itself.",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print(
+            f"throughput floor: {ratio:.2f}x >= {THROUGHPUT_FLOOR:.1f}x, "
+            "both runs oracle-clean"
+        )
+    return ok
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} BASELINE.json FRESH.json")
@@ -177,6 +222,7 @@ def main():
 
     ok = check_micros(micros(baseline), micros(fresh))
     ok = check_speedup(fresh) and ok
+    ok = check_throughput(fresh) and ok
     if not ok:
         sys.exit(1)
 

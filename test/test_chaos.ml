@@ -43,6 +43,60 @@ let test_battery () =
     battery_combos
 
 (* ------------------------------------------------------------------ *)
+(* Throughput dimension (PR 8): batched/pipelined commit under the full
+   fault mix. batch_max/pipeline_depth are drawn per seed (never both 1)
+   and the workload is dense enough that batches fill and pipelined
+   positions overlap while faults land; the full oracle suite must still
+   pass, and across the battery both mechanisms must actually engage. *)
+
+let test_throughput_battery () =
+  let topo = "VVV" in
+  let duration = 20.0 in
+  let seeds = List.init 25 (fun i -> i + 1) in
+  let workload =
+    Runner.throughput_workload ~dcs:(String.length topo) ~duration
+  in
+  let specs =
+    List.map
+      (fun seed ->
+        let config =
+          Runner.throughput_config ~seed (Runner.default_config Config.Leader)
+        in
+        Runner.spec ~config ~duration ~workload ~seed topo)
+      seeds
+  in
+  let reports = Runner.run_many specs in
+  List.iter
+    (fun (r : Runner.report) ->
+      (match r.Runner.violation with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "throughput seed %d (batch %d, depth %d): %s@.repro: %s"
+            r.Runner.run_spec.Runner.seed
+            r.Runner.run_spec.Runner.config.Config.batch_max
+            r.Runner.run_spec.Runner.config.Config.pipeline_depth v
+            (Runner.repro r));
+      Alcotest.(check bool)
+        "throughput mode actually on" true
+        (Config.throughput_mode r.Runner.run_spec.Runner.config);
+      Alcotest.(check bool)
+        "made progress" true
+        (r.Runner.commits >= r.Runner.run_spec.Runner.min_commits))
+    reports;
+  let module Service = Mdds_core.Service in
+  let batched, pipelined, stalls =
+    List.fold_left
+      (fun (b, p, s) (r : Runner.report) ->
+        ( b + r.Runner.throughput.Service.batched_txns,
+          p + r.Runner.throughput.Service.pipelined_rounds,
+          s + r.Runner.throughput.Service.pipeline_stalls ))
+      (0, 0, 0) reports
+  in
+  Alcotest.(check bool) "batched txns flowed" true (batched > 0);
+  Alcotest.(check bool) "pipelined rounds overlapped" true (pipelined > 0);
+  Alcotest.(check bool) "stalled windows were resolved" true (stalls > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Reproducibility: the same spec twice gives byte-identical schedules,
    outcome counts and repro line. *)
 
@@ -325,6 +379,10 @@ let () =
             test_shrink_gray;
         ] );
       ( "soak",
-        [ Alcotest.test_case "battery: 21 seed/topology/protocol combos" `Slow
-            test_battery ] );
+        [
+          Alcotest.test_case "battery: 21 seed/topology/protocol combos" `Slow
+            test_battery;
+          Alcotest.test_case "throughput dimension: 25 batched/pipelined seeds"
+            `Slow test_throughput_battery;
+        ] );
     ]

@@ -1,0 +1,403 @@
+(* Tests for throughput mode (DESIGN.md §14): transaction batching and
+   k-deep pipelined log positions. The mode is opt-in
+   ({!Config.throughput}); everything here runs the batched/pipelined
+   submit path and checks it against the same oracles as the default
+   path — plus equivalence against the default path itself. *)
+
+module Cluster = Mdds_core.Cluster
+module Client = Mdds_core.Client
+module Config = Mdds_core.Config
+module Service = Mdds_core.Service
+module Messages = Mdds_core.Messages
+module Audit = Mdds_core.Audit
+module Verify = Mdds_core.Verify
+module Checker = Mdds_serial.Checker
+module Topology = Mdds_net.Topology
+module Engine = Mdds_sim.Engine
+module Rng = Mdds_sim.Rng
+module Txn = Mdds_types.Txn
+
+let group = "g"
+
+let committed = function
+  | Audit.Committed _ | Audit.Read_only_committed -> true
+  | Audit.Aborted _ | Audit.Unknown -> false
+
+let make ?(seed = 42) ?(spec = "VVV") ?(batch_max = 8) ?(pipeline_depth = 4)
+    ?batch_fill () =
+  let config = Config.throughput ~batch_max ~pipeline_depth Config.leader in
+  let config =
+    match batch_fill with
+    | Some batch_fill -> { config with Config.batch_fill }
+    | None -> config
+  in
+  Cluster.create ~seed ~config (Topology.ec2 spec)
+
+let total_stats cluster =
+  List.fold_left
+    (fun (b, t, p, s) svc ->
+      let st = Service.throughput_stats svc in
+      ( b + st.Service.batches,
+        t + st.Service.batched_txns,
+        p + st.Service.pipelined_rounds,
+        s + st.Service.pipeline_stalls ))
+    (0, 0, 0, 0) (Cluster.services cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Batching.                                                            *)
+
+(* Satellite regression (notify-on-batched-commit): three clients whose
+   transactions are combined into ONE batch proposed by the manager's
+   drainer — not by any of their own submit handlers — must each still
+   learn the outcome and the position. *)
+let test_batched_commit_same_position () =
+  (* A fill window wider than the per-request processing jitter, so all
+     three submissions deterministically land in one batch. *)
+  let cluster = make ~batch_fill:0.15 () in
+  let outcomes = ref [] in
+  for i = 0 to 2 do
+    (* All in the manager's own datacenter so the three submissions land
+       within one fill window deterministically. *)
+    let client = Cluster.client cluster ~dc:0 in
+    Cluster.spawn cluster (fun () ->
+        let txn = Client.begin_ client ~group in
+        Client.write txn (Printf.sprintf "k%d" i) "v";
+        let outcome = Client.commit txn in
+        outcomes := outcome :: !outcomes)
+  done;
+  Cluster.run cluster;
+  let positions =
+    List.filter_map
+      (function Audit.Committed { position; _ } -> Some position | _ -> None)
+      !outcomes
+  in
+  Alcotest.(check int) "all three commit" 3 (List.length positions);
+  (match positions with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "one shared position" true (a = b && b = c)
+  | _ -> assert false);
+  let log = Cluster.committed_log cluster ~group in
+  (match log with
+  | [ (_, entry) ] -> Alcotest.(check int) "one entry of 3" 3 (List.length entry)
+  | _ -> Alcotest.failf "expected one log entry, got %d" (List.length log));
+  let batches, batched_txns, _, _ = total_stats cluster in
+  Alcotest.(check int) "one batch" 1 batches;
+  Alcotest.(check int) "three batched txns" 3 batched_txns;
+  Verify.check_exn cluster ~group
+
+let test_batched_conflicting_rmw () =
+  (* Two read-modify-writes of the same key arriving in the same fill
+     window: Combine admission defers the second out of the batch, and the
+     retry sees the first's committed write — one commit, one conflict
+     abort, exactly the unbatched semantics. *)
+  let cluster = make () in
+  let outcomes = ref [] in
+  for _ = 0 to 1 do
+    let client = Cluster.client cluster ~dc:0 in
+    Cluster.spawn cluster (fun () ->
+        let txn = Client.begin_ client ~group in
+        ignore (Client.read txn "counter");
+        Client.write txn "counter" (Client.txn_id txn);
+        let outcome = Client.commit txn in
+        outcomes := outcome :: !outcomes)
+  done;
+  Cluster.run cluster;
+  let commits = List.length (List.filter committed !outcomes) in
+  let conflicts =
+    List.length
+      (List.filter
+         (function
+           | Audit.Aborted { reason = Audit.Conflict; _ } -> true | _ -> false)
+         !outcomes)
+  in
+  Alcotest.(check int) "one commits" 1 commits;
+  Alcotest.(check int) "one conflict" 1 conflicts;
+  Verify.check_exn cluster ~group
+
+let test_batched_disjoint_reads_commit () =
+  (* Reads of keys nobody overwrote stay fresh through batching: mixed
+     read/write transactions over disjoint keys all commit. *)
+  let cluster = make () in
+  let outcomes = ref [] in
+  for i = 0 to 4 do
+    let client = Cluster.client cluster ~dc:0 in
+    Cluster.spawn cluster (fun () ->
+        let txn = Client.begin_ client ~group in
+        ignore (Client.read txn (Printf.sprintf "k%d" i));
+        Client.write txn (Printf.sprintf "k%d" i) "v";
+        let outcome = Client.commit txn in
+        outcomes := outcome :: !outcomes)
+  done;
+  Cluster.run cluster;
+  Alcotest.(check int) "all commit" 5
+    (List.length (List.filter committed !outcomes));
+  Verify.check_exn cluster ~group
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining.                                                          *)
+
+let test_pipeline_overlaps_positions () =
+  (* batch_max 1 forces one transaction per position; six concurrent
+     submissions must still drain through overlapping in-flight positions
+     (sequenced rounds), not one round-trip each. *)
+  let cluster = make ~batch_max:1 ~pipeline_depth:4 () in
+  let outcomes = ref [] in
+  for i = 0 to 5 do
+    let client = Cluster.client cluster ~dc:0 in
+    Cluster.spawn cluster (fun () ->
+        let txn = Client.begin_ client ~group in
+        Client.write txn (Printf.sprintf "k%d" i) "v";
+        let outcome = Client.commit txn in
+        outcomes := outcome :: !outcomes)
+  done;
+  Cluster.run cluster;
+  let positions =
+    List.filter_map
+      (function Audit.Committed { position; _ } -> Some position | _ -> None)
+      !outcomes
+  in
+  Alcotest.(check int) "all six commit" 6 (List.length positions);
+  Alcotest.(check int) "six distinct positions" 6
+    (List.length (List.sort_uniq Int.compare positions));
+  let _, _, pipelined, _ = total_stats cluster in
+  Alcotest.(check bool) "sequenced rounds actually overlapped" true
+    (pipelined > 0);
+  Verify.check_exn cluster ~group
+
+let test_pipeline_resolves_after_storm () =
+  (* Degrade the network so some round-0 rounds time out mid-window: the
+     failed rounds must stall the pipeline and resolve in log order, with
+     honest outcomes and a serializable log — never a silent gap. *)
+  let cluster = make ~seed:7 ~batch_max:1 ~pipeline_depth:4 () in
+  for i = 0 to 7 do
+    let client = Cluster.client cluster ~dc:0 in
+    Cluster.spawn cluster (fun () ->
+        Engine.sleep (0.01 *. float_of_int i);
+        let txn = Client.begin_ client ~group in
+        Client.write txn (Printf.sprintf "k%d" i) "v";
+        try ignore (Client.commit txn) with Client.Unavailable _ -> ())
+  done;
+  Engine.schedule (Cluster.engine cluster) ~at:0.02 (fun () ->
+      Cluster.storm cluster ~loss:0.6 ~jitter:0.5);
+  Engine.schedule (Cluster.engine cluster) ~at:8.0 (fun () ->
+      Cluster.calm cluster);
+  Cluster.run cluster;
+  Verify.check_exn cluster ~group
+
+let test_restart_orphans_batchers () =
+  (* A manager restart mid-batch orphans the queued submissions: their
+     clients may end Unknown (like any down-manager window), but nothing
+     dishonest is reported and the manager keeps serving afterwards. *)
+  let cluster = make ~seed:5 () in
+  let late_outcome = ref None in
+  for i = 0 to 2 do
+    let client = Cluster.client cluster ~dc:0 in
+    Cluster.spawn cluster (fun () ->
+        let txn = Client.begin_ client ~group in
+        Client.write txn (Printf.sprintf "k%d" i) "v";
+        try ignore (Client.commit txn) with Client.Unavailable _ -> ())
+  done;
+  Engine.schedule (Cluster.engine cluster) ~at:0.004 (fun () ->
+      Cluster.restart cluster 0);
+  let late = Cluster.client cluster ~dc:0 in
+  Cluster.spawn ~at:15.0 cluster (fun () ->
+      let txn = Client.begin_ late ~group in
+      Client.write txn "late" "v";
+      late_outcome := Some (Client.commit txn));
+  Cluster.run cluster;
+  (match !late_outcome with
+  | Some o -> Alcotest.(check bool) "manager serves after restart" true (committed o)
+  | None -> Alcotest.fail "late transaction never ran");
+  Verify.check_exn cluster ~group
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate submissions (the PR-6 dedup rule on the batched path).      *)
+
+let test_dup_submit_while_batched () =
+  let cluster = make () in
+  let service = Cluster.service cluster 0 in
+  let r1 = ref None and r2 = ref None and r3 = ref None in
+  let record =
+    Txn.make_record ~txn_id:"dup" ~origin:0 ~read_position:0 ~reads:[]
+      ~writes:[ { Txn.key = "x"; value = "1" } ]
+  in
+  let submit () =
+    Service.handle service ~src:0 (Messages.Submit { group; record })
+  in
+  Cluster.spawn cluster (fun () -> r1 := Some (submit ()));
+  Cluster.spawn cluster (fun () ->
+      (* Arrives while the original is still queued in the fill window:
+         must attach to the same pending, not sequence a second copy. *)
+      Engine.sleep 0.001;
+      r2 := Some (submit ()));
+  Cluster.spawn ~at:20.0 cluster (fun () ->
+      (* Replay long after commit: answered from the log. *)
+      r3 := Some (submit ()));
+  Cluster.run cluster;
+  let position = function
+    | Some (Messages.Submit_reply { result = Messages.Accepted_at p }) -> p
+    | _ -> Alcotest.fail "expected Accepted_at"
+  in
+  let p1 = position !r1 and p2 = position !r2 and p3 = position !r3 in
+  Alcotest.(check int) "dup learns the same position" p1 p2;
+  Alcotest.(check int) "post-commit replay answered from log" p1 p3;
+  Alcotest.(check int) "both dups counted" 2
+    (Service.dedup_stats service).Service.dup_submits;
+  let log = Cluster.committed_log cluster ~group in
+  Alcotest.(check int) "sequenced exactly once" 1
+    (List.length (List.concat_map snd log));
+  Verify.check_exn cluster ~group
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence with the unbatched path (QCheck).                        *)
+
+(* A workload of [n] transactions: per txn a home datacenter, a start
+   delay, its own private key (written; sometimes read first). Private
+   keys make the workload conflict-free, so batched and unbatched
+   executions must produce *identical* outcomes, not merely equivalent
+   ones. *)
+type disjoint_txn = { dc : int; delay : float; read_first : bool }
+
+let disjoint_gen =
+  QCheck.Gen.(
+    list_size (int_range 2 10)
+      (map3
+         (fun dc d read_first ->
+           { dc; delay = 0.002 *. float_of_int d; read_first })
+         (int_range 0 2) (int_range 0 20) bool))
+
+let run_workload config ~seed txns =
+  let cluster = Cluster.create ~seed ~config (Topology.ec2 "VVV") in
+  let outcomes = Array.make (List.length txns) None in
+  List.iteri
+    (fun i { dc; delay; read_first } ->
+      let client = Cluster.client cluster ~id:(Printf.sprintf "c%d" i) ~dc in
+      Cluster.spawn cluster (fun () ->
+          Engine.sleep delay;
+          let txn = Client.begin_ client ~group in
+          let key = Printf.sprintf "k%d" i in
+          if read_first then ignore (Client.read txn key);
+          Client.write txn key (Printf.sprintf "v%d" i);
+          outcomes.(i) <- Some (Client.commit txn)))
+    txns;
+  Cluster.run cluster;
+  Verify.check_exn cluster ~group;
+  let log = Cluster.committed_log cluster ~group in
+  (match Checker.check_log log with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "serial checker: %a" Checker.pp_violation v);
+  let final = Hashtbl.create 16 in
+  List.iter
+    (fun (_, entry) ->
+      List.iter
+        (fun (r : Txn.record) ->
+          List.iter
+            (fun (w : Txn.write) -> Hashtbl.replace final w.Txn.key w.Txn.value)
+            r.Txn.writes)
+        entry)
+    log;
+  let committed_ids =
+    List.concat_map (fun (_, e) -> List.map (fun r -> r.Txn.txn_id) e) log
+    |> List.sort String.compare
+  in
+  let states =
+    Array.to_list outcomes |> List.map (Option.map committed)
+  in
+  (states, committed_ids, Hashtbl.fold (fun k v acc -> (k, v) :: acc) final []
+                          |> List.sort compare)
+
+let prop_disjoint_equivalence =
+  QCheck.Test.make ~name:"batched path = unbatched path on disjoint workloads"
+    ~count:30
+    (QCheck.make disjoint_gen)
+    (fun txns ->
+      let baseline = run_workload Config.leader ~seed:9 txns in
+      let batched =
+        run_workload (Config.throughput Config.leader) ~seed:9 txns
+      in
+      let b_states, b_ids, b_final = baseline in
+      let t_states, t_ids, t_final = batched in
+      b_states = t_states && b_ids = t_ids && b_final = t_final)
+
+(* Conflicting workloads: outcomes may legitimately differ from the
+   unbatched run (ordering differs), but the batched history must always
+   be accepted by the one-copy-serializability checker, with honest
+   audit outcomes — and must actually commit something. *)
+let test_conflicting_workload_serializable () =
+  List.iter
+    (fun seed ->
+      let config = Config.throughput ~batch_max:4 ~pipeline_depth:2 Config.leader in
+      let cluster = Cluster.create ~seed ~config (Topology.ec2 "VOC") in
+      let commits = ref 0 in
+      for dc = 0 to 2 do
+        let client = Cluster.client cluster ~dc in
+        let rng = Rng.split (Engine.rng (Cluster.engine cluster)) in
+        Cluster.spawn cluster (fun () ->
+            for _ = 1 to 6 do
+              let txn = Client.begin_ client ~group in
+              for _ = 1 to 3 do
+                let key = Printf.sprintf "k%d" (Rng.int rng 4) in
+                if Rng.bool rng 0.5 then ignore (Client.read txn key)
+                else Client.write txn key (Client.txn_id txn)
+              done;
+              if committed (Client.commit txn) then incr commits;
+              Engine.sleep (Rng.uniform rng 0.0 0.2)
+            done)
+      done;
+      Cluster.run cluster;
+      (match Verify.check cluster ~group with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "seed %d: %s" seed m);
+      (match Checker.check_log (Cluster.committed_log cluster ~group) with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.failf "seed %d serial checker: %a" seed Checker.pp_violation v);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d commits something" seed)
+        true (!commits > 0))
+    [ 1; 2; 3; 4; 5 ]
+
+(* Figures stay byte-identical with the mode off: the config helpers do
+   not perturb the default. *)
+let test_mode_off_by_default () =
+  Alcotest.(check bool) "default off" false (Config.throughput_mode Config.default);
+  Alcotest.(check bool) "leader preset off" false
+    (Config.throughput_mode Config.leader);
+  Alcotest.(check bool) "helper turns it on" true
+    (Config.throughput_mode (Config.throughput Config.default))
+
+let () =
+  Alcotest.run "throughput"
+    [
+      ( "batching",
+        [
+          Alcotest.test_case "three txns, one position" `Quick
+            test_batched_commit_same_position;
+          Alcotest.test_case "conflicting RMWs serialized" `Quick
+            test_batched_conflicting_rmw;
+          Alcotest.test_case "disjoint read/writes all commit" `Quick
+            test_batched_disjoint_reads_commit;
+        ] );
+      ( "pipelining",
+        [
+          Alcotest.test_case "overlapping in-flight positions" `Quick
+            test_pipeline_overlaps_positions;
+          Alcotest.test_case "window resolves under storm" `Quick
+            test_pipeline_resolves_after_storm;
+          Alcotest.test_case "restart orphans batchers" `Quick
+            test_restart_orphans_batchers;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "duplicate Submit of a batched txn" `Quick
+            test_dup_submit_while_batched;
+        ] );
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_disjoint_equivalence;
+          Alcotest.test_case "conflicting workloads stay 1SR" `Quick
+            test_conflicting_workload_serializable;
+          Alcotest.test_case "mode off by default" `Quick
+            test_mode_off_by_default;
+        ] );
+    ]

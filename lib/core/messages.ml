@@ -16,7 +16,7 @@ type request =
       pos : int;
       ballot : Ballot.t;
       entry : Txn.entry;
-      sequenced : bool;
+      sequenced : Txn.entry option;
     }
   | Apply of { group : string; pos : int; entry : Txn.entry }
   | Claim_leadership of { group : string; pos : int; claimant : string }
@@ -44,7 +44,7 @@ let pp_request ppf = function
   | Accept { group; pos; ballot; entry; sequenced } ->
       Format.fprintf ppf "accept(%s,%d,%a,%a%s)" group pos Ballot.pp ballot
         Txn.pp_entry entry
-        (if sequenced then ",seq" else "")
+        (if sequenced <> None then ",seq" else "")
   | Apply { group; pos; entry } ->
       Format.fprintf ppf "apply(%s,%d,%a)" group pos Txn.pp_entry entry
   | Claim_leadership { group; pos; claimant } ->

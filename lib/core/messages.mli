@@ -29,14 +29,21 @@ type request =
       pos : int;
       ballot : Ballot.t;
       entry : Txn.entry;
-      sequenced : bool;
+      sequenced : Txn.entry option;
     }
-      (** [sequenced]: a pipelined round-0 accept (throughput mode). The
+      (** [sequenced]: a pipelined round-0 accept (throughput mode),
+          carrying the entry the leader proposed at [pos - 1]. The
           acceptor must grant it only if its current vote at [pos - 1] is
-          this very ballot — the same leader's round-0 ballot — so that a
-          quorum at [pos] proves the leader's previous in-flight entry is
-          chosen (the pipeline ordering invariant, DESIGN.md §14).
-          Ordinary accepts carry [false] and behave exactly as before. *)
+          this very ballot — the same leader's round-0 ballot — *for that
+          very entry*, so that a quorum at [pos] proves the leader's
+          previous in-flight entry is chosen (the pipeline ordering
+          invariant, DESIGN.md §14). The entry match matters: the round-0
+          ballot alone is not single-use per position (a manager that gave
+          up on an exposed-but-undecided position re-proposes a different
+          batch there at the same ballot 0, and pre-restart accepts can
+          linger on slow or duplicating links), so ballot-equal votes for
+          different entries can coexist at [pos - 1] across a quorum.
+          Ordinary accepts carry [None] and behave exactly as before. *)
   | Apply of { group : string; pos : int; entry : Txn.entry }
       (** One-way: write the decided entry to the log (Figure 3, step 6). *)
   | Claim_leadership of { group : string; pos : int; claimant : string }

@@ -95,7 +95,7 @@ let broadcast_apply env ~group ~pos entry =
 (* One accept round: true iff a majority voted for (ballot, entry).
    Also returns the highest nextBal seen in rejections, for ballot
    selection on retry. *)
-let accept_round ?(sequenced = false) env ~group ~pos ~ballot entry =
+let accept_round ?sequenced env ~group ~pos ~ballot entry =
   let acks = ref 0 in
   let replies =
     Rpc.broadcast env.rpc ~src:env.dc ~dsts:env.dcs
@@ -223,17 +223,22 @@ let run env ~group ~pos ?fast ~choose () =
 (* Pipelined fast round (throughput mode): one round-0 accept for an
    eagerly assigned position, with no full-protocol fallback — the
    manager's window resolution owns recovery, in log order, so an
-   out-of-order failure here must not start a rival instance. [sequenced]
-   accepts are granted only by acceptors whose vote at [pos - 1] is this
-   same round-0 ballot; combined with the one-round-0-vote rule a quorum
-   here proves every earlier in-flight position is chosen with this
-   leader's entry, which is why success may be reported out of order. *)
+   out-of-order failure here must not start a rival instance. A
+   [sequenced] accept carries the entry this leader proposed at
+   [pos - 1]; acceptors grant it only if their vote at [pos - 1] is that
+   very (round-0 ballot, entry) pair. A quorum of grants is therefore a
+   quorum of round-0 votes for one value at [pos - 1] — the predecessor
+   entry is chosen — and by induction every earlier in-flight position
+   is chosen with this leader's entries, which is why success may be
+   reported out of order. (Ballot equality alone would not do: the
+   round-0 ballot is reused at a position after a given-up round, so
+   ballot-equal votes for different entries can coexist at [pos - 1].) *)
 let run_fast env ~group ~pos ~sequenced entry =
   Trace.record env.trace ~source:env.trace_source ~category:"fast"
     "pos %d: pipelined accept round at ballot 0%s" pos
-    (if sequenced then " (sequenced)" else "");
+    (if sequenced <> None then " (sequenced)" else "");
   let ok, _seen =
-    accept_round ~sequenced env ~group ~pos
+    accept_round ?sequenced env ~group ~pos
       ~ballot:(Ballot.fast ~proposer:env.dc) entry
   in
   if ok then begin

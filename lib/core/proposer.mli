@@ -94,14 +94,16 @@ val run :
     [?fast]. [choose] receives the quorum's last-vote responses. *)
 
 val run_fast :
-  env -> group:string -> pos:int -> sequenced:bool -> Txn.entry -> bool
+  env -> group:string -> pos:int -> sequenced:Txn.entry option -> Txn.entry -> bool
 (** Throughput mode (DESIGN.md §14): one round-0 accept for an eagerly
     assigned pipelined position, true iff a quorum voted (the entry is then
     chosen and apply was broadcast). No full-protocol fallback — on false
     the caller's window resolution recovers the position in log order.
-    With [sequenced], acceptors grant only if their vote at [pos - 1] is
-    the same round-0 ballot, so success proves the whole in-flight prefix
-    is chosen with this leader's entries (safe to report out of order). *)
+    With [sequenced = Some prev] — [prev] being the entry this leader
+    proposed at [pos - 1] — acceptors grant only if their vote at
+    [pos - 1] is exactly (round-0 ballot, [prev]), so success proves the
+    whole in-flight prefix is chosen with this leader's entries (safe to
+    report out of order). *)
 
 val learn : env -> group:string -> pos:int -> Txn.entry option
 (** Drive the instance for a position whose value this datacenter missed,

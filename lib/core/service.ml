@@ -54,6 +54,12 @@ type batcher = {
   bt_by_id : (string, pending) Hashtbl.t;  (* queued or in flight *)
   mutable bt_window : slot list;  (* in-flight positions, ascending *)
   mutable bt_next_pos : int;  (* next position while the window is open *)
+  mutable bt_prev : Txn.entry option;
+      (* Entry launched at [bt_next_pos - 1], carried in the next
+         sequenced accept so acceptors can match the predecessor
+         (see {!sequenced_ok}). Kept here because the predecessor's slot
+         may already have completed and left the window. Invariant:
+         [bt_window <> []] implies [bt_prev = Some _]. *)
   mutable bt_running : bool;  (* drainer fiber alive *)
   mutable bt_wake : (unit -> unit) option;  (* drainer's parked wakeup *)
   mutable bt_stopped : bool;  (* set by restart; orphaned drainer exits *)
@@ -223,25 +229,38 @@ let rec handle_prepare t ~group ~pos ~ballot =
       else handle_prepare t ~group ~pos ~ballot (* state changed: retry *)
 
 (* Grant condition for a sequenced (pipelined) round-0 accept: our current
-   vote at the previous position is the very same round-0 ballot. Acceptors
-   cast at most one round-0 vote per position, so a quorum of sequenced
-   grants at [pos] is a quorum of round-0 votes at [pos - 1] for the same
-   leader — i.e. proof the leader's previous in-flight entry is chosen.
-   That induction is what lets the manager keep [pipeline_depth] positions
-   open and still report completions out of order (DESIGN.md §14). Anything
-   else — no vote yet, an overwritten vote, a compacted predecessor — is
-   refused; refusal costs only the fast round, the window resolution
-   recovers through the full protocol. *)
-let sequenced_ok t ~group ~pos ~ballot =
+   vote at the previous position is the very same round-0 ballot *for the
+   very entry the leader says it proposed there* ([prev], carried in the
+   Accept). Acceptors cast at most one round-0 vote per position, so a
+   quorum of sequenced grants at [pos] is a quorum of round-0 votes at
+   [pos - 1] for one value — i.e. proof the leader's previous in-flight
+   entry is chosen. That induction is what lets the manager keep
+   [pipeline_depth] positions open and still report completions out of
+   order (DESIGN.md §14). The entry match is load-bearing: the round-0
+   ballot is NOT single-use per position (after a given-up
+   exposed-but-undecided round the manager re-proposes a different batch
+   at the same position and ballot 0, and pre-restart accepts linger on
+   slow/duplicating links), so ballot-equal votes for different entries
+   can coexist at [pos - 1] and ballot equality alone would prove
+   nothing chosen. Anything else — no vote yet, an overwritten vote, a
+   different entry, a compacted predecessor — is refused; refusal costs
+   only the fast round, the window resolution recovers through the full
+   protocol. *)
+let sequenced_ok t ~group ~pos ~ballot ~prev =
   pos > 1
   && pos - 1 > Wal.compacted_position t.wal ~group
   &&
   match (fst (load_acceptor t ~group ~pos:(pos - 1))).Acceptor.vote with
-  | Some (prev, _) -> Ballot.equal prev ballot
+  | Some (pb, pe) -> Ballot.equal pb ballot && Txn.equal_entry pe prev
   | None -> false
 
 let rec handle_accept t ~group ~pos ~ballot ~entry ~sequenced =
-  if sequenced && not (sequenced_ok t ~group ~pos ~ballot) then
+  let refused =
+    match sequenced with
+    | None -> false
+    | Some prev -> not (sequenced_ok t ~group ~pos ~ballot ~prev)
+  in
+  if refused then
     let state, _ = load_acceptor t ~group ~pos in
     Messages.Accept_reply { ok = false; next_bal = state.Acceptor.next_bal }
   else
@@ -484,6 +503,7 @@ let batcher t ~group =
           bt_by_id = Hashtbl.create 32;
           bt_window = [];
           bt_next_pos = 0;
+          bt_prev = None;
           bt_running = false;
           bt_wake = None;
           bt_stopped = false;
@@ -771,7 +791,12 @@ let rec drain (t : t) b =
           && queued < t.config.Config.batch_max
           && t.config.Config.batch_fill > 0.
         then Mdds_sim.Engine.sleep t.config.Config.batch_fill;
-        launch t b;
+        (* A restart during the fill sleep orphaned this batcher: the
+           post-restart batcher owns the group's positions now, so one
+           more launch from the pre-restart queues would race it at
+           overlapping positions with the same round-0 ballot. Bail out
+           (the loop head below observes bt_stopped and exits). *)
+        if not b.bt_stopped then launch t b;
         drain t b
       end
     end
@@ -779,6 +804,8 @@ let rec drain (t : t) b =
 
 and launch (t : t) b =
   let group = b.bt_group in
+  if b.bt_stopped then ()
+  else begin
   (* Slots may have completed (or failed) during the fill wait: re-settle
      the window first. A failure means resolution must run before any new
      position opens — launching over an unresolved gap through the full
@@ -806,10 +833,15 @@ and launch (t : t) b =
       t.batched_txns <- t.batched_txns + List.length entry;
       (* The window holds only Sl_pending slots here, so: non-empty window
          ⇒ pipelined sequenced round; empty window ⇒ round-0 only on the
-         Multi-Paxos streak, else the synchronous single-position path. *)
-      let sequenced = b.bt_window <> [] in
+         Multi-Paxos streak, else the synchronous single-position path.
+         A sequenced accept carries the entry launched at [pos - 1]
+         (tracked in [bt_prev] — the predecessor's slot may already have
+         completed and left the window) so acceptors can require their
+         round-0 vote there to match it exactly. *)
+      let sequenced = if b.bt_window = [] then None else b.bt_prev in
+      assert (b.bt_window = [] || sequenced <> None);
       let streak = Hashtbl.find_opt t.won group = Some (pos - 1) in
-      if sequenced || streak then begin
+      if sequenced <> None || streak then begin
         let slot =
           {
             sl_pos = pos;
@@ -819,7 +851,8 @@ and launch (t : t) b =
           }
         in
         b.bt_window <- b.bt_window @ [ slot ];
-        if sequenced then t.pipelined_rounds <- t.pipelined_rounds + 1;
+        b.bt_prev <- Some entry;
+        if sequenced <> None then t.pipelined_rounds <- t.pipelined_rounds + 1;
         List.iter (fun p -> p.p_exposed <- true) batch;
         Mdds_sim.Engine.spawn (Rpc.engine t.env.Proposer.rpc) (fun () ->
             let ok = Proposer.run_fast t.env ~group ~pos ~sequenced entry in
@@ -841,6 +874,7 @@ and launch (t : t) b =
       end
       else propose_sync t b ~pos batch
     end
+  end
   end
 
 let handle_submit_batched t ~group (record : Txn.record) =
@@ -1093,13 +1127,40 @@ let restart t =
   Hashtbl.reset t.acceptors;
   Hashtbl.reset t.suspect;
   Hashtbl.reset t.relearning;
-  (* Batchers are volatile: orphan every drainer and pending. Their
-     clients time out to Unknown, the same contract as any down node;
-     decided-but-unreported positions are recovered from the durable log
-     like any other entry. *)
+  (* Batchers are volatile: orphan every drainer and resolve every
+     pending so the submit-handler fibers blocked in [await_pending]
+     unwind instead of staying suspended for the rest of the run. The
+     outcome must stay honest: a pending still sitting in the queues was
+     never handed to a proposal and gets No_quorum; anything else in
+     [bt_by_id] is attached to an in-flight proposal — a pipelined slot,
+     or a [propose_sync] batch whose proposer fiber survives the restart
+     and may yet drive it to a decision — so only In_doubt is truthful
+     (answering No_quorum there was a real L1 violation: the surviving
+     fiber committed the batch after the client was told it aborted;
+     chaos seed 134, storm + torn-write). Clients treat both as a
+     down-manager window (Unknown/retry); decided-but-unreported
+     positions are recovered from the durable log like any other
+     entry. *)
   Hashtbl.iter
     (fun _ b ->
       b.bt_stopped <- true;
+      let queued = Hashtbl.create 16 in
+      Queue.iter
+        (fun (p : pending) -> Hashtbl.replace queued p.p_record.Txn.txn_id ())
+        b.bt_queue;
+      Queue.iter
+        (fun (p : pending) -> Hashtbl.replace queued p.p_record.Txn.txn_id ())
+        b.bt_requeue;
+      let orphans = Hashtbl.fold (fun _ p acc -> p :: acc) b.bt_by_id [] in
+      List.iter
+        (fun p ->
+          resolve_pending b p
+            (if
+               p.p_exposed
+               || not (Hashtbl.mem queued p.p_record.Txn.txn_id)
+             then Messages.In_doubt
+             else Messages.No_quorum))
+        orphans;
       wake_batcher b)
     t.batchers;
   Hashtbl.reset t.batchers;

@@ -338,6 +338,33 @@ let test_shrink_gray () =
    matching the durable store — or went stale after compaction — fails
    the run. *)
 
+(* Shrunk repro (review fix, seed 134: storm + torn-write on the
+   manager): a service restart while a batch is mid-[propose_sync].
+   Restart-time orphan resolution must not answer No_quorum for a
+   pending already handed to a proposal — the proposer fiber survives
+   the restart and can still drive the batch to a decision, and telling
+   the client "aborted" for a transaction that then lands in the log is
+   an L1 violation. Only still-queued pendings may get No_quorum; the
+   rest are In_doubt. *)
+let test_restart_mid_propose_honesty () =
+  let seed = 134 in
+  let duration = 20.0 in
+  let config =
+    Runner.throughput_config ~seed (Runner.default_config Config.Leader)
+  in
+  let workload = Runner.throughput_workload ~dcs:3 ~duration in
+  let spec = Runner.spec ~config ~duration ~workload ~seed "VVV" in
+  let schedule =
+    Schedule.of_string
+      "((4.155 (storm 0.169 0.6 5.578)) (7.116 (torn-write 0)))"
+  in
+  let report = Runner.run ~schedule spec in
+  match report.Runner.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "restart-mid-propose regression: %s@.repro: %s" v
+        (Runner.repro report)
+
 let test_restart_warm_cache () =
   let spec = Runner.spec ~seed:42 "VVV" in
   let schedule =
@@ -377,6 +404,8 @@ let () =
             `Quick test_dup_storm_idempotence;
           Alcotest.test_case "shrinker keeps gray faults" `Quick
             test_shrink_gray;
+          Alcotest.test_case "restart mid-propose stays honest" `Quick
+            test_restart_mid_propose_honesty;
         ] );
       ( "soak",
         [

@@ -57,7 +57,7 @@ let test_service_accept_and_vote () =
       ignore (Service.handle service ~src:1 (Messages.Prepare { group; pos = 1; ballot = b 1 1 }));
       (match
          Service.handle service ~src:1
-           (Messages.Accept { group; pos = 1; ballot = b 1 1; entry; sequenced = false })
+           (Messages.Accept { group; pos = 1; ballot = b 1 1; entry; sequenced = None })
        with
       | Messages.Accept_reply { ok = true; _ } -> ()
       | _ -> Alcotest.fail "accept at promised ballot");
@@ -70,7 +70,7 @@ let test_service_accept_and_vote () =
       (* Stale accept refused. *)
       match
         Service.handle service ~src:1
-          (Messages.Accept { group; pos = 1; ballot = b 2 1; entry; sequenced = false })
+          (Messages.Accept { group; pos = 1; ballot = b 2 1; entry; sequenced = None })
       with
       | Messages.Accept_reply { ok = false; _ } -> ()
       | _ -> Alcotest.fail "stale accept must fail")
@@ -80,7 +80,7 @@ let test_service_fast_accept () =
       let entry = [ record "fast" ] in
       match
         Service.handle service ~src:0
-          (Messages.Accept { group; pos = 1; ballot = Ballot.fast ~proposer:0; entry; sequenced = false })
+          (Messages.Accept { group; pos = 1; ballot = Ballot.fast ~proposer:0; entry; sequenced = None })
       with
       | Messages.Accept_reply { ok = true; _ } -> ()
       | _ -> Alcotest.fail "round-0 accept on fresh position must succeed")
@@ -158,7 +158,7 @@ let test_service_read_with_learn () =
                (Messages.Prepare { group; pos = 1; ballot = b 1 1 }));
           ignore
             (Service.handle service ~src:1
-               (Messages.Accept { group; pos = 1; ballot = b 1 1; entry; sequenced = false }));
+               (Messages.Accept { group; pos = 1; ballot = b 1 1; entry; sequenced = None }));
           ignore (Service.handle service ~src:1 (Messages.Apply { group; pos = 1; entry })))
         [ 1; 2 ];
       (* Now read through dc0 at position 1. *)
@@ -182,7 +182,7 @@ let test_service_restart_keeps_promises () =
       let entry = [ record "t1" ~writes:[ ("x", "1") ] ] in
       ignore
         (Service.handle service ~src:1
-           (Messages.Accept { group; pos = 1; ballot = b 5 1; entry; sequenced = false }));
+           (Messages.Accept { group; pos = 1; ballot = b 5 1; entry; sequenced = None }));
       ignore (Service.handle service ~src:0 (Messages.Claim_leadership { group; pos = 2; claimant = "a" }));
       Service.restart service;
       (* Durable: the promise still blocks lower ballots, and the vote is
@@ -522,7 +522,7 @@ let test_proposer_adopts_existing_vote () =
           ignore (Service.handle s ~src:0 (Messages.Prepare { group; pos = 1; ballot = b 1 0 }));
           ignore
             (Service.handle s ~src:0
-               (Messages.Accept { group; pos = 1; ballot = b 1 0; entry = a_entry; sequenced = false })))
+               (Messages.Accept { group; pos = 1; ballot = b 1 0; entry = a_entry; sequenced = None })))
         [ 0; 1 ];
       (* Now a fresh basic-protocol client tries to commit B at position 1:
          it must lose to A (the value is adopted and driven to a decision)

@@ -16,6 +16,7 @@ module Topology = Mdds_net.Topology
 module Engine = Mdds_sim.Engine
 module Rng = Mdds_sim.Rng
 module Txn = Mdds_types.Txn
+module Ballot = Mdds_paxos.Ballot
 
 let group = "g"
 
@@ -182,6 +183,96 @@ let test_pipeline_resolves_after_storm () =
   Engine.schedule (Cluster.engine cluster) ~at:8.0 (fun () ->
       Cluster.calm cluster);
   Cluster.run cluster;
+  Verify.check_exn cluster ~group
+
+(* Review fix (1SR violation): a sequenced grant must match the
+   predecessor ENTRY, not just the round-0 ballot. Ballot 0 is reused at
+   a position across attempts (a given-up exposed round, lingering
+   pre-restart accepts), so ballot-equal votes for different entries can
+   coexist at pos−1; granting on ballot equality alone would let a
+   sequenced quorum at pos "prove" a predecessor chosen that never was. *)
+let test_sequenced_entry_mismatch_refused () =
+  let cluster = make () in
+  let service = Cluster.service cluster 0 in
+  let record id =
+    Txn.make_record ~txn_id:id ~origin:0 ~read_position:0 ~reads:[]
+      ~writes:[ { Txn.key = "k-" ^ id; value = "1" } ]
+  in
+  let entry_a = [ record "a" ]
+  and entry_b = [ record "b" ]
+  and entry_c = [ record "c" ] in
+  let fast = Ballot.fast ~proposer:0 in
+  let accept ~pos ~entry ~sequenced =
+    match
+      Service.handle service ~src:0
+        (Messages.Accept { group; pos; ballot = fast; entry; sequenced })
+    with
+    | Messages.Accept_reply { ok; _ } -> ok
+    | _ -> Alcotest.fail "expected Accept_reply"
+  in
+  let granted_1 = ref false and wrong_prev = ref true and right_prev = ref false in
+  Cluster.spawn cluster (fun () ->
+      (* Round-0 vote at pos 1 for entry_a. *)
+      granted_1 := accept ~pos:1 ~entry:entry_a ~sequenced:None;
+      (* Sequenced accept at pos 2 claiming entry_b as predecessor: the
+         ballot at pos 1 matches but the entry does not — refused. *)
+      wrong_prev := accept ~pos:2 ~entry:entry_c ~sequenced:(Some entry_b);
+      (* Same accept carrying the true predecessor entry: granted. *)
+      right_prev := accept ~pos:2 ~entry:entry_c ~sequenced:(Some entry_a));
+  Cluster.run cluster;
+  Alcotest.(check bool) "round-0 vote at pos 1 granted" true !granted_1;
+  Alcotest.(check bool) "predecessor-entry mismatch refused" false !wrong_prev;
+  Alcotest.(check bool) "matching predecessor granted" true !right_prev
+
+(* Review fix: a restart during the drainer's fill sleep must (a) resolve
+   every orphaned pending so its submit-handler fiber unwinds — before
+   the fix they stayed suspended in await_pending forever — and (b) stop
+   the old drainer from launching one more batch from the pre-restart
+   queues, which would race the post-restart batcher for the same
+   positions at the same round-0 ballot. *)
+let test_restart_during_fill_window () =
+  let cluster = make ~batch_fill:0.2 () in
+  let service = Cluster.service cluster 0 in
+  let replies = Array.make 3 None in
+  for i = 0 to 2 do
+    let record =
+      Txn.make_record ~txn_id:(Printf.sprintf "t%d" i) ~origin:0
+        ~read_position:0 ~reads:[]
+        ~writes:[ { Txn.key = Printf.sprintf "k%d" i; value = "v" } ]
+    in
+    Cluster.spawn cluster (fun () ->
+        replies.(i) <-
+          Some (Service.handle service ~src:0 (Messages.Submit { group; record })))
+  done;
+  (* Lands inside the 0.2 s fill sleep, before any launch. *)
+  Engine.schedule (Cluster.engine cluster) ~at:0.05 (fun () ->
+      Cluster.restart cluster 0);
+  let late_outcome = ref None in
+  let late = Cluster.client cluster ~dc:0 in
+  Cluster.spawn ~at:5.0 cluster (fun () ->
+      let txn = Client.begin_ late ~group in
+      Client.write txn "late" "v";
+      late_outcome := Some (Client.commit txn));
+  Cluster.run cluster;
+  Array.iteri
+    (fun i reply ->
+      match reply with
+      | Some
+          (Messages.Submit_reply
+             { result = Messages.No_quorum | Messages.In_doubt }) ->
+          ()
+      | Some _ -> Alcotest.failf "submission %d: dishonest orphan outcome" i
+      | None -> Alcotest.failf "submission %d never resolved" i)
+    replies;
+  (match !late_outcome with
+  | Some o ->
+      Alcotest.(check bool) "manager serves after restart" true (committed o)
+  | None -> Alcotest.fail "late transaction never ran");
+  (* Only the post-restart submission was ever proposed: the orphaned
+     drainer launched nothing from the pre-restart queues. *)
+  let batches, batched_txns, _, _ = total_stats cluster in
+  Alcotest.(check int) "no orphan launch after restart" 1 batches;
+  Alcotest.(check int) "only the late txn batched" 1 batched_txns;
   Verify.check_exn cluster ~group
 
 let test_restart_orphans_batchers () =
@@ -384,6 +475,10 @@ let () =
             test_pipeline_overlaps_positions;
           Alcotest.test_case "window resolves under storm" `Quick
             test_pipeline_resolves_after_storm;
+          Alcotest.test_case "sequenced grant matches predecessor entry" `Quick
+            test_sequenced_entry_mismatch_refused;
+          Alcotest.test_case "restart during fill window" `Quick
+            test_restart_during_fill_window;
           Alcotest.test_case "restart orphans batchers" `Quick
             test_restart_orphans_batchers;
         ] );

@@ -264,11 +264,44 @@ let chaos_cmd =
              (DESIGN.md \xc2\xa714), so the soak exercises batched and \
              pipelined commit under every fault kind.")
   in
+  let groups_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "groups" ] ~docv:"N"
+          ~doc:
+            "Spread the workload over $(docv) independent transaction \
+             groups (round-robin per thread).")
+  in
+  let cross_ratio_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "cross-ratio" ] ~docv:"R"
+          ~doc:
+            "Fraction of workload transactions that span two transaction \
+             groups and commit with the multi-shot atomic commit \
+             (PROTOCOL.md \xc2\xa710). Requires --groups >= 2; forces the \
+             leader protocol; adds the mid-2pc fault kind to the default \
+             schedule dimensions.")
+  in
   let run topology protocol seed seeds duration faults explicit_schedule
-      shrink trace_tail throughput jobs verbose =
+      shrink trace_tail throughput groups cross_ratio jobs verbose =
     Mdds_parallel.Pool.set_jobs jobs;
     let seeds = match seeds with None -> [ seed ] | Some s -> s in
-    let kinds = Option.value faults ~default:Schedule.all_kinds in
+    if groups < 1 then (
+      Format.eprintf "mdds: --groups must be positive@.";
+      exit 124);
+    if cross_ratio < 0.0 || cross_ratio > 1.0 then (
+      Format.eprintf "mdds: --cross-ratio must be in [0,1]@.";
+      exit 124);
+    let cross = cross_ratio > 0.0 in
+    if cross && groups < 2 then (
+      Format.eprintf "mdds: --cross-ratio requires --groups >= 2@.";
+      exit 124);
+    let kinds =
+      match faults with
+      | Some k -> k
+      | None -> if cross then Schedule.cross_kinds else Schedule.all_kinds
+    in
     (match explicit_schedule with
     | None -> ()
     | Some sch -> (
@@ -277,16 +310,20 @@ let chaos_cmd =
         | Error m ->
             Format.eprintf "mdds: --schedule: %s@." m;
             exit 124));
-    let config = Runner.default_config protocol in
+    let config =
+      Runner.default_config (if cross then Config.Leader else protocol)
+    in
     let failures = ref 0 in
     (* Independent seeds fan out over the domain pool; reporting (and any
        shrinking, which is sequential by nature) happens afterwards in
        seed order, so the output is identical to a sequential run. *)
     let workload =
-      if throughput then
-        Some
-          (Runner.throughput_workload ~dcs:(String.length topology) ~duration)
-      else None
+      let dcs = String.length topology in
+      let base =
+        if throughput then Runner.throughput_workload ~dcs ~duration
+        else Runner.default_workload ~dcs ~duration
+      in
+      { base with Ycsb.groups; cross_ratio }
     in
     let specs =
       List.map
@@ -294,7 +331,7 @@ let chaos_cmd =
           let config =
             if throughput then Runner.throughput_config ~seed config else config
           in
-          Runner.spec ~config ~duration ~kinds ?workload ~seed topology)
+          Runner.spec ~config ~duration ~kinds ~workload ~seed topology)
         seeds
     in
     let reports = Runner.run_many ?schedule:explicit_schedule specs in
@@ -336,7 +373,7 @@ let chaos_cmd =
     Term.(
       const run $ topology_arg $ protocol_arg $ seed_arg $ seeds_arg
       $ duration_arg $ faults_arg $ schedule_arg $ shrink_arg $ trace_tail_arg
-      $ throughput_arg $ jobs_arg $ verbose_arg)
+      $ throughput_arg $ groups_arg $ cross_ratio_arg $ jobs_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -410,10 +447,20 @@ let throughput_cmd =
          & info [ "out" ] ~docv:"PATH"
              ~doc:"Also write the sweep as a JSON array to $(docv).")
   in
-  let run topology seed txns rates batch depth baseline_only out jobs verbose =
+  let tp_groups_arg =
+    Arg.(value & opt int 1
+         & info [ "groups" ] ~docv:"N"
+             ~doc:"Spread transactions round-robin over $(docv) independent \
+                   transaction groups (aggregate-throughput scaling axis).")
+  in
+  let run topology seed txns rates batch depth baseline_only groups out jobs
+      verbose =
     Mdds_parallel.Pool.set_jobs jobs;
     if batch < 1 || depth < 1 then (
       Format.eprintf "mdds: --batch and --depth must be positive@.";
+      exit 124);
+    if groups < 1 then (
+      Format.eprintf "mdds: --groups must be positive@.";
       exit 124);
     let modes =
       if baseline_only then [ Throughput.baseline ]
@@ -421,7 +468,7 @@ let throughput_cmd =
         [ Throughput.baseline;
           Throughput.batched ~batch_max:batch ~pipeline_depth:depth () ]
     in
-    let points = Throughput.sweep ~seed ~topology ~modes ~rates ~txns () in
+    let points = Throughput.sweep ~seed ~topology ~groups ~modes ~rates ~txns () in
     Throughput.pp_table Format.std_formatter points;
     List.iter
       (fun mode ->
@@ -447,7 +494,8 @@ let throughput_cmd =
   let term =
     Term.(
       const run $ topology_arg $ seed_arg $ tp_txns_arg $ rates_arg $ batch_arg
-      $ depth_arg $ baseline_only_arg $ out_arg $ jobs_arg $ verbose_arg)
+      $ depth_arg $ baseline_only_arg $ tp_groups_arg $ out_arg $ jobs_arg
+      $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "throughput"

@@ -132,6 +132,42 @@ let inject t ~cluster ~groups fault =
       Engine.schedule (Cluster.engine cluster) ~at:until (fun () ->
           t.dup_storms <- t.dup_storms - 1;
           if t.dup_storms = 0 then Cluster.clear_duplication cluster)
+  | Schedule.Mid_2pc { dc; mode } ->
+      (* Armed, not timed: the service fires the trap (in a fresh fiber)
+         when the next cross-group prepare marker crosses it — aimed at
+         the prepare→decide window. One-shot; inert if no cross-group
+         transaction ever touches [dc]. *)
+      Service.arm_2pc_trap (Cluster.service cluster dc) (fun () ->
+          match mode with
+          | Schedule.Mid_restart -> Cluster.restart cluster dc
+          | Schedule.Mid_dirty -> Cluster.dirty_restart cluster dc
+          | Schedule.Mid_torn -> Cluster.torn_restart cluster dc
+          | Schedule.Mid_isolate ->
+              (* Short bidirectional isolation of [dc], self-healing like
+                 the gray-failure windows (majority-side connectivity is
+                 untouched, so the availability oracle stands). *)
+              let engine = Cluster.engine cluster in
+              let peers =
+                List.filter (fun p -> p <> dc)
+                  (List.init (Cluster.size cluster) Fun.id)
+              in
+              List.iter
+                (fun peer ->
+                  enter t.oneways (dc, peer);
+                  enter t.oneways (peer, dc);
+                  Cluster.cut_oneway cluster ~src:dc ~dst:peer;
+                  Cluster.cut_oneway cluster ~src:peer ~dst:dc)
+                peers;
+              Engine.schedule engine
+                ~at:(Engine.now engine +. 0.75)
+                (fun () ->
+                  List.iter
+                    (fun peer ->
+                      if leave t.oneways (dc, peer) then
+                        Cluster.heal_oneway cluster ~src:dc ~dst:peer;
+                      if leave t.oneways (peer, dc) then
+                        Cluster.heal_oneway cluster ~src:peer ~dst:dc)
+                    peers))
 
 let exec t ~cluster ~groups fault =
   t.injected <- t.injected + 1;

@@ -87,6 +87,12 @@ let spec ?config ?(duration = 20.) ?(kinds = Schedule.all_kinds) ?workload
   in
   if probe_window <= 0. then invalid_arg "Runner.spec: probe_window <= 0";
   if max_heal_windows < 1 then invalid_arg "Runner.spec: max_heal_windows < 1";
+  if workload.Ycsb.cross_ratio > 0.0 then begin
+    if workload.Ycsb.groups < 2 then
+      invalid_arg "Runner.spec: cross_ratio > 0 requires groups >= 2";
+    if config.Config.protocol <> Config.Leader then
+      invalid_arg "Runner.spec: cross_ratio > 0 requires the leader protocol"
+  end;
   {
     seed;
     topology;
@@ -111,6 +117,7 @@ type report = {
   recovery : Service.recovery_stats;
   dedup : Service.dedup_stats;
   throughput : Service.throughput_stats;
+  twopc : Service.twopc_stats;
   hedges : int;
   timeline : bool array;
   recovery_times : (Schedule.event * float option) list;
@@ -436,6 +443,19 @@ let run ?schedule ?extra_oracle spec =
                   | Error e -> Some (Printf.sprintf "group %s: %s" group e)))
             None all_groups);
         (fun () ->
+          (* Cross-group atomicity (PROTOCOL.md §10) over the workload
+             groups' merged logs. Gated on the workload actually drawing
+             cross-group transactions: without them the logs carry no
+             marker records and the oracle is vacuous. *)
+          if spec.workload.Ycsb.cross_ratio <= 0.0 then None
+          else
+            let archives =
+              List.map (fun g -> (g, Nemesis.archive nemesis ~group:g)) groups
+            in
+            match Verify.check_cross ~archives cluster ~groups with
+            | Ok () -> None
+            | Error e -> Some e);
+        (fun () ->
           match extra_oracle with
           | None -> None
           | Some oracle -> (
@@ -490,6 +510,18 @@ let run ?schedule ?extra_oracle spec =
       }
       (Cluster.services cluster)
   in
+  let twopc =
+    List.fold_left
+      (fun (acc : Service.twopc_stats) service ->
+        let s = Service.twopc_stats service in
+        {
+          Service.twopc_prepares = acc.twopc_prepares + s.Service.twopc_prepares;
+          twopc_resolved = acc.twopc_resolved + s.Service.twopc_resolved;
+          in_doubt_replies = acc.in_doubt_replies + s.Service.in_doubt_replies;
+        })
+      { Service.twopc_prepares = 0; twopc_resolved = 0; in_doubt_replies = 0 }
+      (Cluster.services cluster)
+  in
   {
     run_spec = spec;
     schedule;
@@ -502,6 +534,7 @@ let run ?schedule ?extra_oracle spec =
     recovery;
     dedup;
     throughput;
+    twopc;
     hedges = Audit.hedges (Cluster.audit cluster);
     timeline;
     recovery_times;
@@ -524,11 +557,15 @@ let run_many ?schedule ?extra_oracle specs =
 
 let repro r =
   Printf.sprintf
-    "mdds chaos --seed %d --topology %s --protocol %s --duration %g \
+    "mdds chaos --seed %d --topology %s --protocol %s --duration %g%s \
      --schedule '%s'"
     r.run_spec.seed r.run_spec.topology
     (Config.protocol_name r.run_spec.config.protocol)
     r.run_spec.duration
+    (if r.run_spec.workload.Ycsb.cross_ratio > 0.0 then
+       Printf.sprintf " --groups %d --cross-ratio %g"
+         r.run_spec.workload.Ycsb.groups r.run_spec.workload.Ycsb.cross_ratio
+     else "")
     (Schedule.to_string r.schedule)
 
 let up_windows r =
@@ -566,6 +603,15 @@ let pp_report ppf r =
           r.throughput.Service.pipelined_rounds
           r.throughput.Service.pipeline_stalls
       else "")
+    ^ (if
+         r.run_spec.workload.Ycsb.cross_ratio > 0.0
+         || r.twopc.Service.twopc_prepares > 0
+         || r.twopc.Service.in_doubt_replies > 0
+       then
+         Printf.sprintf "2pc %d prepares (%d resolved, %d in-doubt replies)  "
+           r.twopc.Service.twopc_prepares r.twopc.Service.twopc_resolved
+           r.twopc.Service.in_doubt_replies
+       else "")
     ^
     match r.violation with
     | None -> "OK"

@@ -19,7 +19,13 @@
     + {b safety} — the full {!Mdds_core.Verify} oracle suite per group
       (logs agree, outcome honesty, unique transaction per slot, no
       stale reads, value-level one-copy serializability), with entries
-      archived by the nemesis before compactions merged back in.
+      archived by the nemesis before compactions merged back in;
+    + {b cross-group atomicity} — when the workload's [cross_ratio]
+      draws cross-group transactions, {!Mdds_core.Verify.check_cross}
+      over the workload groups' merged logs: every prepare resolved per
+      its coordinator's logged decision, commits applied atomically in
+      every participant group, prepare windows exclusive, client
+      reports honest against logged decisions.
 
     In addition, a {b cache-coherence} oracle
     ({!Mdds_core.Service.cache_coherent}) runs after {e every} injected
@@ -90,6 +96,13 @@ val throughput_workload :
     inside one commit round-trip, so batches fill and pipelined positions
     overlap while faults land. *)
 
+val default_workload : dcs:int -> duration:float -> Mdds_workload.Ycsb.config
+(** The workload {!spec} builds when none is supplied: one thread per
+    datacenter, paced to finish inside the fault window. Exposed so
+    callers (the CLI) can override fields — e.g. [groups] and
+    [cross_ratio] for cross-group soaks — without changing the
+    single-group byte-identical default. *)
+
 type report = {
   run_spec : spec;
   schedule : Schedule.t;
@@ -115,6 +128,12 @@ type report = {
           e.g. via {!throughput_config}): positions proposed by the
           batched path, transactions they carried, pipelined rounds and
           window stalls. *)
+  twopc : Mdds_core.Service.twopc_stats;
+      (** Multi-shot-commit counters summed over all services (all zero
+          unless the workload's [cross_ratio] draws cross-group
+          transactions): prepare markers absorbed into in-doubt tables,
+          in-doubt transactions settled by resolvers, and honest
+          [In_doubt] submit replies returned to clients. *)
   hedges : int;
       (** Service requests answered by a fallback datacenter
           ({!Mdds_core.Audit.hedges}): hedged failovers under the default

@@ -1,5 +1,10 @@
 module Rng = Mdds_sim.Rng
 
+(* What a [Mid_2pc] trap does to its datacenter once a 2PC prepare
+   marker crosses it (PROTOCOL.md §10): a clean or dirty service crash, a
+   torn write, or a short bidirectional isolation of the datacenter. *)
+type mid_2pc_mode = Mid_restart | Mid_dirty | Mid_torn | Mid_isolate
+
 type fault =
   | Crash of int
   | Recover of int
@@ -14,6 +19,10 @@ type fault =
   | Slow_node of { dc : int; factor : float; until : float }
   | Flap of { src : int; dst : int; period : float; until : float }
   | Dup_storm of { prob : float; until : float }
+  | Mid_2pc of { dc : int; mode : mid_2pc_mode }
+      (** Armed, not timed: the fault fires when the next prepare marker
+          crosses [dc] (an Accept or an Apply), aiming it into the
+          prepare→decide window of a cross-group commit. *)
 
 type event = { at : float; fault : fault }
 
@@ -34,10 +43,16 @@ type kind =
   | Slow_nodes
   | Flaps
   | Dup_storms
+  | Mid_2pcs
 
 let all_kinds =
   [ Crashes; Restarts; Dirty_crashes; Torn_writes; Partitions; Storms;
     Compactions; One_way_cuts; Slow_nodes; Flaps; Dup_storms ]
+
+(* [Mid_2pcs] is not in {!all_kinds}: the trap only ever fires on
+   cross-group workloads, so single-group schedules stay byte-identical.
+   Cross-group runs use this superset. *)
+let cross_kinds = all_kinds @ [ Mid_2pcs ]
 
 let kind_to_string = function
   | Crashes -> "crash"
@@ -51,6 +66,7 @@ let kind_to_string = function
   | Slow_nodes -> "slow-node"
   | Flaps -> "flap"
   | Dup_storms -> "dup-storm"
+  | Mid_2pcs -> "mid-2pc"
 
 let kind_of_string = function
   | "crash" | "crashes" -> Crashes
@@ -64,12 +80,13 @@ let kind_of_string = function
   | "slow-node" | "slow-nodes" -> Slow_nodes
   | "flap" | "flaps" -> Flaps
   | "dup-storm" | "dup-storms" -> Dup_storms
+  | "mid-2pc" | "mid-2pcs" -> Mid_2pcs
   | s ->
       invalid_arg
         (Printf.sprintf
            "unknown fault kind %S (expected crash, restart, dirty-crash, \
             torn-write, partition, storm, compact, one-way-cut, slow-node, \
-            flap or dup-storm)"
+            flap, dup-storm or mid-2pc)"
            s)
 
 let round3 x = Float.round (x *. 1000.) /. 1000.
@@ -180,7 +197,21 @@ let generate ?(kinds = all_kinds) ~seed ~dcs ~duration () =
     | Dup_storms ->
         let prob = round3 (0.1 +. Rng.float rng 0.4) in
         let until = round3 (at +. 0.5 +. Rng.float rng 3.5) in
-        emit at (Dup_storm { prob; until }));
+        emit at (Dup_storm { prob; until })
+    | Mid_2pcs ->
+        (* A clean restart can hit any datacenter; the destructive and
+           isolating modes respect the connected-majority invariant like
+           their un-aimed counterparts (the isolation is a short
+           self-healing window, the crashes restart in place). *)
+        let dc = Rng.int rng dcs in
+        let mode =
+          match Rng.int rng 4 with
+          | 0 -> Mid_restart
+          | 1 -> Mid_dirty
+          | 2 -> Mid_torn
+          | _ -> Mid_isolate
+        in
+        emit at (Mid_2pc { dc; mode }));
     t := !t +. 0.15 +. Rng.exponential rng mean_gap
   done;
   List.rev !events
@@ -216,6 +247,18 @@ let fault_to_sx = function
           A (fstr period); A (fstr until) ]
   | Dup_storm { prob; until } ->
       L [ A "dup-storm"; A (fstr prob); A (fstr until) ]
+  | Mid_2pc { dc; mode } ->
+      L
+        [
+          A "mid-2pc";
+          A (string_of_int dc);
+          A
+            (match mode with
+            | Mid_restart -> "restart"
+            | Mid_dirty -> "dirty"
+            | Mid_torn -> "torn"
+            | Mid_isolate -> "isolate");
+        ]
 
 let to_sx t =
   L (List.map (fun { at; fault } -> L [ A (fstr at); fault_to_sx fault ]) t)
@@ -281,6 +324,7 @@ let validate ~dcs t =
           if prob < 0. || prob > 1. then err "dup-storm prob %g not in [0,1]" prob
           else if until <= at then err "dup-storm at %g ends at %g" at until
           else Ok ()
+      | Mid_2pc { dc; _ } -> dc_ok dc "mid-2pc"
       | Partition parts ->
           let members = List.concat parts in
           let* () =
@@ -382,6 +426,18 @@ let fault_of_sx = function
         }
   | L [ A "dup-storm"; prob; until ] ->
       Dup_storm { prob = float_of_sx prob; until = float_of_sx until }
+  | L [ A "mid-2pc"; dc; A mode ] ->
+      Mid_2pc
+        {
+          dc = int_of_sx dc;
+          mode =
+            (match mode with
+            | "restart" -> Mid_restart
+            | "dirty" -> Mid_dirty
+            | "torn" -> Mid_torn
+            | "isolate" -> Mid_isolate
+            | s -> bad "unknown mid-2pc mode %S" s);
+        }
   | L (A "partition" :: groups) ->
       Partition
         (List.map
@@ -430,6 +486,13 @@ let pp_fault ppf = function
         until
   | Dup_storm { prob; until } ->
       Format.fprintf ppf "dup-storm p=%g until %gs" prob until
+  | Mid_2pc { dc; mode } ->
+      Format.fprintf ppf "mid-2pc dc%d %s" dc
+        (match mode with
+        | Mid_restart -> "restart"
+        | Mid_dirty -> "dirty"
+        | Mid_torn -> "torn"
+        | Mid_isolate -> "isolate")
 
 let pp ppf t =
   List.iter

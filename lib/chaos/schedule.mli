@@ -12,6 +12,11 @@
     crashed datacenters). Safety must hold under *any* schedule; the
     invariant is what lets the runner also assert availability. *)
 
+type mid_2pc_mode = Mid_restart | Mid_dirty | Mid_torn | Mid_isolate
+(** What a {!fault.Mid_2pc} trap does when it fires: a clean service
+    restart, a dirty crash, a torn write, or a short bidirectional
+    isolation of the datacenter. *)
+
 type fault =
   | Crash of int  (** Datacenter outage ({!Mdds_core.Cluster.take_down}). *)
   | Recover of int  (** {!Mdds_core.Cluster.bring_up}. *)
@@ -50,6 +55,13 @@ type fault =
       (** Gray failure: every delivered message is duplicated with
           probability [prob] on all links
           ({!Mdds_net.Network.set_duplication_all}). *)
+  | Mid_2pc of { dc : int; mode : mid_2pc_mode }
+      (** Aimed fault (PROTOCOL.md §10): at [at] the nemesis arms
+          {!Mdds_core.Service.arm_2pc_trap} on [dc]; the [mode] fault
+          fires the moment a cross-group prepare marker next crosses
+          that service — inside the prepare→decide window where an
+          unsound commit protocol would lose atomicity. Inert on
+          single-group workloads. *)
 
 type event = { at : float; fault : fault }
 
@@ -70,14 +82,21 @@ type kind =
   | Slow_nodes
   | Flaps
   | Dup_storms
+  | Mid_2pcs
 
 val all_kinds : kind list
+(** Every kind except {!Mid_2pcs} — the trap only fires on cross-group
+    workloads, so single-group schedules never carry it (byte-identical
+    repro lines). *)
+
+val cross_kinds : kind list
+(** {!all_kinds} plus {!Mid_2pcs}: the default for cross-group chaos. *)
 
 val kind_of_string : string -> kind
 (** ["crash"], ["restart"], ["dirty-crash"], ["torn-write"],
     ["partition"], ["storm"], ["compact"], ["one-way-cut"],
-    ["slow-node"], ["flap"], ["dup-storm"]; raises [Invalid_argument]
-    otherwise. *)
+    ["slow-node"], ["flap"], ["dup-storm"], ["mid-2pc"]; raises
+    [Invalid_argument] otherwise. *)
 
 val kind_to_string : kind -> string
 

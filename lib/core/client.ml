@@ -79,9 +79,7 @@ let request_with_fallback t req ~describe =
   in
   go config.read_attempts (service_order t)
 
-let begin_ t ~group =
-  t.txn_counter <- t.txn_counter + 1;
-  let txn_id = Printf.sprintf "%s/%d" t.id t.txn_counter in
+let begin_txn t ~group ~txn_id =
   match request_with_fallback t (Messages.Get_read_position { group }) ~describe:"begin" with
   | Messages.Read_position { position; leader } ->
       {
@@ -96,6 +94,11 @@ let begin_ t ~group =
         finished = false;
       }
   | _ -> raise (Unavailable "begin: unexpected response")
+
+let begin_ t ~group =
+  t.txn_counter <- t.txn_counter + 1;
+  let txn_id = Printf.sprintf "%s/%d" t.id t.txn_counter in
+  begin_txn t ~group ~txn_id
 
 let txn_id txn = txn.txn_id
 let read_position txn = txn.read_position
@@ -341,3 +344,266 @@ let commit txn =
       | Config.Leader -> commit_leader t txn record
     in
     finish ~stats record outcome
+
+(* ------------------------------------------------------------------ *)
+(* Cross-group transactions: multi-shot atomic commit (PROTOCOL.md §10).
+
+   A cross-group transaction buffers reads and writes per participant
+   group, then commits with 2PC whose every step is an ordinary record in
+   a per-group Paxos log:
+
+   + prepare: a {!Twopc.prepare_record} is submitted to each participant
+     group in turn; the manager's single-group admission check over the
+     transaction's footprint (reads ∪ write keys) doubles as the vote.
+   + decide: with every prepare durably logged, a commit decision is
+     submitted to the coordinator's group (the first group in sorted
+     order). The decision's {e apply} is the commit point: the WAL's
+     write-once rule makes the first decision applied authoritative, so
+     a racing in-doubt resolver's abort can beat our commit (never the
+     reverse — resolvers only ever abort), and we read the verdict back
+     before reporting.
+   + outcome: a {!Twopc.outcome_record} per group applies the buffered
+     writes (commit) or just the tombstone marker (abort). Outcome
+     delivery is not needed for the commit decision to hold: each
+     service's in-doubt resolver finishes delivery from the logged
+     prepare + decision if the client dies here.
+
+   Presumed abort: a transaction is reported aborted without logging
+   anything only when no prepare can possibly have been logged (the
+   manager explicitly refused, or no manager was reachable to submit
+   to). Once any prepare {e may} exist, the abort is made durable by
+   logging an abort decision — and even if that cleanup fails, the
+   report stays truthful: only this client can log a commit decision,
+   so resolvers can only settle the leftovers to abort. *)
+
+type mtxn = {
+  mclient : t;
+  mtxn_id : string;
+  mbegan_at : float;
+  mparts : (string * txn) list;  (* sorted by group, at least one *)
+  mutable mfinished : bool;
+}
+
+let begin_multi t ~groups =
+  let groups = List.sort_uniq String.compare groups in
+  if groups = [] then invalid_arg "Client.begin_multi: no groups";
+  t.txn_counter <- t.txn_counter + 1;
+  let txn_id = Printf.sprintf "%s/%d" t.id t.txn_counter in
+  let mparts = List.map (fun group -> (group, begin_txn t ~group ~txn_id)) groups in
+  { mclient = t; mtxn_id = txn_id; mbegan_at = now t; mparts; mfinished = false }
+
+let mtxn_id m = m.mtxn_id
+
+let part m ~group ~what =
+  match List.assoc_opt group m.mparts with
+  | Some txn -> txn
+  | None -> invalid_arg (Printf.sprintf "Client.%s: group %S not in transaction" what group)
+
+let read_in m ~group key = read (part m ~group ~what:"read_in") key
+let write_in m ~group key value = write (part m ~group ~what:"write_in") key value
+
+(* Submit one record through the leader protocol's probe/rotate loop —
+   the transport under every 2PC step. Unlike {!commit_leader} the caller
+   needs to distinguish "the manager refused, nothing was logged"
+   ([`Rejected]) from "the record may have been logged" ([`Maybe]):
+   presumed abort is only sound in the former. A reply is only trusted as
+   [`Rejected] when it is the manager's explicit admission refusal;
+   everything else after a submission went out is [`Maybe]. *)
+let manager_submit t ~group (record : Txn.record) =
+  let config = t.env.Proposer.config in
+  let total = List.length t.env.Proposer.dcs in
+  let probe dst =
+    match
+      Rpc.call t.env.Proposer.rpc ~src:t.env.Proposer.dc ~dst
+        ~timeout:config.rpc_timeout
+        (Messages.Get_read_position { group })
+    with
+    | Some _ -> true
+    | None -> false
+  in
+  let submit dst =
+    let timeout =
+      if Config.throughput_mode config then
+        (2.0 +. float_of_int config.pipeline_depth) *. config.rpc_timeout
+        +. config.batch_fill
+      else 2.0 *. config.rpc_timeout
+    in
+    Rpc.call t.env.Proposer.rpc ~src:t.env.Proposer.dc ~dst ~timeout
+      (Messages.Submit { group; record })
+  in
+  let rec go attempts manager =
+    if attempts <= 0 then `Unreachable
+    else if not (probe manager) then go (attempts - 1) ((manager + 1) mod total)
+    else
+      match submit manager with
+      | Some (Messages.Submit_reply { result = Messages.Accepted_at position }) ->
+          `Accepted position
+      | Some (Messages.Submit_reply { result = Messages.Stale_read }) -> `Rejected
+      | Some _ | None -> `Maybe
+  in
+  go (total + 1) (config.initial_leader mod total)
+
+let commit_multi m =
+  if m.mfinished then
+    invalid_arg "Client.commit_multi: transaction already finished";
+  m.mfinished <- true;
+  match m.mparts with
+  | [ (_, txn) ] -> commit txn (* degenerate: an ordinary single-group txn *)
+  | parts ->
+      let t = m.mclient in
+      List.iter (fun (_, txn) -> txn.finished <- true) parts;
+      let commit_started_at = now t in
+      let txid = m.mtxn_id in
+      let groups = List.map fst parts in
+      let coordinator = List.hd groups in
+      let origin = t.env.Proposer.dc in
+      (* The audit event lives under the pseudo-group [cross:g1+g2+...]
+         with group-qualified keys: per-group checkers never see it, the
+         cross-group atomicity oracle consumes it. *)
+      let observed =
+        List.concat_map
+          (fun (g, txn) ->
+            List.rev_map (fun (k, v) -> (g ^ "/" ^ k, v)) txn.reads)
+          parts
+      in
+      let record =
+        Txn.make_record ~txn_id:txid ~origin ~read_position:0
+          ~reads:(List.map fst observed)
+          ~writes:
+            (List.concat_map
+               (fun (g, txn) ->
+                 List.rev_map
+                   (fun (k, v) -> { Txn.key = g ^ "/" ^ k; value = v })
+                   txn.writes)
+               parts)
+      in
+      let finish outcome =
+        Mdds_sim.Trace.record t.env.Proposer.trace ~source:("cli." ^ t.id)
+          ~category:"commit" "%s: cross(%s) %s" txid
+          (String.concat "+" groups)
+          (match outcome with
+          | Audit.Committed { position; _ } ->
+              Printf.sprintf "committed decision-pos=%d" position
+          | Audit.Aborted { reason; _ } ->
+              Format.asprintf "aborted (%a)" Audit.pp_reason reason
+          | Audit.Read_only_committed -> "read-only commit"
+          | Audit.Unknown -> "in doubt");
+        Audit.record t.audit
+          {
+            Audit.group = Twopc.audit_group groups;
+            record;
+            observed;
+            outcome;
+            began_at = m.mbegan_at;
+            committed_at = now t;
+            commit_started_at;
+            client_dc = origin;
+            stats = Audit.no_stats;
+          };
+        outcome
+      in
+      if record.Txn.writes = [] then
+        (* No writes anywhere: per-group snapshot reads, commits locally
+           like any read-only transaction (§2.2). *)
+        finish Audit.Read_only_committed
+      else if t.env.Proposer.config.protocol <> Config.Leader then
+        invalid_arg
+          "Client.commit_multi: cross-group transactions require the leader \
+           protocol (manager admission enforces in-doubt blocking)"
+      else
+        (* Phase 1: prepare in every participant group, in group order.
+           [submitted] collects groups whose prepare was or may have been
+           logged, with the log position when known. *)
+        let rec prepare_all submitted = function
+          | [] -> `Prepared (List.rev submitted)
+          | (group, txn) :: rest -> (
+              let footprint =
+                List.sort_uniq String.compare
+                  (List.rev_map fst txn.reads @ List.rev_map fst txn.writes)
+              in
+              let payload =
+                {
+                  Twopc.coordinator;
+                  participants = groups;
+                  writes = List.rev txn.writes;
+                }
+              in
+              let prep =
+                Twopc.prepare_record ~txid ~origin
+                  ~read_position:txn.read_position ~reads:footprint ~payload
+              in
+              match manager_submit t ~group prep with
+              | `Accepted pos ->
+                  prepare_all ((group, txn, Some pos) :: submitted) rest
+              | `Rejected -> `Abort (Audit.Conflict, List.rev submitted)
+              | `Maybe ->
+                  `Abort
+                    ( Audit.Unavailable,
+                      List.rev ((group, txn, None) :: submitted) )
+              | `Unreachable -> `Abort (Audit.Unavailable, List.rev submitted))
+        in
+        (* Log [verdict] in the coordinator's group and read back the
+           verdict that actually took (write-once: first applied wins). *)
+        let decide verdict =
+          match
+            manager_submit t ~group:coordinator
+              (Twopc.decision_record ~txid ~tag:"cli" ~origin ~verdict)
+          with
+          | `Accepted dpos -> (
+              match
+                request_with_fallback t
+                  (Messages.Read
+                     {
+                       group = coordinator;
+                       key = Twopc.decision_key txid;
+                       position = dpos;
+                     })
+                  ~describe:"2pc decision"
+              with
+              | Messages.Value { value = Some v } -> Some (v, dpos)
+              | _ -> None
+              | exception Unavailable _ -> None)
+          | `Rejected | `Maybe | `Unreachable -> None
+        in
+        (* Best-effort outcome delivery; resolvers finish it if we die. *)
+        let outcomes verdict submitted =
+          List.iter
+            (fun (group, txn, pos) ->
+              let writes =
+                if String.equal verdict Twopc.commit_verdict then
+                  List.rev txn.writes
+                else []
+              in
+              ignore
+                (manager_submit t ~group
+                   (Twopc.outcome_record ~txid ~tag:"cli" ~origin
+                      ~prepare_position:(Option.value pos ~default:0)
+                      ~verdict ~writes)))
+            submitted
+        in
+        (match prepare_all [] parts with
+        | `Prepared submitted -> (
+            match decide Twopc.commit_verdict with
+            | Some (verdict, dpos) ->
+                outcomes verdict submitted;
+                if String.equal verdict Twopc.commit_verdict then
+                  finish
+                    (Audit.Committed
+                       { position = dpos; promotions = 0; combined = false })
+                else
+                  (* A resolver's abort decision was applied first. *)
+                  finish
+                    (Audit.Aborted { reason = Audit.Conflict; promotions = 0 })
+            | None ->
+                (* The decision may or may not have been logged; only its
+                   log knows. Resolvers will settle the prepares either
+                   way, honoring a logged commit. *)
+                finish Audit.Unknown)
+        | `Abort (reason, []) ->
+            (* Pure presumed abort: no prepare was ever logged. *)
+            finish (Audit.Aborted { reason; promotions = 0 })
+        | `Abort (reason, submitted) ->
+            (match decide Twopc.abort_verdict with
+            | Some (verdict, _) -> outcomes verdict submitted
+            | None -> () (* resolvers finish the abort from the logs *));
+            finish (Audit.Aborted { reason; promotions = 0 }))

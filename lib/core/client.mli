@@ -50,3 +50,40 @@ val commit : txn -> Audit.outcome
     returns its outcome. Never raises: total unavailability yields
     [Aborted { reason = Unavailable; _ }]. A transaction can be committed
     at most once ([Invalid_argument] otherwise). *)
+
+(** {1 Cross-group transactions (PROTOCOL.md §10)}
+
+    A multi-group transaction reads and writes in several groups and
+    commits atomically with the multi-shot 2PC whose every step —
+    prepare, decision, outcome — is an ordinary record in a per-group
+    Paxos log (see {!Twopc}). Requires the [Leader] protocol when more
+    than one group participates. *)
+
+type mtxn
+
+val begin_multi : t -> groups:string list -> mtxn
+(** Begin in every listed group (deduplicated, sorted; the first sorted
+    group coordinates). Raises [Invalid_argument] on an empty list and
+    {!Unavailable} like {!begin_}. *)
+
+val mtxn_id : mtxn -> string
+
+val read_in : mtxn -> group:string -> Txn.key -> string option
+val write_in : mtxn -> group:string -> Txn.key -> string -> unit
+(** Like {!read} / {!write} in one participant group.
+    [Invalid_argument] if [group] was not passed to {!begin_multi}. *)
+
+val commit_multi : mtxn -> Audit.outcome
+(** Atomic commit across all participant groups. A single-group [mtxn]
+    commits exactly like {!commit}. Otherwise: prepares are logged in
+    every group in order (the single-group admission predicate over the
+    transaction's footprint is the vote), the decision is logged in the
+    coordinator's group — its apply is the commit point, write-once, so
+    the verdict is read back before reporting — and outcomes deliver the
+    buffered writes. [Committed] is reported only after the commit
+    decision is durably logged and read back; [Aborted] only when no
+    prepare can have been logged (presumed abort) or an abort decision
+    settles the leftovers (in-doubt resolvers finish either cleanup if
+    the client dies mid-protocol); everything else is [Unknown]. Records
+    one audit event under {!Twopc.audit_group} with group-qualified
+    keys. *)

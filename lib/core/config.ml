@@ -59,8 +59,41 @@ let leader = { default with protocol = Leader }
 
 let throughput_mode t = t.batch_max > 1 || t.pipeline_depth > 1
 
+(* Knob validation at construction: each of these combinations is not a
+   tuning choice but a contradiction (a batcher that can hold no
+   transaction, a pipeline with no slots, a backoff window of negative
+   width, an adaptive floor above the cap it feeds). Catching them here
+   turns undefined downstream behavior — infinite defer loops, empty
+   windows, [Rng.uniform] on an inverted interval — into an immediate,
+   descriptive error. *)
+let validate t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Config.make: " ^^ fmt) in
+  if t.batch_max < 1 then fail "batch_max = %d (must be >= 1)" t.batch_max;
+  if t.pipeline_depth < 1 then
+    fail "pipeline_depth = %d (must be >= 1)" t.pipeline_depth;
+  if t.backoff_min > t.backoff_max then
+    fail "backoff_min = %g > backoff_max = %g" t.backoff_min t.backoff_max;
+  if t.adaptive_floor > t.rpc_timeout then
+    fail "adaptive_floor = %g > rpc_timeout = %g (the floor feeds a timeout capped at rpc_timeout)"
+      t.adaptive_floor t.rpc_timeout;
+  t
+
+let make ?(base = default) ?rpc_timeout ?backoff_min ?backoff_max
+    ?adaptive_floor ?batch_max ?pipeline_depth () =
+  let field v = function Some v -> v | None -> v in
+  validate
+    {
+      base with
+      rpc_timeout = field base.rpc_timeout rpc_timeout;
+      backoff_min = field base.backoff_min backoff_min;
+      backoff_max = field base.backoff_max backoff_max;
+      adaptive_floor = field base.adaptive_floor adaptive_floor;
+      batch_max = field base.batch_max batch_max;
+      pipeline_depth = field base.pipeline_depth pipeline_depth;
+    }
+
 let throughput ?(batch_max = 8) ?(pipeline_depth = 4) t =
-  { t with protocol = Leader; batch_max; pipeline_depth }
+  validate { t with protocol = Leader; batch_max; pipeline_depth }
 
 let protocol_name = function
   | Basic -> "paxos"

@@ -120,7 +120,25 @@ val throughput_mode : t -> bool
 val throughput : ?batch_max:int -> ?pipeline_depth:int -> t -> t
 (** Steady-state throughput mode: [Leader] protocol with batching
     (default [batch_max = 8]) and pipelining (default
-    [pipeline_depth = 4]) enabled. *)
+    [pipeline_depth = 4]) enabled. Validates like {!make}. *)
+
+val make :
+  ?base:t ->
+  ?rpc_timeout:float ->
+  ?backoff_min:float ->
+  ?backoff_max:float ->
+  ?adaptive_floor:float ->
+  ?batch_max:int ->
+  ?pipeline_depth:int ->
+  unit ->
+  t
+(** [make ()] is {!default}; each optional argument overrides one field
+    of [base] (default {!default}). Raises [Invalid_argument] with a
+    descriptive message on contradictory knobs: [batch_max < 1],
+    [pipeline_depth < 1], [backoff_min > backoff_max], or
+    [adaptive_floor > rpc_timeout] — each of which would otherwise be
+    undefined behavior downstream (empty batch windows, inverted
+    backoff intervals, a timeout floor above its cap). *)
 
 val with_protocol : protocol -> t -> t
 

@@ -65,6 +65,18 @@ type batcher = {
   mutable bt_stopped : bool;  (* set by restart; orphaned drainer exits *)
 }
 
+(* One prepared-but-undecided cross-group transaction (PROTOCOL.md §10),
+   as derived from the group's log: a Prepare marker record without a
+   later Outcome marker. Its footprint excludes conflicting admissions
+   until resolved. *)
+type indoubt = {
+  ind_footprint : string array;
+      (* The prepare record's read set — reads ∪ write keys by
+         construction (see {!Twopc.prepare_record}). *)
+  ind_payload : Twopc.payload;
+  ind_pos : int;  (* log position of the prepare *)
+}
+
 type t = {
   dc : int;
   source : string;  (* "svc.dc<N>", interned for trace calls *)
@@ -107,6 +119,23 @@ type t = {
   mutable batched_txns : int;
   mutable pipelined_rounds : int;
   mutable pipeline_stalls : int;
+  twopc : (string, (string, indoubt) Hashtbl.t) Hashtbl.t;
+      (* In-doubt table per group, volatile: re-derived from the log by
+         an incremental scan ({!scan_2pc}); reset and rebuilt on restart.
+         Never allocated into when no cross-group transactions run. *)
+  twopc_scanned : (string, int) Hashtbl.t;
+      (* Contiguous log prefix already absorbed into the in-doubt table. *)
+  twopc_resolving : (string * string, unit) Hashtbl.t;
+      (* (group, txid) pairs with a live resolver fiber (spawn dedup). *)
+  mutable twopc_epoch : int;
+      (* Bumped by restart so orphaned resolver fibers exit quietly. *)
+  mutable trap_2pc : (unit -> unit) option;
+      (* One-shot chaos trap: fired when a prepare marker crosses this
+         service (accept or apply) — the nemesis arms it to aim faults at
+         the prepare→decide window. *)
+  mutable twopc_prepares : int;
+  mutable twopc_resolved : int;
+  mutable in_doubt_replies : int;
 }
 
 type recovery_stats = { recoveries : int; scrubbed : int; relearned : int }
@@ -118,6 +147,12 @@ type throughput_stats = {
   batched_txns : int;
   pipelined_rounds : int;
   pipeline_stalls : int;
+}
+
+type twopc_stats = {
+  twopc_prepares : int;
+  twopc_resolved : int;
+  in_doubt_replies : int;
 }
 
 let dc t = t.dc
@@ -138,6 +173,13 @@ let throughput_stats (t : t) =
     batched_txns = t.batched_txns;
     pipelined_rounds = t.pipelined_rounds;
     pipeline_stalls = t.pipeline_stalls;
+  }
+
+let twopc_stats (t : t) =
+  {
+    twopc_prepares = t.twopc_prepares;
+    twopc_resolved = t.twopc_resolved;
+    in_doubt_replies = t.in_doubt_replies;
   }
 
 let keys_of t ~group =
@@ -381,6 +423,164 @@ let submit_lock t ~group =
       Hashtbl.replace t.submit_locks group lock;
       lock
 
+(* ------------------------------------------------------------------ *)
+(* Multi-shot atomic commit, manager side (PROTOCOL.md §10): the in-doubt
+   table, admission blocking, and resolver arming. All state here is
+   volatile and re-derived from the log's marker records ({!Twopc}) —
+   the per-group Paxos log is the only durable truth the protocol has. *)
+
+let indoubt_table t ~group =
+  match Hashtbl.find_opt t.twopc group with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace t.twopc group tbl;
+      tbl
+
+(* Forward reference: the resolver ladder needs [handle_submit] (defined
+   below) to drive decision/outcome records through Paxos, while the
+   scan below must arm resolvers. Tied together after [handle_submit]. *)
+let watch_2pc_cell : (t -> group:string -> string -> unit) ref =
+  ref (fun _ ~group:_ _ -> ())
+
+let watch_2pc t ~group txid = !watch_2pc_cell t ~group txid
+
+let scanned_2pc t ~group =
+  match Hashtbl.find_opt t.twopc_scanned group with
+  | Some p -> p
+  | None -> Wal.compacted_position t.wal ~group
+
+let note_record_2pc t ~group ~pos (r : Txn.record) =
+  match Twopc.classify r with
+  | Twopc.Prepare { txid; payload } ->
+      let tbl = indoubt_table t ~group in
+      if not (Hashtbl.mem tbl txid) then begin
+        Hashtbl.replace tbl txid
+          {
+            ind_footprint = Txn.read_keys r;
+            ind_payload = payload;
+            ind_pos = pos;
+          };
+        t.twopc_prepares <- t.twopc_prepares + 1;
+        watch_2pc t ~group txid
+      end
+  | Twopc.Outcome { txid; _ } -> Hashtbl.remove (indoubt_table t ~group) txid
+  | Twopc.Decision _ | Twopc.Plain -> ()
+
+(* Incremental, contiguous scan of the group's log for 2PC markers: the
+   in-doubt table is exactly "prepares without a later outcome" over the
+   scanned prefix. Deliberately cheap when the feature is idle — each
+   entry is classified once per service lifetime, and classification is
+   one prefix test per record. *)
+let scan_2pc t ~group =
+  let scanned =
+    max (scanned_2pc t ~group) (Wal.compacted_position t.wal ~group)
+  in
+  let last = Wal.last_position t.wal ~group in
+  let rec go pos =
+    if pos > last then pos - 1
+    else
+      match Wal.entry t.wal ~group ~pos with
+      | None -> pos - 1 (* gap: resume once it is learned *)
+      | Some entry ->
+          List.iter (note_record_2pc t ~group ~pos) entry;
+          go (pos + 1)
+  in
+  Hashtbl.replace t.twopc_scanned group (go (scanned + 1))
+
+let footprint_conflict ~footprint (r : Txn.record) =
+  let mem key = Array.exists (String.equal key) footprint in
+  Array.exists mem (Txn.read_keys r)
+  || List.exists (fun (w : Txn.write) -> mem w.Txn.key) r.Txn.writes
+
+(* Admission blocking: a prepared-but-undecided footprint excludes every
+   conflicting record until the transaction's outcome is logged —
+   cross-group 1SR rests on the (prepare, outcome] window being
+   exclusive in each participant group. The predicate is conservative
+   (any footprint intersection blocks); outcome/decision records are
+   exempt, since they are what resolves the window. *)
+let blocked_in tbl ~own record =
+  Hashtbl.fold
+    (fun txid ind acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if String.equal txid own then None
+          else if footprint_conflict ~footprint:ind.ind_footprint record then
+            Some txid
+          else None)
+    tbl None
+
+let blocked_by_2pc t ~group (record : Txn.record) =
+  match Hashtbl.find_opt t.twopc group with
+  | None -> None
+  | Some tbl when Hashtbl.length tbl = 0 -> None
+  | Some tbl -> (
+      match Twopc.classify record with
+      | Twopc.Outcome _ | Twopc.Decision _ -> None
+      | Twopc.Prepare { txid = own; _ } -> blocked_in tbl ~own record
+      | Twopc.Plain -> blocked_in tbl ~own:"" record)
+
+(* Prepares sitting in not-yet-scanned overhang entries (decided or
+   in-flight positions above the applied watermark, throughput mode)
+   block the same way; outcomes in the overhang release them. *)
+let blocked_by_overhang (record : Txn.record) overhang =
+  match Twopc.classify record with
+  | Twopc.Outcome _ | Twopc.Decision _ -> None
+  | Twopc.Prepare _ | Twopc.Plain ->
+      let own =
+        match Twopc.classify record with
+        | Twopc.Prepare { txid; _ } -> txid
+        | _ -> ""
+      in
+      let resolved =
+        List.concat_map
+          (fun (_, entry) ->
+            List.filter_map
+              (fun r ->
+                match Twopc.classify r with
+                | Twopc.Outcome { txid; _ } -> Some txid
+                | _ -> None)
+              entry)
+          overhang
+      in
+      List.fold_left
+        (fun acc (_, entry) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              List.fold_left
+                (fun acc r ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> (
+                      match Twopc.classify r with
+                      | Twopc.Prepare { txid; _ }
+                        when (not (String.equal txid own))
+                             && (not (List.mem txid resolved))
+                             && footprint_conflict
+                                  ~footprint:(Txn.read_keys r) record ->
+                          Some txid
+                      | _ -> None))
+                None entry)
+        None overhang
+
+let arm_2pc_trap t f = t.trap_2pc <- Some f
+
+let fire_2pc_trap t entry =
+  match t.trap_2pc with
+  | None -> ()
+  | Some f ->
+      if
+        List.exists
+          (fun r ->
+            match Twopc.classify r with Twopc.Prepare _ -> true | _ -> false)
+          entry
+      then begin
+        t.trap_2pc <- None;
+        Mdds_sim.Engine.spawn (Rpc.engine t.env.Proposer.rpc) f
+      end
+
 let handle_submit_single t ~group (record : Txn.record) =
   Mdds_sim.Semaphore.with_permit (submit_lock t ~group) (fun () ->
       let rec attempt tries =
@@ -420,6 +620,16 @@ let handle_submit_single t ~group (record : Txn.record) =
               | Some pos ->
                   t.dup_submits <- t.dup_submits + 1;
                   Messages.Submit_reply { result = Messages.Accepted_at pos }
+              | None ->
+              (* Prepared-but-undecided cross-group footprints exclude
+                 conflicting admissions (PROTOCOL.md §10). The refusal
+                 also re-arms the resolver for the blocking transaction,
+                 so a dead coordinator cannot wedge a key range forever. *)
+              scan_2pc t ~group;
+              (match blocked_by_2pc t ~group record with
+              | Some blocker ->
+                  watch_2pc t ~group blocker;
+                  Messages.Submit_reply { result = Messages.Stale_read }
               | None ->
               (* Fine-grained conflict check against committed state: a
                  read is stale if its key was overwritten after the
@@ -463,6 +673,15 @@ let handle_submit_single t ~group (record : Txn.record) =
                 | Proposer.Decided entry
                   when Txn.mem_entry ~txn_id:record.Txn.txn_id entry ->
                     Hashtbl.replace t.won group pos;
+                    (* A decided prepare enters the in-doubt table (and
+                       arms its resolver) immediately — the scan would
+                       catch it on the next submission, but there may
+                       never be one. The whole entry is absorbed so the
+                       scan watermark can advance past it without a
+                       second pass. *)
+                    List.iter (note_record_2pc t ~group ~pos) entry;
+                    if scanned_2pc t ~group = pos - 1 then
+                      Hashtbl.replace t.twopc_scanned group pos;
                     Messages.Submit_reply { result = Messages.Accepted_at pos }
                 | Proposer.Decided _ | Proposer.Observed _ ->
                     (* Another proposer (a rival manager after a failover,
@@ -474,7 +693,7 @@ let handle_submit_single t ~group (record : Txn.record) =
                        still be completed by someone else. *)
                     if !exposed then
                       Messages.Submit_reply { result = Messages.In_doubt }
-                    else Messages.Submit_reply { result = Messages.No_quorum }))
+                    else Messages.Submit_reply { result = Messages.No_quorum })))
       in
       attempt 5)
 
@@ -570,6 +789,7 @@ let build_batch (t : t) b =
   let group = b.bt_group in
   let wal_last = Wal.last_position t.wal ~group in
   let watermark = Wal.apply_available t.wal ~group in
+  scan_2pc t ~group;
   let overhang =
     let rec collect pos acc =
       if pos > wal_last then acc
@@ -618,13 +838,23 @@ let build_batch (t : t) b =
                t.dup_submits <- t.dup_submits + 1;
                resolve_pending b p (Messages.Accepted_at pos)
            | None ->
+               let blocked =
+                 match blocked_by_2pc t ~group r with
+                 | Some blocker ->
+                     watch_2pc t ~group blocker;
+                     true
+                 | None -> blocked_by_overhang r overhang <> None
+               in
                let stale =
-                 Array.exists
-                   (fun key ->
-                     match Wal.data_version t.wal ~group ~key ~at:watermark with
-                     | Some version -> version > r.Txn.read_position
-                     | None -> false)
-                   (Txn.read_keys r)
+                 blocked
+                 || Array.exists
+                      (fun key ->
+                        match
+                          Wal.data_version t.wal ~group ~key ~at:watermark
+                        with
+                        | Some version -> version > r.Txn.read_position
+                        | None -> false)
+                      (Txn.read_keys r)
                  || List.exists
                       (fun (pos, entry) ->
                         pos > r.Txn.read_position
@@ -907,8 +1137,114 @@ let handle_submit_batched t ~group (record : Txn.record) =
       await_pending p
 
 let handle_submit t ~group record =
-  if Config.throughput_mode t.config then handle_submit_batched t ~group record
-  else handle_submit_single t ~group record
+  let reply =
+    if Config.throughput_mode t.config then
+      handle_submit_batched t ~group record
+    else handle_submit_single t ~group record
+  in
+  (match reply with
+  | Messages.Submit_reply { result = Messages.In_doubt } ->
+      t.in_doubt_replies <- t.in_doubt_replies + 1
+  | _ -> ());
+  reply
+
+(* ------------------------------------------------------------------ *)
+(* In-doubt resolution (PROTOCOL.md §10). A resolver presumes abort for
+   an aged prepare — but never silently: it first logs an Abort decision
+   through the *coordinator* group's own Paxos log, then reads the
+   decision key back. The WAL's write-once rule for 2PC markers means
+   whatever decision was logged first (the client's Commit, or any
+   resolver's Abort) is the one the read returns, so every resolver and
+   the client converge on a single verdict; the outcome records they
+   then write to the participant groups all agree. A logged prepare is
+   therefore never presumed-aborted unilaterally — abort becomes true by
+   being decided in the coordinator's log, exactly like commit. *)
+
+let twopc_grace t = 4.0 *. t.config.Config.rpc_timeout
+
+(* Resolvers stagger by datacenter: one usually settles the transaction
+   before the rest wake, and they then find it resolved and log
+   nothing. *)
+let twopc_delay t =
+  twopc_grace t +. (float_of_int t.dc *. t.config.Config.rpc_timeout)
+
+let twopc_retry t = 2.0 *. t.config.Config.rpc_timeout
+let twopc_attempts = 100
+
+(* Authoritative check: refresh the table from the log first. The scan,
+   not the table, is the truth — a late duplicated apply may have left a
+   stale entry (see the Apply handler). *)
+let still_indoubt_2pc t ~group txid =
+  ignore (Wal.apply_available t.wal ~group);
+  scan_2pc t ~group;
+  match Hashtbl.find_opt t.twopc group with
+  | None -> None
+  | Some tbl -> Hashtbl.find_opt tbl txid
+
+let resolve_2pc t ~group txid ind =
+  let coord = ind.ind_payload.Twopc.coordinator in
+  let tag = "dc" ^ string_of_int t.dc in
+  let drec =
+    Twopc.decision_record ~txid ~tag ~origin:t.dc ~verdict:Twopc.abort_verdict
+  in
+  (* Any service can drive a record through a group's Paxos log — the
+     submit path below is the manager path run in-process, so resolution
+     does not depend on reaching a remote manager. *)
+  match handle_submit t ~group:coord drec with
+  | Messages.Submit_reply { result = Messages.Accepted_at dpos } -> (
+      match ensure_applied t ~group:coord ~upto:dpos with
+      | Error _ -> false
+      | Ok () ->
+          let verdict =
+            match
+              Wal.read_data t.wal ~group:coord ~key:(Twopc.decision_key txid)
+                ~at:dpos
+            with
+            | Some v -> v
+            | None -> Twopc.abort_verdict (* unreachable: own marker applied *)
+          in
+          let orec =
+            Twopc.outcome_record ~txid ~tag ~origin:t.dc
+              ~prepare_position:ind.ind_pos ~verdict
+              ~writes:ind.ind_payload.Twopc.writes
+          in
+          (match handle_submit t ~group orec with
+          | Messages.Submit_reply { result = Messages.Accepted_at _ } ->
+              Hashtbl.remove (indoubt_table t ~group) txid;
+              t.twopc_resolved <- t.twopc_resolved + 1;
+              Mdds_sim.Trace.record t.env.Proposer.trace ~source:t.source
+                ~category:"2pc" "resolved in-doubt %s in %s: %s" txid group
+                verdict;
+              true
+          | _ -> false))
+  | _ -> false
+
+let spawn_watch_2pc t ~group txid =
+  let key = (group, txid) in
+  if not (Hashtbl.mem t.twopc_resolving key) then begin
+    Hashtbl.add t.twopc_resolving key ();
+    let epoch = t.twopc_epoch in
+    Mdds_sim.Engine.spawn (Rpc.engine t.env.Proposer.rpc) (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Hashtbl.remove t.twopc_resolving key)
+          (fun () ->
+            Mdds_sim.Engine.sleep (twopc_delay t);
+            (* Bounded, RNG-free ladder: the run quiesces even if the
+               transaction can never be resolved (permanent partition). *)
+            let rec loop attempts =
+              if attempts > 0 && t.twopc_epoch = epoch then
+                match still_indoubt_2pc t ~group txid with
+                | None -> ()
+                | Some ind ->
+                    if not (resolve_2pc t ~group txid ind) then begin
+                      Mdds_sim.Engine.sleep (twopc_retry t);
+                      loop (attempts - 1)
+                    end
+            in
+            loop twopc_attempts))
+  end
+
+let () = watch_2pc_cell := spawn_watch_2pc
 
 (* ------------------------------------------------------------------ *)
 
@@ -1016,6 +1352,10 @@ let handle t ~src:_ request =
       Messages.Failed (Printf.sprintf "position %d recovering" pos)
   | Messages.Prepare { group; pos; ballot } -> handle_prepare t ~group ~pos ~ballot
   | Messages.Accept { group; pos; ballot; entry; sequenced } ->
+      (* The chaos trap fires on the first prepare marker that crosses
+         this service — here, possibly before the entry is decided: the
+         rawest point of the prepare→decide window. *)
+      fire_2pc_trap t entry;
       handle_accept t ~group ~pos ~ballot ~entry ~sequenced
   | Messages.Apply { group; pos; entry } ->
       (* An apply at or below the compaction point is stale news: the
@@ -1026,7 +1366,16 @@ let handle t ~src:_ request =
       if not (compacted t ~group ~pos) then begin
         if Wal.entry t.wal ~group ~pos <> None then
           t.dup_applies <- t.dup_applies + 1;
-        Wal.append t.wal ~group ~pos entry
+        Wal.append t.wal ~group ~pos entry;
+        fire_2pc_trap t entry;
+        (* Every replica tracks in-doubt prepares from the applies it
+           sees, so resolution does not depend on the manager that
+           admitted them surviving. Out-of-order or duplicated applies
+           at or below the scan watermark are already absorbed (the
+           scan is the authority; a late prepare must not resurrect a
+           resolved transaction). *)
+        if pos > scanned_2pc t ~group then
+          List.iter (note_record_2pc t ~group ~pos) entry
       end;
       Messages.Applied
   | Messages.Claim_leadership { group; pos; _ } when compacted t ~group ~pos ->
@@ -1127,6 +1476,14 @@ let restart t =
   Hashtbl.reset t.acceptors;
   Hashtbl.reset t.suspect;
   Hashtbl.reset t.relearning;
+  (* 2PC state is volatile and log-derived: drop it, orphan every
+     resolver fiber (the epoch bump makes them exit at their next wake),
+     and rebuild from the recovered log below. *)
+  t.twopc_epoch <- t.twopc_epoch + 1;
+  Hashtbl.reset t.twopc;
+  Hashtbl.reset t.twopc_scanned;
+  Hashtbl.reset t.twopc_resolving;
+  t.trap_2pc <- None;
   (* Batchers are volatile: orphan every drainer and resolve every
      pending so the submit-handler fibers blocked in [await_pending]
      unwind instead of staying suspended for the rest of the run. The
@@ -1195,7 +1552,13 @@ let restart t =
         Mdds_sim.Trace.record t.env.Proposer.trace ~source:t.source
           ~category:"recover" "quarantined %d damaged positions in %s"
           (Hashtbl.length tbl) group
-      end)
+      end;
+      (* Rebuild the in-doubt table from the recovered log; the scan
+         re-arms a resolver for every prepare still lacking an outcome,
+         so restart resolves in-doubt transactions by consulting the
+         participant logs — never by inventing or forgetting an
+         outcome. *)
+      scan_2pc t ~group)
     (durable_groups t);
   Store.sync t.store
 
@@ -1211,6 +1574,16 @@ let recovery_stats (t : t) =
    the state is dead weight). The decoded acceptor cache is pruned with
    the rows it mirrors. *)
 let compact t ~group ~upto =
+  (* Never compact past an in-doubt prepare: the prepare record is what
+     a restarted replica rebuilds its in-doubt table from, and what a
+     resolver's outcome refers back to. Resolution is quick, so the
+     clamp is short-lived. *)
+  scan_2pc t ~group;
+  let upto =
+    Hashtbl.fold
+      (fun _ ind acc -> min acc (ind.ind_pos - 1))
+      (indoubt_table t ~group) upto
+  in
   match Wal.compact t.wal ~group ~upto with
   | Error `Not_applied -> Error `Not_applied
   | Ok () ->
@@ -1310,6 +1683,14 @@ let start ?(storage = Store.Sync_always) ~rpc ~config ~dc ~dcs ~trace () =
       batched_txns = 0;
       pipelined_rounds = 0;
       pipeline_stalls = 0;
+      twopc = Hashtbl.create 4;
+      twopc_scanned = Hashtbl.create 4;
+      twopc_resolving = Hashtbl.create 8;
+      twopc_epoch = 0;
+      trap_2pc = None;
+      twopc_prepares = 0;
+      twopc_resolved = 0;
+      in_doubt_replies = 0;
     }
   in
   Rpc.serve rpc ~node:dc ~processing:config.processing_delay (fun ~src request ->

@@ -91,6 +91,31 @@ val throughput_stats : t -> throughput_stats
     {!Config.throughput_mode} — the batched path is never entered
     otherwise. *)
 
+type twopc_stats = {
+  twopc_prepares : int;
+      (** Prepare marker records this service absorbed into its in-doubt
+          table (from its own admissions, applies it received, and
+          restart rescans — observations, not distinct transactions). *)
+  twopc_resolved : int;
+      (** In-doubt transactions this service's resolver settled by
+          logging a decision and outcome (PROTOCOL.md §10). *)
+  in_doubt_replies : int;
+      (** [In_doubt] submit replies returned to clients: the submission
+          was exposed to acceptors but its fate was unknown when the
+          manager gave up (honest "unknown", never a silent drop). *)
+}
+
+val twopc_stats : t -> twopc_stats
+(** Multi-shot-commit telemetry, reported by the chaos runner. All zero
+    when no cross-group transactions run. *)
+
+val arm_2pc_trap : t -> (unit -> unit) -> unit
+(** Chaos hook: fire [f] (in a fresh fiber) the next time an entry
+    containing a 2PC prepare marker crosses this service — on an Accept
+    (possibly before the entry decides) or an Apply. One-shot; dropped by
+    {!restart}. The nemesis uses it to aim crashes and partitions at the
+    prepare→decide window ([mid-2pc] faults). *)
+
 val compact : t -> group:string -> upto:int -> (unit, [ `Not_applied ]) result
 (** Checkpoint: discard the applied log prefix 1..[upto] and its Paxos
     acceptor state. Refused if the prefix is not fully applied. Replicas

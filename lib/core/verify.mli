@@ -27,3 +27,31 @@ val check :
 val check_exn :
   ?archive:(int * Mdds_types.Txn.entry) list -> Cluster.t -> group:string -> unit
 (** Raises [Failure] with the violation description. *)
+
+val check_cross :
+  ?archives:(string * (int * Mdds_types.Txn.entry) list) list ->
+  Cluster.t -> groups:string list -> (unit, string) result
+(** Cross-group atomicity oracle (PROTOCOL.md §10) over the participant
+    groups' merged logs and the pseudo-group audit events:
+
+    + every logged prepare is resolved by an outcome whose verdict equals
+      the decision logged in its coordinator's group — in-doubt
+      transactions are settled, never invented;
+    + a committed transaction has a prepare and a commit outcome applying
+      exactly the prepared writes in {e every} participant group, and its
+      prepares agree on coordinator and participants;
+    + window exclusivity: between a prepare and its first outcome no
+      other effective record touches the prepared footprint in that
+      group (the guarantee cross-group 1SR rests on);
+    + outcome honesty: a client-reported commit ⇔ a logged commit
+      decision (write-once, first wins);
+    + value-level: each group's effective log, replayed serially,
+      reproduces every value the cross-group transaction observed at its
+      per-group read position.
+
+    [archives] maps a group name to log entries archived before
+    compaction, exactly as {!check}'s [archive]. *)
+
+val check_cross_exn :
+  ?archives:(string * (int * Mdds_types.Txn.entry) list) list ->
+  Cluster.t -> groups:string list -> unit

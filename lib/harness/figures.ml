@@ -763,6 +763,156 @@ let ext_groups ?seeds () =
      so the same aggregate load spread over more groups collides on log positions\n\
      less; even basic Paxos approaches full commits with enough groups."
 
+(* Cross-group transactions (PROTOCOL.md §10): the paper's §2.1 design
+   deliberately has no cross-group coordination; the multi-shot atomic
+   commit is the extension that adds it. This figure measures what that
+   coordination costs: the same load with a growing fraction of
+   transactions spanning two groups. *)
+let ext_cross ?(seeds = default_seeds) () =
+  heading "Extension (PROTOCOL.md §10)"
+    "multi-shot atomic commit: commit rate vs cross-group fraction, VVV, 4 groups";
+  let module Cluster = Mdds_core.Cluster in
+  let module Verify = Mdds_core.Verify in
+  let module Twopc = Mdds_core.Twopc in
+  let ratios = [ 0.0; 0.1; 0.3; 0.5 ] in
+  let workload ratio =
+    { Ycsb.default with
+      groups = 4;
+      cross_ratio = ratio;
+      total_txns = 200;
+      threads = 4;
+      rate = 2.0;
+      ops_per_txn = 4;
+      attributes = 40;
+    }
+  in
+  let run_one (ratio, seed) =
+    let cluster =
+      Cluster.create ~seed ~config:Config.leader (Mdds_net.Topology.ec2 "VVV")
+    in
+    let wl = workload ratio in
+    ignore (Ycsb.run cluster wl);
+    Cluster.run cluster;
+    let groups = Ycsb.group_keys wl in
+    List.iter (fun group -> Verify.check_exn cluster ~group) groups;
+    Verify.check_cross_exn cluster ~groups;
+    let events =
+      List.filter
+        (fun (e : Audit.event) ->
+          not (String.starts_with ~prefix:Ycsb.preload_id e.record.txn_id))
+        (Audit.events (Cluster.audit cluster))
+    in
+    let count p = List.length (List.filter p events) in
+    let is_cross (e : Audit.event) = Twopc.is_audit_group e.group in
+    let committed (e : Audit.event) =
+      match e.outcome with
+      | Audit.Committed _ | Audit.Read_only_committed -> true
+      | _ -> false
+    in
+    let lats =
+      List.filter_map
+        (fun (e : Audit.event) ->
+          if is_cross e && committed e then
+            Some (e.committed_at -. e.commit_started_at)
+          else None)
+        events
+    in
+    ( count is_cross,
+      count (fun e -> is_cross e && committed e),
+      count (fun e -> not (is_cross e)),
+      count (fun e -> (not (is_cross e)) && committed e),
+      lats )
+  in
+  let cells =
+    List.concat_map (fun r -> List.map (fun s -> (r, s)) seeds) ratios
+  in
+  let flat = Pool.map run_one cells in
+  let n = List.length seeds in
+  let rows =
+    List.mapi
+      (fun i ratio ->
+        let runs =
+          List.filteri (fun j _ -> j >= i * n && j < (i + 1) * n) flat
+        in
+        let avg f = Stats.mean (List.map (fun x -> float_of_int (f x)) runs) in
+        let cross_lats = List.concat_map (fun (_, _, _, _, l) -> l) runs in
+        [
+          Printf.sprintf "%.0f%%" (100. *. ratio);
+          Table.fmt_f (avg (fun (c, _, _, _, _) -> c));
+          Table.fmt_f (avg (fun (_, cc, _, _, _) -> cc));
+          Table.fmt_f (avg (fun (_, _, s, _, _) -> s));
+          Table.fmt_f (avg (fun (_, _, _, sc, _) -> sc));
+          (if cross_lats = [] then "-" else Table.fmt_ms (Stats.mean cross_lats));
+        ])
+      ratios
+  in
+  Table.print
+    ~header:
+      [ "cross fraction"; "cross txns"; "cross commits"; "single txns";
+        "single commits"; "cross commit ms" ]
+    rows;
+  footnote
+    "a cross-group commit is multi-shot — one durable prepare per participant\n\
+     log plus a decision and outcomes — so it pays a small multiple of the\n\
+     single-group commit latency, and its prepare windows block conflicting\n\
+     single-group admissions; both costs grow with the cross fraction."
+
+(* Composition with the PR-8 throughput mode: aggregate goodput as the same
+   offered load is spread over more independent group logs. *)
+let ext_cross_tp ?(seed = 42) () =
+  heading "Extension (PROTOCOL.md §10 x DESIGN.md §14)"
+    "aggregate throughput vs transaction-group count, VVV, open loop at 60/s";
+  let counts = [ 1; 2; 4; 8 ] in
+  let modes = [ Throughput.baseline; Throughput.batched () ] in
+  let cells =
+    List.concat_map (fun g -> List.map (fun m -> (g, m)) modes) counts
+  in
+  let points =
+    Pool.map
+      (fun (groups, mode) ->
+        (groups, Throughput.run_point ~seed ~groups ~mode ~rate:60.0 ~txns:300 ()))
+      cells
+  in
+  List.iter
+    (fun (groups, (p : Throughput.point)) ->
+      match p.Throughput.verified with
+      | Ok () -> ()
+      | Error m ->
+          failwith (Printf.sprintf "ext-cross-tp: groups=%d: %s" groups m))
+    points;
+  let find groups mode =
+    List.assoc groups
+      (List.filter_map
+         (fun (g, (p : Throughput.point)) ->
+           if g = groups && p.Throughput.mode.Throughput.label = mode.Throughput.label
+           then Some (g, p)
+           else None)
+         points)
+  in
+  let rows =
+    List.map
+      (fun groups ->
+        let base = find groups Throughput.baseline in
+        let batched = find groups (Throughput.batched ()) in
+        [
+          string_of_int groups;
+          Printf.sprintf "%.1f" base.Throughput.committed_per_s;
+          Printf.sprintf "%.1f" batched.Throughput.committed_per_s;
+          string_of_int batched.Throughput.batches;
+          string_of_int batched.Throughput.pipelined_rounds;
+        ])
+      counts
+  in
+  Table.print
+    ~header:
+      [ "groups"; "baseline goodput/s"; "batched goodput/s"; "batches";
+        "pipelined" ]
+    rows;
+  footnote
+    "groups have independent logs (§2.1), so aggregate goodput scales with the\n\
+     group count on both paths; batching/pipelining (§14) and group-level\n\
+     parallelism compose — each group's leader batches its own admissions."
+
 (* Access skew: the paper evaluates uniform access; YCSB's zipfian knob is
    the natural extension (hot keys sharpen read/write conflicts). *)
 let ext_skew ?seeds () =
@@ -818,6 +968,8 @@ let all =
     ("ext-retry", "promotion vs application retry (§6 claim)", fun () -> ext_retry ());
     ("ext-skew", "access-skew sensitivity (zipfian)", fun () -> ext_skew ());
     ("ext-groups", "scalability across transaction groups (§2.1)", fun () -> ext_groups ());
+    ("ext-cross", "cross-group commit rate vs cross fraction (PROTOCOL.md §10)", fun () -> ext_cross ());
+    ("ext-cross-tp", "aggregate throughput vs group count (§10 x §14)", fun () -> ext_cross_tp ());
   ]
 
 let run_ids ids =

@@ -39,6 +39,12 @@ type point = {
 
 let group = "tp"
 
+(* Scaling runs spread transactions round-robin over [groups] independent
+   logs; [groups = 1] keeps the historical single group name so existing
+   sweeps stay byte-identical. *)
+let group_name ~groups gi =
+  if groups = 1 then group else Printf.sprintf "%s-%d" group gi
+
 (* Both modes run the leader protocol so the comparison isolates
    batching/pipelining; the baseline's [batch_max = pipeline_depth = 1]
    keeps [Config.throughput_mode] off, i.e. the verbatim single path. *)
@@ -49,10 +55,11 @@ let config_of_mode mode =
     pipeline_depth = mode.pipeline_depth;
   }
 
-let run_point ?(seed = 42) ?(topology = "VVV") ?(conflict_every = 16) ~mode
-    ~rate ~txns () =
+let run_point ?(seed = 42) ?(topology = "VVV") ?(conflict_every = 16)
+    ?(groups = 1) ~mode ~rate ~txns () =
   if rate <= 0.0 then invalid_arg "Throughput.run_point: rate must be positive";
   if txns < 1 then invalid_arg "Throughput.run_point: txns must be positive";
+  if groups < 1 then invalid_arg "Throughput.run_point: groups must be positive";
   let started = Unix.gettimeofday () in
   let topo = Topology.ec2 topology in
   let config = config_of_mode mode in
@@ -66,7 +73,7 @@ let run_point ?(seed = 42) ?(topology = "VVV") ?(conflict_every = 16) ~mode
     let dc = i mod dcs in
     Cluster.spawn ~at cluster (fun () ->
         let client = Cluster.client ~id:(Printf.sprintf "tp%06d" i) cluster ~dc in
-        let txn = Client.begin_ client ~group in
+        let txn = Client.begin_ client ~group:(group_name ~groups (i mod groups)) in
         if conflict_every > 0 && i mod conflict_every = 0 then (
           (* Shared-counter RMW: keeps the conflict/abort path honest. *)
           let v =
@@ -118,11 +125,20 @@ let run_point ?(seed = 42) ?(topology = "VVV") ?(conflict_every = 16) ~mode
     pipelined_rounds;
     sim_duration = Cluster.now cluster;
     wall_seconds = Unix.gettimeofday () -. started;
-    verified = Verify.check cluster ~group;
+    verified =
+      (let rec check_all gi =
+         if gi >= groups then Ok ()
+         else
+           match Verify.check cluster ~group:(group_name ~groups gi) with
+           | Ok () -> check_all (gi + 1)
+           | Error e ->
+               Error (Printf.sprintf "group %s: %s" (group_name ~groups gi) e)
+       in
+       check_all 0);
   }
 
-let sweep ?seed ?topology ?conflict_every ?(modes = [ baseline; batched () ])
-    ~rates ~txns () =
+let sweep ?seed ?topology ?conflict_every ?groups
+    ?(modes = [ baseline; batched () ]) ~rates ~txns () =
   (* Independent cells fan out over the domain pool; each point is
      deterministic in its parameters and results come back in input
      order, so output is byte-identical whatever the job count. *)
@@ -131,7 +147,7 @@ let sweep ?seed ?topology ?conflict_every ?(modes = [ baseline; batched () ])
   in
   Mdds_parallel.Pool.map
     (fun (mode, rate) ->
-      run_point ?seed ?topology ?conflict_every ~mode ~rate ~txns ())
+      run_point ?seed ?topology ?conflict_every ?groups ~mode ~rate ~txns ())
     cells
 
 let saturation points mode =

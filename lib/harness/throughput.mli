@@ -51,6 +51,7 @@ val run_point :
   ?seed:int ->
   ?topology:string ->
   ?conflict_every:int ->
+  ?groups:int ->
   mode:mode ->
   rate:float ->
   txns:int ->
@@ -58,12 +59,17 @@ val run_point :
   point
 (** One cluster, one offered rate. [conflict_every] (default 16): every
     n-th transaction also reads-and-writes the shared counter key.
-    Deterministic in [(seed, topology, mode, rate, txns)]. *)
+    [groups] (default 1) spreads transactions round-robin over that many
+    independent transaction groups — the per-group-log scaling axis of
+    the aggregate-throughput figure; [groups = 1] keeps the historical
+    single group name, so existing sweeps are byte-identical.
+    Deterministic in [(seed, topology, groups, mode, rate, txns)]. *)
 
 val sweep :
   ?seed:int ->
   ?topology:string ->
   ?conflict_every:int ->
+  ?groups:int ->
   ?modes:mode list ->
   rates:float list ->
   txns:int ->

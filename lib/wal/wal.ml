@@ -203,12 +203,33 @@ let ensure_data_index t c =
     c.data_indexed <- true
   end
 
+(* Multi-shot commit markers (keys under "__2pc/") are write-once: the
+   first record in log order to write a given marker applies in full;
+   any later record carrying the same marker (a racing resolver's
+   duplicate outcome or decision) is skipped *entirely*, real writes
+   included, so apply stays all-or-nothing per record. Log order is
+   identical on every replica and under {!recover}'s replay, so all
+   copies agree on which record applied. *)
+let twopc_prefix = "__2pc/"
+
+let marker_applied t c (record : Txn.record) =
+  List.exists
+    (fun (w : Txn.write) ->
+      String.starts_with ~prefix:twopc_prefix w.Txn.key
+      &&
+      match find_data_row t c w.Txn.key with
+      | Some row -> Row.latest row <> None
+      | None -> false)
+    record.Txn.writes
+
 (* Data-row applies are lazy: they go through the store's write buffer
    (so a dirty crash can lose them) and are re-derived from the log by
    {!recover} — the log entry, not the data row, is the durable truth. *)
 let apply_entry t c ~pos e =
   List.iter
     (fun (record : Txn.record) ->
+      if marker_applied t c record then ()
+      else
       List.iter
         (fun (w : Txn.write) ->
           match

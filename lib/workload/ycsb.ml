@@ -16,6 +16,7 @@ type config = {
   stagger : float;
   client_dcs : int list;
   preload : bool;
+  cross_ratio : float;
 }
 
 let default =
@@ -32,6 +33,7 @@ let default =
     stagger = 0.25;
     client_dcs = [ 0 ];
     preload = true;
+    cross_ratio = 0.0;
   }
 
 type handle = { mutable begin_failures : int; mutable finished : int }
@@ -84,18 +86,47 @@ let run_worker cluster config handle ~index ~txns =
         let now = Engine.now (Cluster.engine cluster) in
         if !scheduled > now then Engine.sleep (!scheduled -. now);
         (try
-           let txn = Client.begin_ client ~group:(group_key config _k) in
-           for op = 0 to config.ops_per_txn - 1 do
-             let key =
-               attribute_key (Distribution.sample config.distribution rng config.attributes)
-             in
-             if Rng.bool rng config.read_fraction then
-               ignore (Client.read txn key)
-             else
-               Client.write txn key
-                 (Printf.sprintf "%s#%d" (Client.txn_id txn) op)
-           done;
-           ignore (Client.commit txn)
+           (* The cross-ratio guard draws no RNG when the feature is off,
+              so [cross_ratio = 0.0] leaves the single-group stream — and
+              every paper figure — byte-identical. *)
+           if
+             config.cross_ratio > 0.0 && config.groups > 1
+             && Rng.float rng 1.0 < config.cross_ratio
+           then begin
+             (* Cross-group transaction: the round-robin group plus one
+                other, operations alternating between them. *)
+             let gi = _k mod config.groups in
+             let gj = (gi + 1 + Rng.int rng (config.groups - 1)) mod config.groups in
+             let g1 = group_key config gi and g2 = group_key config gj in
+             let m = Client.begin_multi client ~groups:[ g1; g2 ] in
+             for op = 0 to config.ops_per_txn - 1 do
+               let group = if op land 1 = 0 then g1 else g2 in
+               let key =
+                 attribute_key
+                   (Distribution.sample config.distribution rng config.attributes)
+               in
+               if Rng.bool rng config.read_fraction then
+                 ignore (Client.read_in m ~group key)
+               else
+                 Client.write_in m ~group key
+                   (Printf.sprintf "%s#%d" (Client.mtxn_id m) op)
+             done;
+             ignore (Client.commit_multi m)
+           end
+           else begin
+             let txn = Client.begin_ client ~group:(group_key config _k) in
+             for op = 0 to config.ops_per_txn - 1 do
+               let key =
+                 attribute_key (Distribution.sample config.distribution rng config.attributes)
+               in
+               if Rng.bool rng config.read_fraction then
+                 ignore (Client.read txn key)
+               else
+                 Client.write txn key
+                   (Printf.sprintf "%s#%d" (Client.txn_id txn) op)
+             done;
+             ignore (Client.commit txn)
+           end
          with Client.Unavailable _ -> handle.begin_failures <- handle.begin_failures + 1);
         handle.finished <- handle.finished + 1
       done)

@@ -36,6 +36,12 @@ type config = {
   preload : bool;
       (** Populate every attribute with an initial committed transaction
           before the workers start. *)
+  cross_ratio : float;
+      (** Fraction of transactions that span two transaction groups and
+          commit with the multi-shot atomic commit (PROTOCOL.md §10;
+          requires [groups > 1] and the leader protocol). [0.0]
+          (default) draws no RNG for the feature, keeping single-group
+          runs byte-identical. *)
 }
 
 val default : config

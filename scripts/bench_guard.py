@@ -61,14 +61,31 @@ def micros(doc):
     return {
         m["name"]: m["ns_per_run"]
         for m in doc.get("micro", [])
-        if m.get("ns_per_run") is not None
+        if m.get("name") is not None and m.get("ns_per_run") is not None
     }
 
 
 def check_micros(baseline, fresh):
+    # A missing or empty "micro" section (an old baseline, or a fresh run
+    # scoped to figures only) is a skip, not an error: the guard's other
+    # sections may still have work to do.
+    if not baseline:
+        print("bench guard: no micro section in baseline; skipping micro comparison")
+        return True
+    if not fresh:
+        print("bench guard: no micro section in fresh run; skipping micro comparison")
+        return True
     shared = sorted(set(baseline) & set(fresh))
     if not shared:
-        sys.exit("bench guard: no micros shared between baseline and fresh run")
+        print(
+            "bench guard: no micros shared between baseline and fresh run; "
+            "skipping micro comparison (refresh the baseline to re-arm the guard)"
+        )
+        for name in sorted(baseline):
+            print(f"note: {name} in baseline only (retired?)")
+        for name in sorted(fresh):
+            print(f"note: {name} in fresh run only (new micro; baseline not yet refreshed)")
+        return True
 
     width = max(len(n) for n in shared)
     failures = []
@@ -113,7 +130,8 @@ def check_speedup(doc):
     figures = [
         f
         for f in doc.get("figures", [])
-        if f.get("seconds_sequential") is not None
+        if f.get("id") is not None
+        and f.get("seconds_sequential") is not None
         and f.get("seconds_parallel") is not None
     ]
     if not figures:

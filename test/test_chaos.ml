@@ -166,7 +166,8 @@ let test_connected_majority () =
         | Schedule.Heal -> minority := []
         | Schedule.Restart _ | Schedule.Dirty_crash _ | Schedule.Torn_write _
         | Schedule.Storm _ | Schedule.Compact _ | Schedule.One_way_cut _
-        | Schedule.Slow_node _ | Schedule.Flap _ | Schedule.Dup_storm _ -> ());
+        | Schedule.Slow_node _ | Schedule.Flap _ | Schedule.Dup_storm _
+        | Schedule.Mid_2pc _ -> ());
         check ())
       s
   done

@@ -1,0 +1,304 @@
+(* Tests for the multi-shot cross-group atomic commit (PROTOCOL.md §10):
+   the marker-record codec, the client-side protocol, atomicity under a
+   mid-commit fault, and the cross-group oracle. *)
+
+module Cluster = Mdds_core.Cluster
+module Client = Mdds_core.Client
+module Config = Mdds_core.Config
+module Service = Mdds_core.Service
+module Audit = Mdds_core.Audit
+module Verify = Mdds_core.Verify
+module Twopc = Mdds_core.Twopc
+module Topology = Mdds_net.Topology
+module Engine = Mdds_sim.Engine
+module Wal = Mdds_wal.Wal
+module Txn = Mdds_types.Txn
+module Ycsb = Mdds_workload.Ycsb
+
+let make ?(seed = 42) ?(spec = "VVV") ?(config = Config.leader) () =
+  Cluster.create ~seed ~config (Topology.ec2 spec)
+
+let committed = function
+  | Audit.Committed _ | Audit.Read_only_committed -> true
+  | Audit.Aborted _ | Audit.Unknown -> false
+
+(* Read [key] in [group] through a fresh single-group transaction. *)
+let read_now cluster ~group key =
+  let client = Cluster.client cluster ~dc:0 in
+  let txn = Client.begin_ client ~group in
+  let v = Client.read txn key in
+  ignore (Client.commit txn);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Marker codec.                                                        *)
+
+let test_marker_codec () =
+  let payload =
+    {
+      Twopc.coordinator = "a";
+      participants = [ "a"; "b" ];
+      writes = [ ("x", "1"); ("y", "2") ];
+    }
+  in
+  let prep =
+    Twopc.prepare_record ~txid:"t1" ~origin:0 ~read_position:3
+      ~reads:[ "x"; "y" ] ~payload
+  in
+  (match Twopc.classify prep with
+  | Twopc.Prepare { txid = "t1"; payload = p } ->
+      Alcotest.(check string) "coordinator" "a" p.Twopc.coordinator;
+      Alcotest.(check (list string)) "participants" [ "a"; "b" ] p.Twopc.participants;
+      Alcotest.(check (list (pair string string))) "writes" payload.Twopc.writes p.Twopc.writes
+  | _ -> Alcotest.fail "prepare did not classify");
+  let out =
+    Twopc.outcome_record ~txid:"t1" ~tag:"cli" ~origin:0 ~prepare_position:3
+      ~verdict:Twopc.commit_verdict ~writes:[ ("x", "1") ]
+  in
+  (match Twopc.classify out with
+  | Twopc.Outcome { txid = "t1"; verdict } ->
+      Alcotest.(check string) "verdict" Twopc.commit_verdict verdict
+  | _ -> Alcotest.fail "outcome did not classify");
+  Alcotest.(check string) "outcome id tagged" "t1/o@cli" out.Txn.txn_id;
+  let dec =
+    Twopc.decision_record ~txid:"t1" ~tag:"dc2" ~origin:2
+      ~verdict:Twopc.abort_verdict
+  in
+  (match Twopc.classify dec with
+  | Twopc.Decision { txid = "t1"; verdict } ->
+      Alcotest.(check string) "abort verdict" Twopc.abort_verdict verdict
+  | _ -> Alcotest.fail "decision did not classify");
+  let plain =
+    Txn.make_record ~txn_id:"t2" ~origin:0 ~read_position:0 ~reads:[]
+      ~writes:[ { Txn.key = "x"; value = "v" } ]
+  in
+  Alcotest.(check bool) "plain stays plain" true (Twopc.classify plain = Twopc.Plain);
+  Alcotest.(check bool) "plain is no marker" false (Twopc.is_marker plain);
+  let ag = Twopc.audit_group [ "a"; "b" ] in
+  Alcotest.(check string) "audit group" "cross:a+b" ag;
+  Alcotest.(check bool) "audit group detected" true (Twopc.is_audit_group ag);
+  Alcotest.(check bool) "real group is not" false (Twopc.is_audit_group "a")
+
+(* ------------------------------------------------------------------ *)
+(* Happy path.                                                          *)
+
+let test_cross_commit_atomic () =
+  let cluster = make () in
+  let client = Cluster.client cluster ~dc:0 in
+  let outcome = ref Audit.Unknown in
+  Cluster.spawn cluster (fun () ->
+      let m = Client.begin_multi client ~groups:[ "b"; "a"; "b" ] in
+      ignore (Client.read_in m ~group:"a" "x");
+      Client.write_in m ~group:"a" "x" "from-cross";
+      Client.write_in m ~group:"b" "y" "from-cross";
+      outcome := Client.commit_multi m);
+  Cluster.run cluster;
+  Alcotest.(check bool) "committed" true (committed !outcome);
+  (* Both groups apply the buffered writes, visible to ordinary reads. *)
+  Cluster.spawn cluster (fun () ->
+      Alcotest.(check (option string)) "x in a" (Some "from-cross")
+        (read_now cluster ~group:"a" "x");
+      Alcotest.(check (option string)) "y in b" (Some "from-cross")
+        (read_now cluster ~group:"b" "y"));
+  Cluster.run cluster;
+  Verify.check_exn cluster ~group:"a";
+  Verify.check_exn cluster ~group:"b";
+  Verify.check_cross_exn cluster ~groups:[ "a"; "b" ]
+
+let test_single_group_multi_delegates () =
+  (* One group: commit_multi is an ordinary single-group commit — no
+     marker records anywhere in the log. *)
+  let cluster = make () in
+  let client = Cluster.client cluster ~dc:0 in
+  let outcome = ref Audit.Unknown in
+  Cluster.spawn cluster (fun () ->
+      let m = Client.begin_multi client ~groups:[ "g"; "g" ] in
+      Client.write_in m ~group:"g" "x" "solo";
+      outcome := Client.commit_multi m);
+  Cluster.run cluster;
+  (match !outcome with
+  | Audit.Committed _ -> ()
+  | _ -> Alcotest.fail "single-group mtxn did not commit");
+  let wal = Service.wal (Cluster.service cluster 0) in
+  List.iter
+    (fun (_, entry) ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "no markers" false (Twopc.is_marker r))
+        entry)
+    (Wal.dump wal ~group:"g");
+  Verify.check_exn cluster ~group:"g"
+
+let test_read_only_cross () =
+  let cluster = make () in
+  let client = Cluster.client cluster ~dc:0 in
+  let outcome = ref Audit.Unknown in
+  Cluster.spawn cluster (fun () ->
+      let m = Client.begin_multi client ~groups:[ "a"; "b" ] in
+      ignore (Client.read_in m ~group:"a" "x");
+      ignore (Client.read_in m ~group:"b" "y");
+      outcome := Client.commit_multi m);
+  Cluster.run cluster;
+  Alcotest.(check bool) "read-only committed" true
+    (!outcome = Audit.Read_only_committed);
+  Verify.check_cross_exn cluster ~groups:[ "a"; "b" ]
+
+(* ------------------------------------------------------------------ *)
+(* Conflict: presumed abort leaves no trace.                            *)
+
+let test_cross_conflict_aborts_atomically () =
+  let cluster = make () in
+  let outcome = ref Audit.Unknown in
+  let cross_client = Cluster.client cluster ~dc:0 in
+  Cluster.spawn cluster (fun () ->
+      let m = Client.begin_multi cross_client ~groups:[ "a"; "b" ] in
+      ignore (Client.read_in m ~group:"a" "k");
+      Client.write_in m ~group:"a" "k" "cross";
+      Client.write_in m ~group:"b" "y" "cross";
+      (* Park long enough for the interfering writer to commit, making
+         the pinned read position stale. *)
+      Engine.sleep 2.0;
+      outcome := Client.commit_multi m);
+  Cluster.spawn ~at:0.1 cluster (fun () ->
+      let client = Cluster.client cluster ~dc:1 in
+      let txn = Client.begin_ client ~group:"a" in
+      ignore (Client.read txn "k");
+      Client.write txn "k" "winner";
+      match Client.commit txn with
+      | Audit.Committed _ -> ()
+      | _ -> Alcotest.fail "interfering writer failed to commit");
+  Cluster.run cluster;
+  (match !outcome with
+  | Audit.Aborted { reason = Audit.Conflict; _ } -> ()
+  | _ -> Alcotest.fail "stale cross transaction did not abort with Conflict");
+  (* Atomic: the first prepare was rejected, so NOTHING reached group b. *)
+  Cluster.spawn cluster (fun () ->
+      Alcotest.(check (option string)) "b untouched" None
+        (read_now cluster ~group:"b" "y");
+      Alcotest.(check (option string)) "a kept the winner" (Some "winner")
+        (read_now cluster ~group:"a" "k"));
+  Cluster.run cluster;
+  Verify.check_exn cluster ~group:"a";
+  Verify.check_exn cluster ~group:"b";
+  Verify.check_cross_exn cluster ~groups:[ "a"; "b" ]
+
+(* ------------------------------------------------------------------ *)
+(* Mid-commit fault: the window the protocol exists for.                *)
+
+let test_mid_commit_restart_atomic () =
+  (* Restart the coordinator's datacenter the instant the first prepare
+     marker crosses it (the chaos mid-2pc trap, used surgically). The
+     client may report commit, abort or unknown — but both groups must
+     end in the same state and every oracle must hold. *)
+  let cluster = make () in
+  Service.arm_2pc_trap (Cluster.service cluster 0) (fun () ->
+      Cluster.restart cluster 0);
+  let client = Cluster.client cluster ~dc:1 in
+  let outcome = ref Audit.Unknown in
+  Cluster.spawn cluster (fun () ->
+      let m = Client.begin_multi client ~groups:[ "a"; "b" ] in
+      ignore (Client.read_in m ~group:"a" "x");
+      Client.write_in m ~group:"a" "x" "cross";
+      Client.write_in m ~group:"b" "y" "cross";
+      outcome := Client.commit_multi m);
+  Cluster.run cluster;
+  (* Drain: in-doubt resolvers may still be settling leftovers. *)
+  let x = ref None and y = ref None in
+  Cluster.spawn cluster (fun () ->
+      x := read_now cluster ~group:"a" "x";
+      y := read_now cluster ~group:"b" "y");
+  Cluster.run cluster;
+  (* All-or-nothing across groups, whatever the fault did. *)
+  Alcotest.(check bool) "atomic across groups" true
+    ((!x = Some "cross" && !y = Some "cross") || (!x = None && !y = None));
+  (* A client-visible Committed/Aborted must match the data. *)
+  (match !outcome with
+  | Audit.Committed _ | Audit.Read_only_committed ->
+      Alcotest.(check bool) "reported commit took effect" true (!x = Some "cross")
+  | Audit.Aborted _ ->
+      Alcotest.(check bool) "reported abort left no trace" true (!x = None)
+  | Audit.Unknown -> ());
+  Verify.check_exn cluster ~group:"a";
+  Verify.check_exn cluster ~group:"b";
+  Verify.check_cross_exn cluster ~groups:[ "a"; "b" ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload integration: mixed single/cross under the full oracle.      *)
+
+let test_workload_mix_verifies () =
+  let cluster = make ~seed:7 () in
+  let wl =
+    {
+      Ycsb.default with
+      groups = 3;
+      cross_ratio = 0.5;
+      total_txns = 60;
+      threads = 3;
+      rate = 4.0;
+      ops_per_txn = 4;
+      attributes = 12;
+    }
+  in
+  ignore (Ycsb.run cluster wl);
+  Cluster.run cluster;
+  let groups = Ycsb.group_keys wl in
+  List.iter (fun group -> Verify.check_exn cluster ~group) groups;
+  Verify.check_cross_exn cluster ~groups;
+  let events = Audit.events (Cluster.audit cluster) in
+  let cross_commits =
+    List.length
+      (List.filter
+         (fun (e : Audit.event) -> Twopc.is_audit_group e.group && committed e.outcome)
+         events)
+  in
+  Alcotest.(check bool) "some cross-group transactions committed" true
+    (cross_commits > 0)
+
+(* ------------------------------------------------------------------ *)
+(* API misuse.                                                          *)
+
+let test_invalid_args () =
+  let cluster = make ~config:Config.default () in
+  let client = Cluster.client cluster ~dc:0 in
+  Cluster.spawn cluster (fun () ->
+      Alcotest.check_raises "empty groups"
+        (Invalid_argument "Client.begin_multi: no groups") (fun () ->
+          ignore (Client.begin_multi client ~groups:[]));
+      let m = Client.begin_multi client ~groups:[ "a"; "b" ] in
+      Alcotest.check_raises "unknown group"
+        (Invalid_argument "Client.write_in: group \"c\" not in transaction")
+        (fun () -> Client.write_in m ~group:"c" "x" "v");
+      (* Cross-group commit needs the leader protocol's manager admission;
+         this cluster runs Paxos-CP. *)
+      Client.write_in m ~group:"a" "x" "v";
+      Client.write_in m ~group:"b" "y" "v";
+      match Client.commit_multi m with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "commit_multi accepted a non-leader protocol");
+  Cluster.run cluster
+
+let () =
+  Alcotest.run "twopc"
+    [
+      ( "codec",
+        [ Alcotest.test_case "marker records roundtrip" `Quick test_marker_codec ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "cross commit is atomic" `Quick test_cross_commit_atomic;
+          Alcotest.test_case "single-group mtxn delegates" `Quick
+            test_single_group_multi_delegates;
+          Alcotest.test_case "read-only cross commits locally" `Quick
+            test_read_only_cross;
+          Alcotest.test_case "stale cross txn aborts atomically" `Quick
+            test_cross_conflict_aborts_atomically;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "mid-commit restart keeps atomicity" `Quick
+            test_mid_commit_restart_atomic;
+          Alcotest.test_case "mixed workload passes every oracle" `Quick
+            test_workload_mix_verifies;
+        ] );
+      ( "api",
+        [ Alcotest.test_case "invalid arguments rejected" `Quick test_invalid_args ] );
+    ]

@@ -136,6 +136,94 @@ let test_snapshot_roundtrip () =
   Alcotest.(check (option string)) "newer kept" (Some "3")
     (Wal.read_data b ~group ~key:"x" ~at:3)
 
+let prop_install_snapshot =
+  (* Snapshot installation is the one path that writes foreign state into
+     a replica's store, so it carries three safety obligations: installing
+     the same snapshot again changes nothing observable (the catch-up
+     ladder may retry after a lost ack); a replica already at or past the
+     snapshot keeps every newer local value and never regresses its
+     watermarks; and a cold WAL reopened over the same store answers every
+     accessor identically (nothing observable lives only in the caches). *)
+  let open QCheck in
+  let keys = [ "k1"; "k2"; "k3" ] in
+  let key_gen = Gen.oneofl keys in
+  let writes_gen =
+    Gen.(list_size (1 -- 3) (pair key_gen (map string_of_int small_nat)))
+  in
+  let gen =
+    Gen.(pair (list_size (1 -- 8) writes_gen) (list_size (0 -- 4) writes_gen))
+  in
+  let print =
+    Print.(pair (list (list (pair string string))) (list (list (pair string string))))
+  in
+  Test.make ~name:"install_snapshot idempotent, never regresses, cold-reopen equal"
+    ~count:150 (make ~print gen)
+    (fun (src_entries, extra_entries) ->
+      let append wal pos tag writes =
+        Wal.append wal ~group ~pos [ record (Printf.sprintf "%s%d" tag pos) ~writes ]
+      in
+      let a = fresh () in
+      List.iteri (fun i writes -> append a (i + 1) "s" writes) src_entries;
+      let n = List.length src_entries in
+      (match Wal.apply a ~group ~upto:n with Ok () -> () | Error _ -> assert false);
+      let applied, rows = Wal.snapshot a ~group in
+      let observe wal =
+        let at = Wal.applied_position wal ~group in
+        ( Wal.last_position wal ~group,
+          at,
+          Wal.compacted_position wal ~group,
+          List.map (fun k -> Wal.read_data wal ~group ~key:k ~at) keys,
+          List.map (fun k -> Wal.data_version wal ~group ~key:k ~at) keys )
+      in
+      (* Fresh replica: the intended catch-up path. *)
+      let empty_store = Store.create () in
+      let e = Wal.create empty_store in
+      Wal.install_snapshot e ~group ~applied rows;
+      let installed = observe e in
+      let _, e_applied, e_compacted, e_values, _ = installed in
+      if e_applied <> applied || e_compacted <> applied then
+        Test.fail_reportf "watermarks not at snapshot: applied %d compacted %d"
+          e_applied e_compacted;
+      if e_values <> List.map (fun k -> Wal.read_data a ~group ~key:k ~at:applied) keys
+      then Test.fail_reportf "installed values differ from source at %d" applied;
+      Wal.install_snapshot e ~group ~applied rows;
+      if observe e <> installed then
+        Test.fail_reportf "re-install into fresh replica not idempotent";
+      if Wal.coherent e <> Ok () then Test.fail_reportf "fresh replica incoherent";
+      (* Replica already at or past the snapshot: same log prefix plus
+         newer local entries, everything applied. *)
+      let store = Store.create () in
+      let b = Wal.create store in
+      List.iteri (fun i writes -> append b (i + 1) "s" writes) src_entries;
+      List.iteri (fun i writes -> append b (n + i + 1) "x" writes) extra_entries;
+      let head = n + List.length extra_entries in
+      (match Wal.apply b ~group ~upto:head with Ok () -> () | Error _ -> assert false);
+      let before = observe b in
+      Wal.install_snapshot b ~group ~applied rows;
+      let after = observe b in
+      let b_last, b_applied, b_compacted, b_values, b_versions = after in
+      let l0, a0, c0, v0, ver0 = before in
+      (* Newer local state survives: watermarks never regress (compaction
+         may legitimately advance to the snapshot point), values and
+         versions at the local head are untouched. *)
+      if b_last <> l0 || b_applied <> a0 || b_compacted < c0 then
+        Test.fail_reportf "watermarks regressed: last %d->%d applied %d->%d"
+          l0 b_last a0 b_applied;
+      if b_values <> v0 || b_versions <> ver0 then
+        Test.fail_reportf "newer local data overwritten by older snapshot";
+      Wal.install_snapshot b ~group ~applied rows;
+      if observe b <> after then Test.fail_reportf "re-install not idempotent";
+      if Wal.coherent b <> Ok () then Test.fail_reportf "replica incoherent";
+      (* Cold reopen over both stores answers identically. *)
+      let cold_equal wal store =
+        let cold = Wal.create store in
+        observe cold = observe wal
+        && List.equal
+             (fun (p, e) (p', e') -> p = p' && Txn.equal_entry e e')
+             (Wal.dump cold ~group) (Wal.dump wal ~group)
+      in
+      cold_equal e empty_store && cold_equal b store)
+
 let prop_apply_matches_sequential_replay =
   (* Applying entries through the WAL gives the same final values as a
      naive sequential replay into an association list. *)
@@ -445,6 +533,7 @@ let () =
           Alcotest.test_case "combined entry order" `Quick test_combined_entry_order;
           Alcotest.test_case "compaction" `Quick test_compaction;
           Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+          QCheck_alcotest.to_alcotest prop_install_snapshot;
           QCheck_alcotest.to_alcotest prop_apply_matches_sequential_replay;
         ] );
       ( "cache",

@@ -260,9 +260,10 @@ let chaos_cmd =
       & info [ "throughput" ]
           ~doc:
             "Add the throughput schedule dimension: force the leader \
-             protocol and draw batch_max/pipeline_depth per seed \
-             (DESIGN.md \xc2\xa714), so the soak exercises batched and \
-             pipelined commit under every fault kind.")
+             protocol and draw batch_max/pipeline_depth/epoch_interval \
+             per seed (DESIGN.md \xc2\xa714\xe2\x80\x93\xc2\xa715), so the soak \
+             exercises batched, pipelined and epoch-sealed commit under \
+             every fault kind.")
   in
   let groups_arg =
     Arg.(
@@ -442,6 +443,89 @@ let throughput_cmd =
          & info [ "baseline-only" ]
              ~doc:"Sweep only the unbatched baseline mode.")
   in
+  let epoch_arg =
+    Arg.(value & opt (some float) None
+         & info [ "epoch" ] ~docv:"SECONDS"
+             ~doc:"Also sweep an epoch-sealed mode (PROTOCOL.md \xc2\xa711) \
+                   sealing every $(docv) virtual seconds.")
+  in
+  let epoch_fill_arg =
+    Arg.(value & opt int 64
+         & info [ "epoch-fill" ] ~docv:"N"
+             ~doc:"Fill bound of the epoch mode: seal early once $(docv) \
+                   transactions are queued.")
+  in
+  let sweep_arg =
+    Arg.(value & flag
+         & info [ "sweep" ]
+             ~doc:"Run the knob grid instead of the rate sweep: \
+                   batch_max x pipeline_depth x epoch_interval x topology \
+                   at one offered rate (the ext-knobs family).")
+  in
+  let list_conv ~name ~of_string ~ok ~to_string =
+    let parse s =
+      let parts =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun r -> r <> "")
+      in
+      match List.map of_string parts with
+      | [] -> Error (`Msg (Printf.sprintf "empty %s list" name))
+      | l when List.for_all (function Some v -> ok v | None -> false) l ->
+          Ok (List.map Option.get l)
+      | _ -> Error (`Msg (Printf.sprintf "bad %s list %S" name s))
+    in
+    let print ppf l =
+      Format.pp_print_string ppf (String.concat "," (List.map to_string l))
+    in
+    Arg.conv (parse, print)
+  in
+  let ints_conv =
+    list_conv ~name:"int" ~of_string:int_of_string_opt ~ok:(fun v -> v >= 1)
+      ~to_string:string_of_int
+  in
+  let floats0_conv =
+    list_conv ~name:"float" ~of_string:float_of_string_opt
+      ~ok:(fun v -> v >= 0.0) ~to_string:(Printf.sprintf "%g")
+  in
+  let strings_conv =
+    list_conv ~name:"topology"
+      ~of_string:(fun s -> Some s)
+      ~ok:(fun s -> s <> "")
+      ~to_string:Fun.id
+  in
+  let sweep_batches_arg =
+    Arg.(value & opt ints_conv [ 1; 8 ]
+         & info [ "sweep-batches" ] ~docv:"N1,N2,.."
+             ~doc:"batch_max values of the --sweep grid (epoch cells use \
+                   them as the fill bound).")
+  in
+  let sweep_depths_arg =
+    Arg.(value & opt ints_conv [ 1; 4 ]
+         & info [ "sweep-depths" ] ~docv:"K1,K2,.."
+             ~doc:"pipeline_depth values of the --sweep grid.")
+  in
+  let sweep_epochs_arg =
+    Arg.(value & opt floats0_conv [ 0.0; 0.05 ]
+         & info [ "sweep-epochs" ] ~docv:"S1,S2,.."
+             ~doc:"epoch_interval values of the --sweep grid (0 = batch \
+                   discipline).")
+  in
+  let topologies_arg =
+    Arg.(value & opt strings_conv [ "VVV"; "VVVOC" ]
+         & info [ "topologies" ] ~docv:"T1,T2,.."
+             ~doc:"Topologies of the --sweep grid.")
+  in
+  let sweep_rate_arg =
+    Arg.(value & opt float 120.0
+         & info [ "sweep-rate" ] ~docv:"R"
+             ~doc:"Offered rate of every --sweep cell (txns per virtual \
+                   second).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH"
+             ~doc:"With --sweep: also write the grid as CSV to $(docv).")
+  in
   let out_arg =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"PATH"
@@ -453,8 +537,17 @@ let throughput_cmd =
              ~doc:"Spread transactions round-robin over $(docv) independent \
                    transaction groups (aggregate-throughput scaling axis).")
   in
-  let run topology seed txns rates batch depth baseline_only groups out jobs
-      verbose =
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    output_char oc '\n';
+    close_out oc;
+    (* stderr, so jobs-1-vs-jobs-4 stdout diffs don't see the filenames *)
+    Format.eprintf "wrote %s@." path
+  in
+  let run topology seed txns rates batch depth baseline_only epoch epoch_fill
+      sweep sweep_batches sweep_depths sweep_epochs topologies sweep_rate csv
+      groups out jobs verbose =
     Mdds_parallel.Pool.set_jobs jobs;
     if batch < 1 || depth < 1 then (
       Format.eprintf "mdds: --batch and --depth must be positive@.";
@@ -462,48 +555,93 @@ let throughput_cmd =
     if groups < 1 then (
       Format.eprintf "mdds: --groups must be positive@.";
       exit 124);
-    let modes =
-      if baseline_only then [ Throughput.baseline ]
-      else
-        [ Throughput.baseline;
-          Throughput.batched ~batch_max:batch ~pipeline_depth:depth () ]
-    in
-    let points = Throughput.sweep ~seed ~topology ~groups ~modes ~rates ~txns () in
-    Throughput.pp_table Format.std_formatter points;
-    List.iter
-      (fun mode ->
-        match Throughput.saturation points mode with
-        | None -> ()
-        | Some p ->
-            Format.printf "%s saturates at %.1f committed/s (offered %.0f/s)@."
-              mode.Throughput.label p.Throughput.committed_per_s
-              p.Throughput.rate)
-      modes;
-    (match out with
-    | None -> ()
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Throughput.to_json points);
-        output_char oc '\n';
-        close_out oc;
-        Format.printf "wrote %s@." path);
-    if verbose then print_scheduler_stats ();
-    if List.exists (fun p -> Result.is_error p.Throughput.verified) points then
-      exit 1
+    (match epoch with
+    | Some e when e <= 0.0 ->
+        Format.eprintf
+          "mdds: --epoch must be positive virtual seconds (omit it to \
+           disable epoch sealing)@.";
+        exit 124
+    | _ -> ());
+    if epoch_fill < 1 then (
+      Format.eprintf "mdds: --epoch-fill must be positive@.";
+      exit 124);
+    if List.exists (fun e -> e < 0.0) sweep_epochs then (
+      Format.eprintf
+        "mdds: --sweep-epochs values must be >= 0 (0 = batch discipline)@.";
+      exit 124);
+    if sweep then begin
+      (* Knob grid: one rate, every batch x depth x epoch x topology cell. *)
+      let cells =
+        Throughput.knob_sweep ~seed ~groups ~topologies
+          ~batch_maxes:sweep_batches ~depths:sweep_depths
+          ~epoch_intervals:sweep_epochs ~rate:sweep_rate ~txns ()
+      in
+      Throughput.pp_knob_table Format.std_formatter cells;
+      (match out with
+      | None -> ()
+      | Some path -> write_file path (Throughput.knob_to_json cells));
+      (match csv with
+      | None -> ()
+      | Some path -> write_file path (Throughput.knob_to_csv cells));
+      if verbose then print_scheduler_stats ();
+      if
+        List.exists
+          (fun (_, p) -> Result.is_error p.Throughput.verified)
+          cells
+      then exit 1
+    end
+    else begin
+      let modes =
+        if baseline_only then [ Throughput.baseline ]
+        else
+          [ Throughput.baseline;
+            Throughput.batched ~batch_max:batch ~pipeline_depth:depth () ]
+          @
+          match epoch with
+          | None -> []
+          | Some interval ->
+              [ Throughput.epoch ~fill:epoch_fill ~interval () ]
+      in
+      let points =
+        Throughput.sweep ~seed ~topology ~groups ~modes ~rates ~txns ()
+      in
+      Throughput.pp_table Format.std_formatter points;
+      List.iter
+        (fun mode ->
+          match Throughput.saturation points mode with
+          | None -> ()
+          | Some p ->
+              Format.printf
+                "%s saturates at %.1f committed/s (offered %.0f/s)@."
+                mode.Throughput.label p.Throughput.committed_per_s
+                p.Throughput.rate)
+        modes;
+      (match out with
+      | None -> ()
+      | Some path -> write_file path (Throughput.to_json points));
+      if verbose then print_scheduler_stats ();
+      if List.exists (fun p -> Result.is_error p.Throughput.verified) points
+      then exit 1
+    end
   in
   let term =
     Term.(
       const run $ topology_arg $ seed_arg $ tp_txns_arg $ rates_arg $ batch_arg
-      $ depth_arg $ baseline_only_arg $ tp_groups_arg $ out_arg $ jobs_arg
-      $ verbose_arg)
+      $ depth_arg $ baseline_only_arg $ epoch_arg $ epoch_fill_arg $ sweep_arg
+      $ sweep_batches_arg $ sweep_depths_arg $ sweep_epochs_arg
+      $ topologies_arg $ sweep_rate_arg $ csv_arg $ tp_groups_arg $ out_arg
+      $ jobs_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "throughput"
        ~doc:
          "Open-loop saturation sweep: offered-rate curves for the unbatched \
           baseline vs throughput mode (transaction batching + k-deep \
-          pipelined log positions), with commit-latency percentiles and \
-          full oracle checking per point (DESIGN.md \xc2\xa714).")
+          pipelined log positions) and optionally the epoch-sealed mode \
+          (--epoch, PROTOCOL.md \xc2\xa711), with commit-latency percentiles \
+          and full oracle checking per point (DESIGN.md \xc2\xa714\xe2\x80\x93\xc2\xa715). \
+          --sweep runs the batch x depth x epoch x topology knob grid \
+          instead.")
     term
 
 (* ------------------------------------------------------------------ *)

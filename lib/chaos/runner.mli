@@ -83,12 +83,15 @@ val default_config : Mdds_core.Config.protocol -> Mdds_core.Config.t
     client machinery). *)
 
 val throughput_config : seed:int -> Mdds_core.Config.t -> Mdds_core.Config.t
-(** The throughput schedule dimension (DESIGN.md §14): force the leader
-    protocol and draw [batch_max ∈ {1,2,4,8}], [pipeline_depth ∈ {1,2,4}]
+(** The throughput schedule dimension (DESIGN.md §14–§15): force the
+    leader protocol and draw [batch_max ∈ {1,2,4,8}],
+    [pipeline_depth ∈ {1,2,4}] and [epoch_interval ∈ {0, 0, 0.05, 0.15}]
     deterministically from [seed] (on a stream distinct from the engine's
-    and the fault schedule's), never both 1 — so a soak over a seed range
-    exercises every batching/pipelining combination under every fault
-    kind. *)
+    and the fault schedule's; the epoch draw is appended after the
+    batch/depth draws, so pre-epoch seeds keep their historical
+    batch/depth), never all off — so a soak over a seed range exercises
+    every batching/pipelining/epoch-sealing combination under every
+    fault kind. *)
 
 val throughput_workload :
   dcs:int -> duration:float -> Mdds_workload.Ycsb.config
@@ -126,8 +129,9 @@ type report = {
       (** Batched-path counters summed over all services (all zero unless
           the spec's config enables {!Mdds_core.Config.throughput_mode},
           e.g. via {!throughput_config}): positions proposed by the
-          batched path, transactions they carried, pipelined rounds and
-          window stalls. *)
+          batched path, transactions they carried, pipelined rounds,
+          window stalls, and — when the seed drew epoch sealing — epochs
+          sealed and the transactions they admitted. *)
   twopc : Mdds_core.Service.twopc_stats;
       (** Multi-shot-commit counters summed over all services (all zero
           unless the workload's [cross_ratio] draws cross-group

@@ -23,6 +23,7 @@ type t = {
   batch_max : int;
   batch_fill : float;
   pipeline_depth : int;
+  epoch_interval : float;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     batch_max = 1;
     batch_fill = 0.005;
     pipeline_depth = 1;
+    epoch_interval = 0.0;
   }
 
 let basic = { default with protocol = Basic }
@@ -57,7 +59,10 @@ let with_protocol protocol t = { t with protocol }
 
 let leader = { default with protocol = Leader }
 
-let throughput_mode t = t.batch_max > 1 || t.pipeline_depth > 1
+let epoch_mode t = t.epoch_interval > 0.0
+
+let throughput_mode t =
+  t.batch_max > 1 || t.pipeline_depth > 1 || epoch_mode t
 
 (* Knob validation at construction: each of these combinations is not a
    tuning choice but a contradiction (a batcher that can hold no
@@ -71,6 +76,9 @@ let validate t =
   if t.batch_max < 1 then fail "batch_max = %d (must be >= 1)" t.batch_max;
   if t.pipeline_depth < 1 then
     fail "pipeline_depth = %d (must be >= 1)" t.pipeline_depth;
+  if t.epoch_interval < 0.0 then
+    fail "epoch_interval = %g (must be >= 0; 0 disables epoch sealing)"
+      t.epoch_interval;
   if t.backoff_min > t.backoff_max then
     fail "backoff_min = %g > backoff_max = %g" t.backoff_min t.backoff_max;
   if t.adaptive_floor > t.rpc_timeout then
@@ -79,7 +87,7 @@ let validate t =
   t
 
 let make ?(base = default) ?rpc_timeout ?backoff_min ?backoff_max
-    ?adaptive_floor ?batch_max ?pipeline_depth () =
+    ?adaptive_floor ?batch_max ?pipeline_depth ?epoch_interval () =
   let field v = function Some v -> v | None -> v in
   validate
     {
@@ -90,10 +98,21 @@ let make ?(base = default) ?rpc_timeout ?backoff_min ?backoff_max
       adaptive_floor = field base.adaptive_floor adaptive_floor;
       batch_max = field base.batch_max batch_max;
       pipeline_depth = field base.pipeline_depth pipeline_depth;
+      epoch_interval = field base.epoch_interval epoch_interval;
     }
 
 let throughput ?(batch_max = 8) ?(pipeline_depth = 4) t =
   validate { t with protocol = Leader; batch_max; pipeline_depth }
+
+let epoch ?(fill = 64) ?(pipeline_depth = 1) ?(interval = 0.05) t =
+  validate
+    {
+      t with
+      protocol = Leader;
+      batch_max = fill;
+      pipeline_depth;
+      epoch_interval = interval;
+    }
 
 let protocol_name = function
   | Basic -> "paxos"

@@ -119,6 +119,8 @@ type t = {
   mutable batched_txns : int;
   mutable pipelined_rounds : int;
   mutable pipeline_stalls : int;
+  mutable epochs_sealed : int;
+  mutable epoch_txns : int;
   twopc : (string, (string, indoubt) Hashtbl.t) Hashtbl.t;
       (* In-doubt table per group, volatile: re-derived from the log by
          an incremental scan ({!scan_2pc}); reset and rebuilt on restart.
@@ -147,6 +149,8 @@ type throughput_stats = {
   batched_txns : int;
   pipelined_rounds : int;
   pipeline_stalls : int;
+  epochs_sealed : int;
+  epoch_txns : int;
 }
 
 type twopc_stats = {
@@ -173,6 +177,8 @@ let throughput_stats (t : t) =
     batched_txns = t.batched_txns;
     pipelined_rounds = t.pipelined_rounds;
     pipeline_stalls = t.pipeline_stalls;
+    epochs_sealed = t.epochs_sealed;
+    epoch_txns = t.epoch_txns;
   }
 
 let twopc_stats (t : t) =
@@ -1015,12 +1021,22 @@ let rec drain (t : t) b =
         drain t b
       end
       else begin
-        (* Fill-or-timeout: wait briefly for a fuller batch. *)
-        if
-          t.config.Config.batch_max > 1
-          && queued < t.config.Config.batch_max
-          && t.config.Config.batch_fill > 0.
-        then Mdds_sim.Engine.sleep t.config.Config.batch_fill;
+        (* Two sealing disciplines share the drainer. Batch mode
+           (fill-or-timeout): wait briefly for a fuller batch. Epoch mode
+           (PROTOCOL.md §11): hold the epoch open for the full
+           [epoch_interval] — submissions arriving during the sleep join
+           it — and seal early only when a whole fill bound ([batch_max])
+           is already waiting, so one consensus round amortizes over
+           everything admitted in the window. *)
+        (if Config.epoch_mode t.config then begin
+           if queued < t.config.Config.batch_max then
+             Mdds_sim.Engine.sleep t.config.Config.epoch_interval
+         end
+         else if
+           t.config.Config.batch_max > 1
+           && queued < t.config.Config.batch_max
+           && t.config.Config.batch_fill > 0.
+         then Mdds_sim.Engine.sleep t.config.Config.batch_fill);
         (* A restart during the fill sleep orphaned this batcher: the
            post-restart batcher owns the group's positions now, so one
            more launch from the pre-restart queues would race it at
@@ -1061,6 +1077,10 @@ and launch (t : t) b =
       b.bt_next_pos <- pos + 1;
       t.batches <- t.batches + 1;
       t.batched_txns <- t.batched_txns + List.length entry;
+      if Config.epoch_mode t.config then begin
+        t.epochs_sealed <- t.epochs_sealed + 1;
+        t.epoch_txns <- t.epoch_txns + List.length entry
+      end;
       (* The window holds only Sl_pending slots here, so: non-empty window
          ⇒ pipelined sequenced round; empty window ⇒ round-0 only on the
          Multi-Paxos streak, else the synchronous single-position path.
@@ -1683,6 +1703,8 @@ let start ?(storage = Store.Sync_always) ~rpc ~config ~dc ~dcs ~trace () =
       batched_txns = 0;
       pipelined_rounds = 0;
       pipeline_stalls = 0;
+      epochs_sealed = 0;
+      epoch_txns = 0;
       twopc = Hashtbl.create 4;
       twopc_scanned = Hashtbl.create 4;
       twopc_resolving = Hashtbl.create 8;

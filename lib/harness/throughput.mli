@@ -21,13 +21,21 @@ type mode = {
   label : string;
   batch_max : int;
   pipeline_depth : int;
+  epoch_interval : float;
 }
 
 val baseline : mode
-(** [batch_max = 1], [pipeline_depth = 1]: the verbatim pre-PR-8 path. *)
+(** [batch_max = 1], [pipeline_depth = 1], [epoch_interval = 0]: the
+    verbatim pre-PR-8 path. *)
 
 val batched : ?batch_max:int -> ?pipeline_depth:int -> unit -> mode
 (** Throughput mode (defaults [batch_max = 8], [pipeline_depth = 4]). *)
+
+val epoch : ?fill:int -> ?pipeline_depth:int -> ?interval:float -> unit -> mode
+(** Epoch-sealed commit mode (PROTOCOL.md §11; defaults [fill = 64],
+    [pipeline_depth = 1], [interval = 0.05] s): the drainer holds each
+    epoch open for [interval] virtual seconds (sealing early at [fill]
+    queued transactions) and proposes it as one multi-record entry. *)
 
 type point = {
   mode : mode;
@@ -42,6 +50,7 @@ type point = {
   latency : Stats.summary;  (** Commit latency of committed txns. *)
   batches : int;  (** Log positions proposed by the batched path. *)
   pipelined_rounds : int;
+  epochs : int;  (** Epochs sealed (epoch mode only; each is one entry). *)
   sim_duration : float;  (** Virtual seconds until full drain. *)
   wall_seconds : float;
   verified : (unit, string) result;
@@ -87,3 +96,32 @@ val pp_table : Format.formatter -> point list -> unit
 val to_json : point list -> string
 (** The sweep as a JSON array (schema used by [mdds throughput --out]
     and the ["throughput"] section of BENCH_harness.json). *)
+
+val knob_sweep :
+  ?seed:int ->
+  ?conflict_every:int ->
+  ?groups:int ->
+  ?topologies:string list ->
+  ?batch_maxes:int list ->
+  ?depths:int list ->
+  ?epoch_intervals:float list ->
+  rate:float ->
+  txns:int ->
+  unit ->
+  (string * point) list
+(** The batch_max x pipeline_depth x epoch_interval x topology grid at
+    one offered rate ([mdds throughput --sweep], figure [ext-knobs]),
+    tagged with the topology of each cell. [epoch_interval = 0] cells
+    run fill-or-timeout batching (the verbatim baseline when batch and
+    depth are both 1); [> 0] cells run epoch sealing with [batch_max]
+    as the fill bound. Defaults: topologies [VVV; VVVOC], batch_maxes
+    [1; 8], depths [1; 4], epoch_intervals [0.0; 0.05]. Deterministic
+    and byte-identical at any job count. *)
+
+val pp_knob_table : Format.formatter -> (string * point) list -> unit
+
+val knob_to_json : (string * point) list -> string
+(** The grid as a JSON array, one object per cell (topology included). *)
+
+val knob_to_csv : (string * point) list -> string
+(** The grid as CSV with a header row — the CI sweep artifact. *)

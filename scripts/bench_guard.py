@@ -42,6 +42,18 @@ SLOP_NS = 500.0
 # below it is immune to host noise and can be tight.
 THROUGHPUT_FLOOR = 2.0
 
+# Epoch-mode floors (PR 10, PROTOCOL.md §11): epoch-sealed commit must
+# sustain at least EPOCH_FLOOR x the unbatched baseline at the same
+# saturation point, and spreading the same offered load over 4 groups
+# (one drainer per independent log) must lift aggregate goodput by at
+# least GROUPS_FLOOR x over one group. Both are virtual-time ratios —
+# deterministic, so tight floors are safe. epoch_vs_batched is recorded
+# in the JSON but deliberately not gated: whether a sealed epoch beats
+# fill-or-timeout batching at a given rate is a workload property the
+# harness reports honestly either way (see DESIGN.md §15).
+EPOCH_FLOOR = 2.0
+GROUPS_FLOOR = 1.8
+
 # Parallel-speedup floor, enforced only when the measuring host can
 # plausibly meet it (jobs >= 4 and >= 4 recommended domains).
 AGGREGATE_FLOOR = 1.5
@@ -232,6 +244,58 @@ def check_throughput(doc):
     return ok
 
 
+def check_epoch(doc):
+    ep = doc.get("epoch")
+    if not ep:
+        print(
+            "\nepoch floor: no epoch section in fresh run; skipping "
+            "(refresh the baseline with a current `bench --json` run to arm it)"
+        )
+        return True
+
+    base_ratio = ep.get("epoch_vs_baseline", 0.0)
+    batched_ratio = ep.get("epoch_vs_batched", 0.0)
+    scaling = ep.get("groups_scaling", 0.0)
+    print(
+        f"\nepoch: {ep.get('epoch_committed_per_s', 0.0):.1f} committed/s at "
+        f"{ep.get('rate', 0):.0f} offered/s = {base_ratio:.2f}x baseline, "
+        f"{batched_ratio:.2f}x batched (informational), "
+        f"p50 {ep.get('epoch_p50_ms', 0.0):.1f}ms, "
+        f"{ep.get('epochs_sealed', 0)} epochs sealed"
+    )
+    print(
+        f"epoch groups: {ep.get('groups1_committed_per_s', 0.0):.1f} -> "
+        f"{ep.get('groups4_committed_per_s', 0.0):.1f} committed/s from 1 to 4 "
+        f"groups at {ep.get('groups_rate', 0):.0f} offered/s = {scaling:.2f}x"
+    )
+    ok = True
+    if not ep.get("verified", False):
+        print("epoch floor: an epoch run failed its oracle check", file=sys.stderr)
+        ok = False
+    if base_ratio < EPOCH_FLOOR:
+        print(
+            f"epoch floor: epoch-sealed commit sustains only {base_ratio:.2f}x "
+            f"the unbatched baseline at saturation (floor {EPOCH_FLOOR:.1f}x) — "
+            "sealing is not paying for itself.",
+            file=sys.stderr,
+        )
+        ok = False
+    if scaling < GROUPS_FLOOR:
+        print(
+            f"epoch floor: 4 groups lift aggregate goodput only {scaling:.2f}x "
+            f"over 1 group (floor {GROUPS_FLOOR:.1f}x) — per-group drainers "
+            "are not composing.",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print(
+            f"epoch floor: {base_ratio:.2f}x >= {EPOCH_FLOOR:.1f}x baseline and "
+            f"groups {scaling:.2f}x >= {GROUPS_FLOOR:.1f}x, all runs oracle-clean"
+        )
+    return ok
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} BASELINE.json FRESH.json")
@@ -241,6 +305,7 @@ def main():
     ok = check_micros(micros(baseline), micros(fresh))
     ok = check_speedup(fresh) and ok
     ok = check_throughput(fresh) and ok
+    ok = check_epoch(fresh) and ok
     if not ok:
         sys.exit(1)
 

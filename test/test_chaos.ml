@@ -366,6 +366,47 @@ let test_restart_mid_propose_honesty () =
       Alcotest.failf "restart-mid-propose regression: %s@.repro: %s" v
         (Runner.repro report)
 
+(* The epoch draw (PR 10) is appended after the batch/depth draws on the
+   same stream, so pre-epoch seeds must keep their historical batch/depth
+   — a reordered draw would silently re-shuffle which seed exercised
+   which regression. Pin determinism, the value table, and the mix. *)
+let test_throughput_config_epoch_draw () =
+  let draw seed =
+    Runner.throughput_config ~seed (Runner.default_config Config.Leader)
+  in
+  (* Deterministic: same seed, same knobs. *)
+  List.iter
+    (fun seed ->
+      let a = draw seed and b = draw seed in
+      Alcotest.(check int) "batch_max stable" a.Config.batch_max
+        b.Config.batch_max;
+      Alcotest.(check int) "pipeline_depth stable" a.Config.pipeline_depth
+        b.Config.pipeline_depth;
+      Alcotest.(check (float 0.0)) "epoch_interval stable"
+        a.Config.epoch_interval b.Config.epoch_interval)
+    [ 1; 42; 134; 300 ];
+  (* Every draw lands in the documented tables and never leaves the
+     whole throughput dimension off. *)
+  let epoch_on = ref 0 in
+  List.iter
+    (fun seed ->
+      let c = draw seed in
+      Alcotest.(check bool) "batch_max in {1,2,4,8}" true
+        (List.mem c.Config.batch_max [ 1; 2; 4; 8 ]);
+      Alcotest.(check bool) "pipeline_depth in {1,2,4}" true
+        (List.mem c.Config.pipeline_depth [ 1; 2; 4 ]);
+      Alcotest.(check bool) "epoch_interval in {0, 0.05, 0.15}" true
+        (List.mem c.Config.epoch_interval [ 0.0; 0.05; 0.15 ]);
+      Alcotest.(check bool) "never all off" true
+        (c.Config.batch_max > 1 || c.Config.pipeline_depth > 1);
+      if Config.epoch_mode c then incr epoch_on)
+    (List.init 300 (fun i -> i + 1));
+  (* Roughly half the seeds should run epoch sealing (2 of 4 table
+     entries are 0): with 300 seeds, anywhere outside [90, 210] means
+     the draw or the table changed. *)
+  Alcotest.(check bool) "epoch mix plausible" true
+    (!epoch_on >= 90 && !epoch_on <= 210)
+
 let test_restart_warm_cache () =
   let spec = Runner.spec ~seed:42 "VVV" in
   let schedule =
@@ -407,6 +448,8 @@ let () =
             test_shrink_gray;
           Alcotest.test_case "restart mid-propose stays honest" `Quick
             test_restart_mid_propose_honesty;
+          Alcotest.test_case "throughput config epoch draw pinned" `Quick
+            test_throughput_config_epoch_draw;
         ] );
       ( "soak",
         [

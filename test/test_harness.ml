@@ -116,6 +116,55 @@ let test_commits_by_dc () =
   let total = List.fold_left (fun acc (_, _, t) -> acc + t) 0 per_dc in
   Alcotest.(check int) "totals add up" 30 total
 
+(* ------------------------------------------------------------------ *)
+(* Knob sweep (PROTOCOL.md §11): the grid behind [mdds throughput
+   --sweep] and the CI sweep artifact.                                  *)
+
+module Throughput = Mdds_harness.Throughput
+
+let small_grid () =
+  Throughput.knob_sweep ~seed:5 ~topologies:[ "VVV" ] ~batch_maxes:[ 1; 2 ]
+    ~depths:[ 1 ] ~epoch_intervals:[ 0.0; 0.05 ] ~rate:40.0 ~txns:40 ()
+
+let test_knob_sweep_shape () =
+  let cells = small_grid () in
+  (* One cell per point of the cartesian product, every cell tagged with
+     its topology and oracle-clean. *)
+  Alcotest.(check int) "topology x batch x depth x epoch" 4 (List.length cells);
+  List.iter
+    (fun (topo, (p : Throughput.point)) ->
+      Alcotest.(check string) "topology tag" "VVV" topo;
+      Alcotest.(check bool) "verified" true (p.Throughput.verified = Ok ());
+      Alcotest.(check bool) "epochs only in epoch cells" true
+        (p.Throughput.mode.Throughput.epoch_interval > 0.0
+        || p.Throughput.epochs = 0))
+    cells
+
+let test_knob_sweep_deterministic () =
+  let a = small_grid () and b = small_grid () in
+  List.iter2
+    (fun (_, (pa : Throughput.point)) (_, (pb : Throughput.point)) ->
+      Alcotest.(check int) "same committed" pa.Throughput.committed
+        pb.Throughput.committed;
+      Alcotest.(check (float 1e-9)) "same goodput" pa.Throughput.committed_per_s
+        pb.Throughput.committed_per_s)
+    a b
+
+let test_knob_sweep_csv () =
+  let cells = small_grid () in
+  let csv = Throughput.knob_to_csv cells in
+  (match String.split_on_char '\n' (String.trim csv) with
+  | header :: rows ->
+      Alcotest.(check string) "csv header"
+        "topology,mode,batch_max,pipeline_depth,epoch_interval,rate,txns,committed,committed_per_s,p50_ms,p99_ms,batches,epochs,verified"
+        header;
+      Alcotest.(check int) "one row per cell" (List.length cells)
+        (List.length rows)
+  | [] -> Alcotest.fail "empty csv");
+  let json = Throughput.knob_to_json cells in
+  Alcotest.(check bool) "json is an array" true
+    (String.length json > 0 && json.[0] = '[')
+
 let () =
   Alcotest.run "harness"
     [
@@ -133,5 +182,11 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_experiment_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_experiment_seed_changes_outcome;
           Alcotest.test_case "commits by datacenter" `Quick test_commits_by_dc;
+        ] );
+      ( "knob-sweep",
+        [
+          Alcotest.test_case "grid shape and oracle" `Quick test_knob_sweep_shape;
+          Alcotest.test_case "deterministic" `Quick test_knob_sweep_deterministic;
+          Alcotest.test_case "csv/json artifacts" `Quick test_knob_sweep_csv;
         ] );
     ]

@@ -25,24 +25,31 @@ let committed = function
   | Audit.Aborted _ | Audit.Unknown -> false
 
 let make ?(seed = 42) ?(spec = "VVV") ?(batch_max = 8) ?(pipeline_depth = 4)
-    ?batch_fill () =
+    ?batch_fill ?epoch_interval () =
   let config = Config.throughput ~batch_max ~pipeline_depth Config.leader in
   let config =
     match batch_fill with
     | Some batch_fill -> { config with Config.batch_fill }
     | None -> config
   in
+  let config =
+    match epoch_interval with
+    | Some epoch_interval -> { config with Config.epoch_interval }
+    | None -> config
+  in
   Cluster.create ~seed ~config (Topology.ec2 spec)
 
 let total_stats cluster =
   List.fold_left
-    (fun (b, t, p, s) svc ->
+    (fun (b, t, p, s, e, et) svc ->
       let st = Service.throughput_stats svc in
       ( b + st.Service.batches,
         t + st.Service.batched_txns,
         p + st.Service.pipelined_rounds,
-        s + st.Service.pipeline_stalls ))
-    (0, 0, 0, 0) (Cluster.services cluster)
+        s + st.Service.pipeline_stalls,
+        e + st.Service.epochs_sealed,
+        et + st.Service.epoch_txns ))
+    (0, 0, 0, 0, 0, 0) (Cluster.services cluster)
 
 (* ------------------------------------------------------------------ *)
 (* Batching.                                                            *)
@@ -81,7 +88,7 @@ let test_batched_commit_same_position () =
   (match log with
   | [ (_, entry) ] -> Alcotest.(check int) "one entry of 3" 3 (List.length entry)
   | _ -> Alcotest.failf "expected one log entry, got %d" (List.length log));
-  let batches, batched_txns, _, _ = total_stats cluster in
+  let batches, batched_txns, _, _, _, _ = total_stats cluster in
   Alcotest.(check int) "one batch" 1 batches;
   Alcotest.(check int) "three batched txns" 3 batched_txns;
   Verify.check_exn cluster ~group
@@ -160,7 +167,7 @@ let test_pipeline_overlaps_positions () =
   Alcotest.(check int) "all six commit" 6 (List.length positions);
   Alcotest.(check int) "six distinct positions" 6
     (List.length (List.sort_uniq Int.compare positions));
-  let _, _, pipelined, _ = total_stats cluster in
+  let _, _, pipelined, _, _, _ = total_stats cluster in
   Alcotest.(check bool) "sequenced rounds actually overlapped" true
     (pipelined > 0);
   Verify.check_exn cluster ~group
@@ -270,7 +277,7 @@ let test_restart_during_fill_window () =
   | None -> Alcotest.fail "late transaction never ran");
   (* Only the post-restart submission was ever proposed: the orphaned
      drainer launched nothing from the pre-restart queues. *)
-  let batches, batched_txns, _, _ = total_stats cluster in
+  let batches, batched_txns, _, _, _, _ = total_stats cluster in
   Alcotest.(check int) "no orphan launch after restart" 1 batches;
   Alcotest.(check int) "only the late txn batched" 1 batched_txns;
   Verify.check_exn cluster ~group
@@ -455,7 +462,220 @@ let test_mode_off_by_default () =
   Alcotest.(check bool) "leader preset off" false
     (Config.throughput_mode Config.leader);
   Alcotest.(check bool) "helper turns it on" true
-    (Config.throughput_mode (Config.throughput Config.default))
+    (Config.throughput_mode (Config.throughput Config.default));
+  Alcotest.(check bool) "epoch off by default" false
+    (Config.epoch_mode Config.default);
+  Alcotest.(check bool) "epoch helper turns both on" true
+    (let c = Config.epoch Config.leader in
+     Config.epoch_mode c && Config.throughput_mode c);
+  Alcotest.check_raises "negative interval rejected"
+    (Invalid_argument
+       "Config.make: epoch_interval = -0.1 (must be >= 0; 0 disables epoch \
+        sealing)") (fun () ->
+      ignore (Config.make ~epoch_interval:(-0.1) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-sealed commit (PROTOCOL.md §11).                               *)
+
+(* Three submissions inside one epoch interval seal into ONE multi-record
+   log entry at one position — one consensus round for the window. *)
+let test_epoch_seals_one_entry () =
+  let cluster = make ~batch_max:64 ~epoch_interval:0.15 () in
+  let outcomes = ref [] in
+  for i = 0 to 2 do
+    let client = Cluster.client cluster ~dc:0 in
+    Cluster.spawn cluster (fun () ->
+        let txn = Client.begin_ client ~group in
+        Client.write txn (Printf.sprintf "k%d" i) "v";
+        let outcome = Client.commit txn in
+        outcomes := outcome :: !outcomes)
+  done;
+  Cluster.run cluster;
+  let positions =
+    List.filter_map
+      (function Audit.Committed { position; _ } -> Some position | _ -> None)
+      !outcomes
+  in
+  Alcotest.(check int) "all three commit" 3 (List.length positions);
+  (match positions with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "one shared position" true (a = b && b = c)
+  | _ -> assert false);
+  (match Cluster.committed_log cluster ~group with
+  | [ (_, entry) ] ->
+      Alcotest.(check int) "one epoch entry of 3" 3 (List.length entry)
+  | log -> Alcotest.failf "expected one log entry, got %d" (List.length log));
+  let _, _, _, _, epochs, epoch_txns = total_stats cluster in
+  Alcotest.(check int) "one epoch sealed" 1 epochs;
+  Alcotest.(check int) "the epoch carried all three" 3 epoch_txns;
+  Verify.check_exn cluster ~group
+
+(* The epoch fill bound: a full window seals early, the overflow rides
+   the next epoch — positions stay dense and everything commits. *)
+let test_epoch_fill_bound_seals_early () =
+  let cluster = make ~batch_max:2 ~epoch_interval:0.15 () in
+  let outcomes = ref [] in
+  for i = 0 to 4 do
+    let client = Cluster.client cluster ~dc:0 in
+    Cluster.spawn cluster (fun () ->
+        let txn = Client.begin_ client ~group in
+        Client.write txn (Printf.sprintf "k%d" i) "v";
+        let outcome = Client.commit txn in
+        outcomes := outcome :: !outcomes)
+  done;
+  Cluster.run cluster;
+  Alcotest.(check int) "all five commit" 5
+    (List.length (List.filter committed !outcomes));
+  let _, _, _, _, epochs, epoch_txns = total_stats cluster in
+  Alcotest.(check bool)
+    (Printf.sprintf "fill bound 2 forces >= 3 epochs (got %d)" epochs)
+    true (epochs >= 3);
+  Alcotest.(check int) "epochs carried all five" 5 epoch_txns;
+  Verify.check_exn cluster ~group
+
+(* Mirror of test_restart_during_fill_window for the epoch discipline: a
+   restart inside the epoch interval must resolve every orphaned pending
+   honestly (queued -> No_quorum, exposed -> In_doubt) and never let the
+   orphaned drainer seal one more epoch from the pre-restart queues. *)
+let test_restart_mid_epoch () =
+  let cluster = make ~batch_max:64 ~epoch_interval:0.2 () in
+  let service = Cluster.service cluster 0 in
+  let replies = Array.make 3 None in
+  for i = 0 to 2 do
+    let record =
+      Txn.make_record ~txn_id:(Printf.sprintf "t%d" i) ~origin:0
+        ~read_position:0 ~reads:[]
+        ~writes:[ { Txn.key = Printf.sprintf "k%d" i; value = "v" } ]
+    in
+    Cluster.spawn cluster (fun () ->
+        replies.(i) <-
+          Some (Service.handle service ~src:0 (Messages.Submit { group; record })))
+  done;
+  (* Lands inside the 0.2 s epoch interval, before the seal. *)
+  Engine.schedule (Cluster.engine cluster) ~at:0.05 (fun () ->
+      Cluster.restart cluster 0);
+  let late_outcome = ref None in
+  let late = Cluster.client cluster ~dc:0 in
+  Cluster.spawn ~at:5.0 cluster (fun () ->
+      let txn = Client.begin_ late ~group in
+      Client.write txn "late" "v";
+      late_outcome := Some (Client.commit txn));
+  Cluster.run cluster;
+  Array.iteri
+    (fun i reply ->
+      match reply with
+      | Some
+          (Messages.Submit_reply
+             { result = Messages.No_quorum | Messages.In_doubt }) ->
+          ()
+      | Some _ -> Alcotest.failf "submission %d: dishonest orphan outcome" i
+      | None -> Alcotest.failf "submission %d never resolved" i)
+    replies;
+  (match !late_outcome with
+  | Some o ->
+      Alcotest.(check bool) "manager serves after restart" true (committed o)
+  | None -> Alcotest.fail "late transaction never ran");
+  let _, _, _, _, epochs, epoch_txns = total_stats cluster in
+  Alcotest.(check int) "no orphan epoch sealed after restart" 1 epochs;
+  Alcotest.(check int) "only the late txn in an epoch" 1 epoch_txns;
+  Verify.check_exn cluster ~group
+
+(* Epoch mode must be outcome-IDENTICAL to the unbatched path on
+   disjoint workloads, exactly like the batched path (same property, new
+   discipline): same commit/abort states, same committed ids, same final
+   store. *)
+let prop_epoch_disjoint_equivalence =
+  QCheck.Test.make ~name:"epoch path = unbatched path on disjoint workloads"
+    ~count:30
+    (QCheck.make disjoint_gen)
+    (fun txns ->
+      let baseline = run_workload Config.leader ~seed:9 txns in
+      let sealed = run_workload (Config.epoch Config.leader) ~seed:9 txns in
+      let b_states, b_ids, b_final = baseline in
+      let e_states, e_ids, e_final = sealed in
+      b_states = e_states && b_ids = e_ids && b_final = e_final)
+
+(* Conflicting workloads under epoch sealing: a txn's home dc, delay and
+   three ops over a 4-key space (read or write per coin). Admission must
+   defer intra-epoch conflicts, so the epoch history is always accepted
+   by the one-copy-serializability checker with honest audit outcomes —
+   the QCheck mirror of test_conflicting_workload_serializable. *)
+type conflicting_txn = { cdc : int; cdelay : float; ops : (int * bool) list }
+
+let conflicting_gen =
+  QCheck.Gen.(
+    list_size (int_range 4 12)
+      (map3
+         (fun cdc d ops -> { cdc; cdelay = 0.01 *. float_of_int d; ops })
+         (int_range 0 2) (int_range 0 30)
+         (list_size (int_range 1 3) (pair (int_range 0 3) bool))))
+
+let prop_epoch_conflicting_serializable =
+  QCheck.Test.make
+    ~name:"epoch histories stay 1SR on conflicting workloads" ~count:25
+    (QCheck.make conflicting_gen)
+    (fun txns ->
+      let config = Config.epoch ~fill:8 ~interval:0.05 Config.leader in
+      let cluster = Cluster.create ~seed:11 ~config (Topology.ec2 "VVV") in
+      List.iteri
+        (fun i { cdc; cdelay; ops } ->
+          let client =
+            Cluster.client cluster ~id:(Printf.sprintf "c%d" i) ~dc:cdc
+          in
+          Cluster.spawn cluster (fun () ->
+              Engine.sleep cdelay;
+              let txn = Client.begin_ client ~group in
+              List.iter
+                (fun (k, read) ->
+                  let key = Printf.sprintf "k%d" k in
+                  if read then ignore (Client.read txn key)
+                  else Client.write txn key (Client.txn_id txn))
+                ops;
+              ignore (Client.commit txn)))
+        txns;
+      Cluster.run cluster;
+      Verify.check_exn cluster ~group;
+      match Checker.check_log (Cluster.committed_log cluster ~group) with
+      | Ok () -> true
+      | Error v -> QCheck.Test.fail_reportf "%a" Checker.pp_violation v)
+
+(* The seeds battery of test_conflicting_workload_serializable, run under
+   the epoch discipline (including pipelined epochs). *)
+let test_epoch_conflicting_workload_serializable () =
+  List.iter
+    (fun seed ->
+      let config =
+        Config.epoch ~fill:4 ~pipeline_depth:2 ~interval:0.08 Config.leader
+      in
+      let cluster = Cluster.create ~seed ~config (Topology.ec2 "VOC") in
+      let commits = ref 0 in
+      for dc = 0 to 2 do
+        let client = Cluster.client cluster ~dc in
+        let rng = Rng.split (Engine.rng (Cluster.engine cluster)) in
+        Cluster.spawn cluster (fun () ->
+            for _ = 1 to 6 do
+              let txn = Client.begin_ client ~group in
+              for _ = 1 to 3 do
+                let key = Printf.sprintf "k%d" (Rng.int rng 4) in
+                if Rng.bool rng 0.5 then ignore (Client.read txn key)
+                else Client.write txn key (Client.txn_id txn)
+              done;
+              if committed (Client.commit txn) then incr commits;
+              Engine.sleep (Rng.uniform rng 0.0 0.2)
+            done)
+      done;
+      Cluster.run cluster;
+      (match Verify.check cluster ~group with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "seed %d: %s" seed m);
+      (match Checker.check_log (Cluster.committed_log cluster ~group) with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.failf "seed %d serial checker: %a" seed Checker.pp_violation v);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d commits something" seed)
+        true (!commits > 0))
+    [ 1; 2; 3; 4; 5 ]
 
 let () =
   Alcotest.run "throughput"
@@ -494,5 +714,17 @@ let () =
             test_conflicting_workload_serializable;
           Alcotest.test_case "mode off by default" `Quick
             test_mode_off_by_default;
+        ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "epoch seals one multi-record entry" `Quick
+            test_epoch_seals_one_entry;
+          Alcotest.test_case "fill bound seals early" `Quick
+            test_epoch_fill_bound_seals_early;
+          Alcotest.test_case "restart mid-epoch" `Quick test_restart_mid_epoch;
+          QCheck_alcotest.to_alcotest prop_epoch_disjoint_equivalence;
+          QCheck_alcotest.to_alcotest prop_epoch_conflicting_serializable;
+          Alcotest.test_case "epoch conflicting workloads stay 1SR" `Quick
+            test_epoch_conflicting_workload_serializable;
         ] );
     ]
